@@ -1,0 +1,52 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Every fig* binary regenerates one table/figure of the paper's evaluation
+// and prints (a) the measured rows and (b) a paper-vs-measured comparison
+// of the headline claim. Environment knobs:
+//   FLASH_BENCH_RUNS  seeds per configuration (default 3; paper uses 5)
+//   FLASH_BENCH_TX    transactions per run where applicable (default 2000)
+//   FLASH_BENCH_FAST  if set (non-empty), shrink sweeps for smoke runs
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/table.h"
+
+namespace flash::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  const long parsed = std::atol(v);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+inline bool fast_mode() {
+  const char* v = std::getenv("FLASH_BENCH_FAST");
+  return v && *v;
+}
+
+inline std::size_t bench_runs() { return env_size("FLASH_BENCH_RUNS", 3); }
+inline std::size_t bench_tx() { return env_size("FLASH_BENCH_TX", 2000); }
+
+inline void print_header(const std::string& fig, const std::string& what) {
+  std::printf("==============================================================\n");
+  std::printf("%s - %s\n", fig.c_str(), what.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void print_table(const TextTable& t) {
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\n");
+}
+
+/// One "paper vs measured" comparison line.
+inline void claim(const std::string& what, const std::string& paper,
+                  const std::string& measured) {
+  std::printf("  %-52s paper: %-14s measured: %s\n", what.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+}  // namespace flash::bench

@@ -1,0 +1,64 @@
+// Figure 8: probing-message overhead, Flash vs Spider (the static schemes
+// never probe and are excluded, as in the paper).
+//
+// Paper claims: Flash sends ~43% fewer probing messages than Spider on the
+// Ripple topology and ~37% fewer on Lightning, because only elephants (and
+// failed mice trials) probe.
+#include "bench_common.h"
+#include "sim/experiment.h"
+#include "trace/workload.h"
+
+using namespace flash;
+using namespace flash::bench;
+
+namespace {
+
+void compare(const char* topo_name, const WorkloadFactory& factory,
+             const char* paper_saving) {
+  const std::size_t runs = bench_runs();
+  SimConfig sim;
+  sim.capacity_scale = 10.0;
+
+  const RunSeries flash = run_series(factory, Scheme::kFlash, {}, sim, runs);
+  const RunSeries spider =
+      run_series(factory, Scheme::kSpider, {}, sim, runs);
+
+  TextTable t;
+  t.header({"scheme", "probe msgs (mean)", "min", "max"});
+  const Aggregate f = flash.probe_messages();
+  const Aggregate s = spider.probe_messages();
+  t.row({"Flash", fmt(f.mean, 0), fmt(f.min, 0), fmt(f.max, 0)});
+  t.row({"Spider", fmt(s.mean, 0), fmt(s.min, 0), fmt(s.max, 0)});
+  std::printf("[%s] probing messages (%zu tx, scale 10, %zu runs)\n",
+              topo_name, bench_tx(), runs);
+  print_table(t);
+
+  const double saving = s.mean > 0 ? 1.0 - f.mean / s.mean : 0.0;
+  claim(std::string(topo_name) + ": Flash probing saving vs Spider",
+        paper_saving, fmt_pct(saving));
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 8", "probing message overhead (Flash vs Spider)");
+  const std::size_t tx = bench_tx();
+  compare("Ripple",
+          [tx](std::uint64_t seed) {
+            WorkloadConfig c;
+            c.num_transactions = tx;
+            c.seed = seed;
+            return make_ripple_workload(c);
+          },
+          "43%");
+  compare("Lightning",
+          [tx](std::uint64_t seed) {
+            WorkloadConfig c;
+            c.num_transactions = tx;
+            c.seed = seed;
+            return make_lightning_workload(c);
+          },
+          "37%");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 11: number of routing-table paths per receiver (m) for mice.
+//
+// m = 0 routes mice exactly like elephants — the performance upper bound
+// with maximal probing. Paper claims (Ripple trace): m = 6 comes within
+// 15% of the upper bound's success volume, and a small m costs >= ~12x
+// less probing than routing mice as elephants.
+#include <vector>
+
+#include "bench_common.h"
+#include "sim/experiment.h"
+#include "trace/workload.h"
+
+using namespace flash;
+using namespace flash::bench;
+
+int main() {
+  print_header("Figure 11", "paths per receiver (m) for mice routing");
+  const std::size_t tx = bench_tx();
+  const std::size_t runs = bench_runs();
+  const WorkloadFactory factory = [tx](std::uint64_t seed) {
+    WorkloadConfig c;
+    c.num_transactions = tx;
+    c.seed = seed;
+    return make_ripple_workload(c);
+  };
+
+  const std::vector<std::size_t> ms =
+      fast_mode() ? std::vector<std::size_t>{0, 4}
+                  : std::vector<std::size_t>{0, 2, 4, 6, 8};
+
+  TextTable t;
+  t.header({"m", "mice succ volume", "probe msgs"});
+  double upper_volume = 0, upper_probes = 0;
+  double m6_volume = 0, m4_probes = 0;
+  for (const std::size_t m : ms) {
+    FlashOptions opts;
+    opts.m_mice_paths = m;
+    SimConfig sim;
+    sim.capacity_scale = 10.0;
+    const RunSeries series =
+        run_series(factory, Scheme::kFlash, opts, sim, runs);
+    const double mice_volume = series.aggregate([](const SimResult& r) {
+      return static_cast<double>(r.mice_volume_succeeded);
+    }).mean;
+    const double probes = series.probe_messages().mean;
+    t.row({std::to_string(m), fmt_sci(mice_volume, 3), fmt(probes, 0)});
+    if (m == 0) {
+      upper_volume = mice_volume;
+      upper_probes = probes;
+    }
+    if (m == 6) m6_volume = mice_volume;
+    if (m == 4) m4_probes = probes;
+  }
+  std::printf("[Ripple] m sweep (%zu tx, scale 10, %zu runs); m=0 routes "
+              "mice as elephants\n",
+              tx, runs);
+  print_table(t);
+
+  if (upper_volume > 0 && m6_volume > 0) {
+    claim("mice volume at m=6 vs upper bound (m=0)", "within 15%",
+          fmt_pct(1 - m6_volume / upper_volume) + " below");
+  }
+  if (m4_probes > 0) {
+    claim("probing reduction at m=4 vs mice-as-elephants", ">= ~12x",
+          fmt_ratio(upper_probes / m4_probes, 1));
+  }
+  return 0;
+}

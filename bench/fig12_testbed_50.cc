@@ -1,0 +1,7 @@
+// Figure 12: testbed experiments on the 50-node Watts-Strogatz network.
+#include "testbed_common.h"
+
+int main() {
+  flash::bench::run_testbed_figure("Figure 12", 50);
+  return 0;
+}

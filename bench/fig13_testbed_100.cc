@@ -1,0 +1,7 @@
+// Figure 13: testbed experiments on the 100-node Watts-Strogatz network.
+#include "testbed_common.h"
+
+int main() {
+  flash::bench::run_testbed_figure("Figure 13", 100);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Fee optimization: program (1) on a single elephant payment, step by step.
+//
+//   $ ./fee_optimization
+//
+// Shows the raw building blocks of §3.2: Algorithm 1 probing a path set on
+// a hand-built network, then the LP split vs the sequential
+// (discovery-order) split, with the fee difference made explicit.
+#include <cstdio>
+
+#include "core/flash.h"
+
+int main() {
+  using namespace flash;
+
+  // Two disjoint 2-hop routes from 0 to 3: via 1 (expensive, 5%/hop) and
+  // via 2 (cheap, 0.1%/hop), plus a direct but thin channel.
+  Graph g(4);
+  const EdgeId e01 = g.add_channel(0, 1);
+  const EdgeId e13 = g.add_channel(1, 3);
+  const EdgeId e02 = g.add_channel(0, 2);
+  const EdgeId e23 = g.add_channel(2, 3);
+  const EdgeId e03 = g.add_channel(0, 3);
+
+  NetworkState state(g);
+  for (const EdgeId e : {e01, e13, e02, e23}) state.set_balance(e, 80);
+  state.set_balance(e03, 15);
+
+  FeeSchedule fees(g);
+  fees.set_policy(e01, {0, 0.05});
+  fees.set_policy(e13, {0, 0.05});
+  fees.set_policy(e02, {0, 0.001});
+  fees.set_policy(e23, {0, 0.001});
+  fees.set_policy(e03, {0, 0.02});
+
+  const Amount demand = 120;
+  std::printf("elephant payment: 0 -> 3, amount %.0f\n\n", demand);
+
+  // Algorithm 1: probe paths until the flow covers the demand.
+  ElephantProbeResult probe =
+      elephant_find_paths(g, 0, 3, demand, /*max_paths=*/20, state);
+  std::printf("Algorithm 1 found %zu paths, max flow %.0f (feasible: %s)\n",
+              probe.paths.size(), probe.max_flow,
+              probe.feasible ? "yes" : "no");
+  for (std::size_t i = 0; i < probe.paths.size(); ++i) {
+    std::printf("  path %zu: %-18s bottleneck %.0f, fee rate %.3f%%\n", i,
+                g.format_path(probe.paths[i], 0).c_str(),
+                probe.bottlenecks[i],
+                100 * fees.path_rate(probe.paths[i]));
+  }
+
+  // Path selection: LP vs sequential.
+  const SplitResult lp =
+      optimize_fee_split(g, probe.paths, demand, probe.capacities, fees);
+  const SplitResult seq =
+      sequential_split(g, probe.paths, demand, probe.capacities, fees);
+
+  std::printf("\n%-24s %-12s %s\n", "split", "LP (program 1)", "sequential");
+  for (std::size_t i = 0; i < probe.paths.size(); ++i) {
+    std::printf("  on path %zu:            %8.1f     %8.1f\n", i,
+                lp.feasible ? lp.amounts[i] : 0.0,
+                seq.feasible ? seq.amounts[i] : 0.0);
+  }
+  std::printf("  total fee:            %8.2f     %8.2f\n", lp.total_fee,
+              seq.total_fee);
+  if (lp.feasible && seq.feasible && seq.total_fee > 0) {
+    std::printf("\nfee saving from optimization: %.1f%% (paper reports ~40%% "
+                "on full workloads)\n",
+                100 * (1 - lp.total_fee / seq.total_fee));
+  }
+  return 0;
+}

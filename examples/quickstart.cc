@@ -1,0 +1,54 @@
+// Quickstart: build an offchain network, route payments with Flash.
+//
+//   $ ./quickstart
+//
+// Walks through the whole public API surface in ~60 lines: topology
+// generation, channel funding, fee schedules, router construction, and
+// payment routing with the stats that come back.
+#include <cstdio>
+
+#include "core/flash.h"
+
+int main() {
+  using namespace flash;
+
+  // 1. A 50-node small-world payment channel network (the paper's testbed
+  //    shape), with channel capacities drawn from [1000, 1500) and split
+  //    across the two directions.
+  Rng rng(42);
+  Graph graph = watts_strogatz(/*n=*/50, /*k_neighbors=*/8, /*beta=*/0.3, rng);
+  std::printf("network: %zu nodes, %zu channels\n", graph.num_nodes(),
+              graph.num_channels());
+
+  NetworkState state(graph);
+  state.assign_uniform_split(1000, 1500, rng);
+  std::printf("total liquidity: %.0f\n", state.total_balance());
+
+  // 2. Proportional relay fees as in the paper's evaluation: 90% of
+  //    channels charge 0.1-1%, the rest 1-10%.
+  FeeSchedule fees = FeeSchedule::paper_default(graph, rng);
+
+  // 3. A Flash router: payments >= 500 count as elephants and get the
+  //    probing max-flow treatment; smaller mice payments use the routing
+  //    table with m = 4 paths per receiver.
+  FlashConfig config;
+  config.elephant_threshold = 500;
+  config.k_elephant_paths = 20;
+  config.m_mice_paths = 4;
+  FlashRouter router(graph, fees, config);
+
+  // 4. Route a mouse and an elephant.
+  for (const Amount amount : {25.0, 2200.0}) {
+    const Transaction tx{/*sender=*/3, /*receiver=*/29, amount, 0};
+    const RouteResult r = router.route(tx, state);
+    std::printf(
+        "payment of %7.1f: %s  class=%s  paths=%u  probes=%u  fee=%.3f\n",
+        amount, r.success ? "delivered" : "FAILED",
+        r.elephant ? "elephant" : "mouse", r.paths_used, r.probes, r.fee);
+  }
+
+  // 5. The ledger stayed consistent throughout (channel conservation).
+  std::printf("ledger invariants hold: %s\n",
+              state.check_invariants() ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Testbed demo: watch the §5.1 message protocol settle payments.
+//
+//   $ ./testbed_demo
+//
+// Runs the deterministic message-level emulation on a small network and
+// prints per-scheme results plus the message-type census, making the
+// two-phase commit protocol's cost visible (PROBE vs COMMIT vs CONFIRM vs
+// REVERSE traffic).
+#include <cstdio>
+
+#include "testbed/message.h"
+#include "testbed/runner.h"
+#include "testbed/sessions.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace flash;
+  using namespace flash::testbed;
+
+  std::printf("message-level testbed: 30-node Watts-Strogatz, 1000 payments,"
+              "\ncapacities U[1000,1500), Ripple-sized payments\n\n");
+
+  TextTable table;
+  table.header({"scheme", "succ ratio", "succ volume", "avg delay",
+                "mice delay", "messages"});
+  for (const auto scheme : {TestbedScheme::kFlash, TestbedScheme::kSpider,
+                            TestbedScheme::kShortestPath}) {
+    TestbedConfig config;
+    config.scheme = scheme;
+    config.nodes = 30;
+    config.num_transactions = 1000;
+    config.seed = 3;
+    const TestbedResult r = run_testbed(config);
+    table.row({testbed_scheme_name(scheme), fmt_pct(r.success_ratio()),
+               fmt_sci(r.volume_succeeded, 3),
+               fmt(r.avg_delay_ms(), 2) + "ms",
+               fmt(r.avg_mice_delay_ms(), 2) + "ms",
+               std::to_string(r.messages)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf("\nprotocol walkthrough (one Flash payment, 4-node line):\n");
+  Graph g(4);
+  const EdgeId e01 = g.add_channel(0, 1);
+  const EdgeId e12 = g.add_channel(1, 2);
+  const EdgeId e23 = g.add_channel(2, 3);
+  Network net(g);
+  for (const EdgeId e : {e01, e12, e23}) {
+    net.set_balance(e, 100);
+    net.set_balance(g.reverse(e), 100);
+  }
+  bool ok = false;
+  Rng rng(1);
+  FlashMiceSession session(net, {{0, 1, 2, 3}}, 40.0, rng,
+                           [&](bool b) { ok = b; });
+  session.start();
+  net.queue().run_until_idle(10000);
+  std::printf("  payment of 40 over 0->1->2->3: %s in %.2f ms\n",
+              ok ? "settled" : "failed", net.queue().now());
+  for (const auto type :
+       {MsgType::kCommit, MsgType::kCommitAck, MsgType::kConfirm,
+        MsgType::kConfirmAck, MsgType::kProbe, MsgType::kReverse}) {
+    std::printf("  %-12s x%llu\n", to_string(type).c_str(),
+                static_cast<unsigned long long>(net.messages_of(type)));
+  }
+  std::printf("  balances after settlement: 0->1: %.0f, 1->0: %.0f\n",
+              net.balance(e01), net.balance(g.reverse(e01)));
+  return 0;
+}

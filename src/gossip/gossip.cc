@@ -1,0 +1,91 @@
+#include "gossip/gossip.h"
+
+#include <set>
+#include <stdexcept>
+
+namespace flash::gossip {
+
+GossipNetwork::GossipNetwork(const Graph& physical)
+    : graph_(&physical), views_(physical.num_nodes()) {}
+
+void GossipNetwork::announce(NodeId origin, const Announcement& a) {
+  if (origin >= views_.size()) {
+    throw std::out_of_range("gossip: bad origin node");
+  }
+  if (views_[origin].apply(a)) {
+    pending_.push_back({origin, a});
+  }
+}
+
+void GossipNetwork::announce_channel_open(std::size_t channel,
+                                          std::uint64_t seq) {
+  const EdgeId e = graph_->channel_forward_edge(channel);
+  Announcement a;
+  a.type = AnnouncementType::kChannelOpen;
+  a.u = graph_->from(e);
+  a.v = graph_->to(e);
+  a.seq = seq;
+  announce(a.u, a);
+  announce(a.v, a);
+}
+
+void GossipNetwork::announce_channel_close(std::size_t channel,
+                                           std::uint64_t seq) {
+  const EdgeId e = graph_->channel_forward_edge(channel);
+  Announcement a;
+  a.type = AnnouncementType::kChannelClose;
+  a.u = graph_->from(e);
+  a.v = graph_->to(e);
+  a.seq = seq;
+  announce(a.u, a);
+  announce(a.v, a);
+}
+
+void GossipNetwork::announce_full_topology() {
+  for (std::size_t c = 0; c < graph_->num_channels(); ++c) {
+    announce_channel_open(c, 1);
+  }
+}
+
+std::size_t GossipNetwork::run_round() {
+  std::size_t messages = 0;
+  const std::size_t batch = pending_.size();
+  for (std::size_t i = 0; i < batch; ++i) {
+    const Pending p = pending_.front();
+    pending_.pop_front();
+    for (const EdgeId e : graph_->out_edges(p.at)) {
+      const NodeId neighbour = graph_->to(e);
+      ++messages;
+      if (views_[neighbour].apply(p.ann)) {
+        pending_.push_back({neighbour, p.ann});
+      }
+    }
+  }
+  total_messages_ += messages;
+  return messages;
+}
+
+std::pair<std::size_t, std::uint64_t> GossipNetwork::run_to_quiescence(
+    std::size_t max_rounds) {
+  std::size_t rounds = 0;
+  std::uint64_t messages = 0;
+  while (!quiescent()) {
+    if (rounds >= max_rounds) {
+      throw std::runtime_error("gossip: did not quiesce");
+    }
+    messages += run_round();
+    ++rounds;
+  }
+  return {rounds, messages};
+}
+
+bool GossipNetwork::quiescent() const { return pending_.empty(); }
+
+bool GossipNetwork::converged() const {
+  for (std::size_t i = 1; i < views_.size(); ++i) {
+    if (!views_[0].agrees_with(views_[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace flash::gossip

@@ -1,0 +1,75 @@
+// Round-based gossip flooding over the physical channel graph.
+//
+// Announcements originate at a channel's endpoints and flood hop-by-hop:
+// each round, every node forwards the announcements that were news to it
+// in the previous round to all of its neighbours. Duplicate suppression
+// comes from NodeView's per-channel sequence numbers, so the message
+// complexity of one announcement is O(|E|) and propagation completes in
+// diameter-many rounds — matching how the Lightning/Raiden daemons keep
+// "the connectivity topology locally available at each node" (§3.1).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "gossip/messages.h"
+#include "gossip/node_view.h"
+#include "graph/graph.h"
+
+namespace flash::gossip {
+
+class GossipNetwork {
+ public:
+  /// Gossip travels along the channels of `physical`; the graph must
+  /// outlive the network. Every node starts with an empty view.
+  explicit GossipNetwork(const Graph& physical);
+
+  /// Number of participating nodes.
+  std::size_t num_nodes() const noexcept { return views_.size(); }
+
+  const NodeView& view(NodeId node) const { return views_.at(node); }
+
+  /// Injects an announcement at `origin` (in practice a channel endpoint
+  /// announcing its own open/close). It will flood from there.
+  void announce(NodeId origin, const Announcement& a);
+
+  /// Convenience: both endpoints of channel c in the physical graph
+  /// announce it open, with the given sequence number.
+  void announce_channel_open(std::size_t channel, std::uint64_t seq = 1);
+
+  /// Both endpoints announce channel c closed.
+  void announce_channel_close(std::size_t channel, std::uint64_t seq);
+
+  /// Announces every physical channel open (bootstrap), seq = 1.
+  void announce_full_topology();
+
+  /// Runs one flooding round: all pending announcements move one hop.
+  /// Returns the number of messages exchanged in this round.
+  std::size_t run_round();
+
+  /// Floods until quiescent. Returns (rounds, total messages).
+  std::pair<std::size_t, std::uint64_t> run_to_quiescence(
+      std::size_t max_rounds = 1u << 20);
+
+  /// True when no announcements are in flight.
+  bool quiescent() const;
+
+  /// True if every node's view agrees with every other's.
+  bool converged() const;
+
+  std::uint64_t total_messages() const noexcept { return total_messages_; }
+
+ private:
+  struct Pending {
+    NodeId at;          // node that will forward it next round
+    Announcement ann;
+  };
+
+  const Graph* graph_;
+  std::vector<NodeView> views_;
+  std::deque<Pending> pending_;
+  std::uint64_t total_messages_ = 0;
+};
+
+}  // namespace flash::gossip

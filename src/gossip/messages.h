@@ -1,0 +1,39 @@
+// Gossip messages for topology maintenance (paper §3.1 prerequisite).
+//
+// Offchain routing assumes every node locally stores the network topology
+// (without balances) and keeps it fresh through a gossip protocol, as the
+// Lightning and Raiden daemons do. Only channel existence is gossiped —
+// balances stay private and are discoverable only by probing, which is the
+// premise Flash's whole design rests on.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.h"
+
+namespace flash::gossip {
+
+enum class AnnouncementType : std::uint8_t {
+  kChannelOpen,
+  kChannelClose,
+};
+
+/// A flooded channel-state announcement. The (channel_seq) pair makes
+/// announcements idempotent and totally ordered per channel: a node adopts
+/// an announcement only if its sequence number is newer than what it holds.
+struct Announcement {
+  AnnouncementType type = AnnouncementType::kChannelOpen;
+  /// Endpoints of the channel (unordered pair; normalized u < v).
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  /// Per-channel monotone sequence number (on-chain funding/closing txs
+  /// give a natural total order in a real deployment).
+  std::uint64_t seq = 0;
+
+  /// Normalized identity of the channel this announcement concerns.
+  std::pair<NodeId, NodeId> channel() const {
+    return u < v ? std::pair{u, v} : std::pair{v, u};
+  }
+};
+
+}  // namespace flash::gossip

@@ -1,0 +1,61 @@
+#include "gossip/node_view.h"
+
+namespace flash::gossip {
+
+bool NodeView::apply(const Announcement& a) {
+  // Valid announcements carry seq >= 1; an unknown channel has seq 0.
+  const auto key = a.channel();
+  const auto it = channels_.find(key);
+  if (it != channels_.end() && a.seq <= it->second.seq) {
+    return false;  // stale or duplicate: do not re-flood
+  }
+  ChannelState& state = channels_[key];
+  state.seq = a.seq;
+  state.open = a.type == AnnouncementType::kChannelOpen;
+  return true;
+}
+
+std::size_t NodeView::open_channels() const {
+  std::size_t n = 0;
+  for (const auto& [key, state] : channels_) n += state.open;
+  return n;
+}
+
+bool NodeView::knows_channel(NodeId a, NodeId b) const {
+  const auto key = a < b ? std::pair{a, b} : std::pair{b, a};
+  const auto it = channels_.find(key);
+  return it != channels_.end() && it->second.open;
+}
+
+std::uint64_t NodeView::seq_of(NodeId a, NodeId b) const {
+  const auto key = a < b ? std::pair{a, b} : std::pair{b, a};
+  const auto it = channels_.find(key);
+  return it == channels_.end() ? 0 : it->second.seq;
+}
+
+Graph NodeView::to_graph(std::size_t num_nodes) const {
+  Graph g(num_nodes);
+  for (const auto& [key, state] : channels_) {
+    if (state.open && key.first < num_nodes && key.second < num_nodes) {
+      g.add_channel(key.first, key.second);
+    }
+  }
+  return g;
+}
+
+bool NodeView::agrees_with(const NodeView& other) const {
+  // Compare open-channel sets (closed/unknown are equivalent).
+  for (const auto& [key, state] : channels_) {
+    if (state.open != other.knows_channel(key.first, key.second)) {
+      return false;
+    }
+  }
+  for (const auto& [key, state] : other.channels_) {
+    if (state.open != knows_channel(key.first, key.second)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace flash::gossip

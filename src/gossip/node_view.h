@@ -1,0 +1,48 @@
+// A node's local view of the network topology, maintained by gossip.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "gossip/messages.h"
+#include "graph/graph.h"
+
+namespace flash::gossip {
+
+/// Per-node topology knowledge: the set of channels the node believes
+/// exist, with the latest sequence number seen per channel. Applying an
+/// announcement returns whether the view changed (i.e. whether the node
+/// should re-flood it to its neighbours).
+class NodeView {
+ public:
+  /// Applies an announcement. Returns true if it was news (newer seq than
+  /// anything seen for that channel), false if stale or duplicate.
+  bool apply(const Announcement& a);
+
+  /// Number of channels the node currently believes are open.
+  std::size_t open_channels() const;
+
+  /// True if the node believes a channel between a and b is open.
+  bool knows_channel(NodeId a, NodeId b) const;
+
+  /// Latest sequence number seen for a channel (0 if never heard of it).
+  std::uint64_t seq_of(NodeId a, NodeId b) const;
+
+  /// Materializes the believed topology as a Graph over `num_nodes` nodes
+  /// (only open channels are included). This is the graph a router would
+  /// be constructed with.
+  Graph to_graph(std::size_t num_nodes) const;
+
+  /// Views are equal when they agree on every channel's open/closed state.
+  bool agrees_with(const NodeView& other) const;
+
+ private:
+  struct ChannelState {
+    std::uint64_t seq = 0;
+    bool open = false;
+  };
+  std::map<std::pair<NodeId, NodeId>, ChannelState> channels_;
+};
+
+}  // namespace flash::gossip

@@ -1,0 +1,84 @@
+#include "graph/bfs.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace flash {
+
+namespace {
+
+/// Runs BFS from src, recording the discovering edge of each node.
+/// Stops early when `stop_at` is discovered (pass kInvalidNode to explore
+/// the full reachable set).
+std::vector<EdgeId> bfs_parents(const Graph& g, NodeId src, NodeId stop_at,
+                                const EdgeFilter& admit) {
+  std::vector<EdgeId> parent(g.num_nodes(), kInvalidEdge);
+  std::vector<char> seen(g.num_nodes(), 0);
+  std::deque<NodeId> queue;
+  seen[src] = 1;
+  queue.push_back(src);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (EdgeId e : g.out_edges(u)) {
+      const NodeId v = g.to(e);
+      if (seen[v]) continue;
+      if (admit && !admit(e)) continue;
+      seen[v] = 1;
+      parent[v] = e;
+      if (v == stop_at) return parent;
+      queue.push_back(v);
+    }
+  }
+  return parent;
+}
+
+}  // namespace
+
+Path bfs_path(const Graph& g, NodeId s, NodeId t, const EdgeFilter& admit) {
+  if (s == t) return {};
+  const auto parent = bfs_parents(g, s, t, admit);
+  if (parent[t] == kInvalidEdge) return {};
+  Path path;
+  NodeId cur = t;
+  while (cur != s) {
+    const EdgeId e = parent[cur];
+    path.push_back(e);
+    cur = g.from(e);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId src,
+                                         const EdgeFilter& admit) {
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::deque<NodeId> queue;
+  dist[src] = 0;
+  queue.push_back(src);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (EdgeId e : g.out_edges(u)) {
+      const NodeId v = g.to(e);
+      if (dist[v] != kUnreachable) continue;
+      if (admit && !admit(e)) continue;
+      dist[v] = dist[u] + 1;
+      queue.push_back(v);
+    }
+  }
+  return dist;
+}
+
+std::vector<EdgeId> bfs_tree(const Graph& g, NodeId src,
+                             const EdgeFilter& admit) {
+  return bfs_parents(g, src, kInvalidNode, admit);
+}
+
+bool reachable(const Graph& g, NodeId s, NodeId t, const EdgeFilter& admit) {
+  if (s == t) return true;
+  const auto parent = bfs_parents(g, s, t, admit);
+  return parent[t] != kInvalidEdge;
+}
+
+}  // namespace flash

@@ -1,0 +1,39 @@
+// Breadth-first search primitives.
+//
+// BFS over admissible edges is the path-discovery core of the paper's
+// Algorithm 1 ("Breath-First-Search(G, C', s, t)"): Flash repeatedly finds a
+// fewest-hops path whose residual capacity is non-zero.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace flash {
+
+/// Predicate deciding whether a directed edge may be traversed.
+using EdgeFilter = std::function<bool(EdgeId)>;
+
+/// Fewest-hops path from s to t using only edges accepted by `admit`
+/// (all edges if `admit` is empty). Returns an empty path if t is
+/// unreachable (note: s == t also yields an empty path, which is a valid
+/// zero-length path in that case).
+Path bfs_path(const Graph& g, NodeId s, NodeId t, const EdgeFilter& admit = {});
+
+/// Hop distance from src to every node (kUnreachable if not reachable).
+inline constexpr std::uint32_t kUnreachable = 0xffffffffu;
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId src,
+                                         const EdgeFilter& admit = {});
+
+/// BFS spanning tree rooted at src: parent edge of each node
+/// (kInvalidEdge for src and unreachable nodes). The parent edge of v is the
+/// directed edge parent(v) -> v used when v was first discovered.
+std::vector<EdgeId> bfs_tree(const Graph& g, NodeId src,
+                             const EdgeFilter& admit = {});
+
+/// True if t is reachable from s over admissible edges.
+bool reachable(const Graph& g, NodeId s, NodeId t, const EdgeFilter& admit = {});
+
+}  // namespace flash

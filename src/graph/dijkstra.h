@@ -1,0 +1,40 @@
+// Weighted shortest path (Dijkstra) with pluggable edge weights.
+//
+// Used by Yen's k-shortest-paths and by routers that weight hops by fees.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace flash {
+
+/// Non-negative weight of a directed edge. Return `kEdgeBanned` to exclude
+/// an edge entirely.
+using EdgeWeight = std::function<double(EdgeId)>;
+
+inline constexpr double kEdgeBanned = std::numeric_limits<double>::infinity();
+
+/// Result of a single-pair shortest path query.
+struct DijkstraResult {
+  Path path;          // empty when t unreachable (or s == t)
+  double distance =   // +inf when unreachable; 0 when s == t
+      std::numeric_limits<double>::infinity();
+  bool found = false;
+};
+
+/// Shortest s->t path under `weight` (unit weights if empty).
+/// Additional `banned_nodes[v] != 0` excludes v from interior use
+/// (needed by Yen's spur computation); may be empty.
+DijkstraResult dijkstra(const Graph& g, NodeId s, NodeId t,
+                        const EdgeWeight& weight = {},
+                        const std::vector<char>& banned_nodes = {});
+
+/// Distances from src to all nodes (no target, no bans).
+std::vector<double> dijkstra_distances(const Graph& g, NodeId src,
+                                       const EdgeWeight& weight = {});
+
+}  // namespace flash

@@ -1,0 +1,24 @@
+// k edge-disjoint shortest paths.
+//
+// Spider routes every payment over 4 edge-disjoint shortest paths
+// (paper §4.1); the paths are found greedily: repeatedly take a fewest-hops
+// path and remove its edges. Figure 5(b) of the paper discusses why
+// edge-disjointness is not always ideal — which is exactly the behaviour
+// this module lets the benchmarks demonstrate.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace flash {
+
+/// Up to k pairwise edge-disjoint s->t paths, each a fewest-hops path in the
+/// graph remaining after removing the previously chosen paths' edges.
+/// Only the traversed direction of a channel is removed; the reverse
+/// direction stays available (channel directions have independent balances).
+std::vector<Path> edge_disjoint_shortest_paths(const Graph& g, NodeId s,
+                                               NodeId t, std::size_t k);
+
+}  // namespace flash

@@ -1,0 +1,81 @@
+// Directed multigraph representing a payment-channel network topology.
+//
+// A payment channel between u and v is bidirectional (funds can flow either
+// way, with independent balances per direction, see paper §3.1), so each
+// channel is stored as a pair of directed edges that know each other as
+// `reverse`. The graph holds topology only; balances live in
+// ledger::NetworkState, mirroring the paper's premise that nodes know the
+// topology but not the (dynamic) channel balances.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace flash {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates a graph with n isolated nodes.
+  explicit Graph(std::size_t n) : out_(n) {}
+
+  /// Appends a new node, returning its id.
+  NodeId add_node();
+
+  /// Adds a bidirectional payment channel between u and v.
+  ///
+  /// Returns the id of the directed edge u->v; the paired edge v->u is
+  /// always `reverse(returned_id)`. Parallel channels are allowed.
+  /// Precondition: u != v and both are valid node ids.
+  EdgeId add_channel(NodeId u, NodeId v);
+
+  std::size_t num_nodes() const noexcept { return out_.size(); }
+
+  /// Number of *directed* edges (= 2 x number of channels).
+  std::size_t num_edges() const noexcept { return from_.size(); }
+
+  std::size_t num_channels() const noexcept { return from_.size() / 2; }
+
+  NodeId from(EdgeId e) const { return from_[e]; }
+  NodeId to(EdgeId e) const { return to_[e]; }
+
+  /// The directed edge in the opposite direction of the same channel.
+  EdgeId reverse(EdgeId e) const noexcept { return e ^ 1u; }
+
+  /// Channel index of a directed edge (both directions map to the same).
+  std::size_t channel_of(EdgeId e) const noexcept { return e >> 1; }
+
+  /// Directed edge ids of channel c: (forward, backward).
+  EdgeId channel_forward_edge(std::size_t c) const {
+    return static_cast<EdgeId>(c << 1);
+  }
+
+  /// Outgoing directed edges of a node.
+  std::span<const EdgeId> out_edges(NodeId u) const {
+    return out_[u];
+  }
+
+  std::size_t out_degree(NodeId u) const { return out_[u].size(); }
+
+  /// True if a directed path's endpoints/adjacency are consistent with this
+  /// graph and it starts at s. Used for validation in tests and debug builds.
+  bool is_valid_path(const Path& path, NodeId s) const;
+
+  /// Node sequence visited by `path` starting at s (s included).
+  std::vector<NodeId> path_nodes(const Path& path, NodeId s) const;
+
+  /// Human-readable "s -> a -> b -> t" rendering of a path.
+  std::string format_path(const Path& path, NodeId s) const;
+
+ private:
+  std::vector<NodeId> from_;
+  std::vector<NodeId> to_;
+  std::vector<std::vector<EdgeId>> out_;
+};
+
+}  // namespace flash

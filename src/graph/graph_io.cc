@@ -1,0 +1,79 @@
+#include "graph/graph_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace flash {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << "# flash edge list: one channel per line (u,v)\n";
+  os << "nodes," << g.num_nodes() << "\n";
+  for (std::size_t c = 0; c < g.num_channels(); ++c) {
+    const EdgeId e = g.channel_forward_edge(c);
+    os << g.from(e) << ',' << g.to(e) << '\n';
+  }
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::vector<std::pair<NodeId, NodeId>> channels;
+  std::size_t declared_nodes = 0;
+  NodeId max_id = 0;
+  bool any = false;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::string_view sv = trim(line);
+    if (sv.empty() || sv.front() == '#') continue;
+    const auto fields = split(sv, ',');
+    if (fields.size() == 2 && trim(fields[0]) == "nodes") {
+      const auto n = parse_uint(fields[1]);
+      if (!n) {
+        throw std::runtime_error("edge list line " + std::to_string(lineno) +
+                                 ": bad node count");
+      }
+      declared_nodes = *n;
+      continue;
+    }
+    if (fields.size() < 2) {
+      throw std::runtime_error("edge list line " + std::to_string(lineno) +
+                               ": expected u,v");
+    }
+    const auto u = parse_uint(fields[0]);
+    const auto v = parse_uint(fields[1]);
+    if (!u || !v) {
+      throw std::runtime_error("edge list line " + std::to_string(lineno) +
+                               ": bad node id");
+    }
+    const auto un = static_cast<NodeId>(*u);
+    const auto vn = static_cast<NodeId>(*v);
+    channels.emplace_back(un, vn);
+    max_id = std::max({max_id, un, vn});
+    any = true;
+  }
+  const std::size_t n =
+      std::max(declared_nodes, any ? static_cast<std::size_t>(max_id) + 1
+                                   : declared_nodes);
+  Graph g(n);
+  for (auto [u, v] : channels) g.add_channel(u, v);
+  return g;
+}
+
+void save_edge_list(const std::string& path, const Graph& g) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  write_edge_list(os, g);
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+Graph load_edge_list(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  return read_edge_list(is);
+}
+
+}  // namespace flash

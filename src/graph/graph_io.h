@@ -1,0 +1,26 @@
+// Edge-list serialization of topologies.
+//
+// Format (one channel per line, '#' comments allowed):
+//   u,v
+// Node count is max id + 1 unless a "nodes,<n>" header line raises it.
+// This matches the simple CSV crawls released with the paper's artifact.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace flash {
+
+/// Writes `g` as an edge list.
+void write_edge_list(std::ostream& os, const Graph& g);
+
+/// Parses an edge list. Throws std::runtime_error on malformed input.
+Graph read_edge_list(std::istream& is);
+
+/// Convenience file wrappers; throw std::runtime_error on I/O failure.
+void save_edge_list(const std::string& path, const Graph& g);
+Graph load_edge_list(const std::string& path);
+
+}  // namespace flash

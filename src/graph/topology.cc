@@ -1,0 +1,265 @@
+#include "graph/topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/bfs.h"
+
+namespace flash {
+
+namespace {
+
+/// Tracks existing undirected pairs to avoid duplicate channels.
+class PairSet {
+ public:
+  bool insert(NodeId u, NodeId v) {
+    if (u > v) std::swap(u, v);
+    return pairs_.emplace(u, v).second;
+  }
+  bool contains(NodeId u, NodeId v) const {
+    if (u > v) std::swap(u, v);
+    return pairs_.count({u, v}) != 0;
+  }
+
+ private:
+  std::set<std::pair<NodeId, NodeId>> pairs_;
+};
+
+}  // namespace
+
+Graph watts_strogatz(std::size_t n, std::size_t k_neighbors, double beta,
+                     Rng& rng) {
+  if (n <= k_neighbors || k_neighbors < 2) {
+    throw std::invalid_argument("watts_strogatz: need n > k_neighbors >= 2");
+  }
+  const std::size_t half = k_neighbors / 2;
+  Graph g(n);
+  PairSet pairs;
+
+  // Ring lattice: each node connects to its `half` clockwise neighbours.
+  struct Lattice {
+    NodeId u, v;
+  };
+  std::vector<Lattice> lattice;
+  lattice.reserve(n * half);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 1; j <= half; ++j) {
+      lattice.push_back({static_cast<NodeId>(i),
+                         static_cast<NodeId>((i + j) % n)});
+    }
+  }
+  // Rewire the far endpoint with probability beta.
+  for (auto& e : lattice) {
+    NodeId u = e.u;
+    NodeId v = e.v;
+    if (rng.chance(beta)) {
+      // Pick a fresh endpoint; fall back to the lattice neighbour when the
+      // node is already saturated.
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const auto w = static_cast<NodeId>(rng.next_below(n));
+        if (w != u && !pairs.contains(u, w)) {
+          v = w;
+          break;
+        }
+      }
+    }
+    if (u != v && pairs.insert(u, v)) g.add_channel(u, v);
+  }
+  return g;
+}
+
+Graph barabasi_albert(std::size_t n, std::size_t m_attach, Rng& rng) {
+  if (m_attach < 1 || n <= m_attach) {
+    throw std::invalid_argument("barabasi_albert: need n > m_attach >= 1");
+  }
+  Graph g(n);
+  PairSet pairs;
+  // Repeated-endpoint list implements preferential attachment: nodes appear
+  // once per incident channel, so sampling the list is degree-proportional.
+  std::vector<NodeId> endpoints;
+
+  // Seed: a clique over the first m_attach + 1 nodes keeps early sampling
+  // well-defined and the graph connected.
+  const std::size_t seed = m_attach + 1;
+  for (std::size_t i = 0; i < seed; ++i) {
+    for (std::size_t j = i + 1; j < seed; ++j) {
+      const auto u = static_cast<NodeId>(i);
+      const auto v = static_cast<NodeId>(j);
+      pairs.insert(u, v);
+      g.add_channel(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (std::size_t i = seed; i < n; ++i) {
+    const auto u = static_cast<NodeId>(i);
+    std::size_t added = 0;
+    std::size_t attempts = 0;
+    while (added < m_attach && attempts < 64 * m_attach) {
+      ++attempts;
+      const NodeId v = endpoints[rng.next_below(endpoints.size())];
+      if (v == u || pairs.contains(u, v)) continue;
+      pairs.insert(u, v);
+      g.add_channel(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+      ++added;
+    }
+  }
+  return g;
+}
+
+Graph erdos_renyi(std::size_t n, std::size_t channels, Rng& rng) {
+  if (n < 2) throw std::invalid_argument("erdos_renyi: need n >= 2");
+  const std::size_t max_channels = n * (n - 1) / 2;
+  if (channels > max_channels) {
+    throw std::invalid_argument("erdos_renyi: too many channels requested");
+  }
+  Graph g(n);
+  PairSet pairs;
+  std::size_t added = 0;
+  while (added < channels) {
+    const auto u = static_cast<NodeId>(rng.next_below(n));
+    const auto v = static_cast<NodeId>(rng.next_below(n));
+    if (u == v || !pairs.insert(u, v)) continue;
+    g.add_channel(u, v);
+    ++added;
+  }
+  return g;
+}
+
+Graph scale_free(std::size_t n, std::size_t channels, Rng& rng) {
+  if (n < 2 || channels + 1 < n) {
+    throw std::invalid_argument("scale_free: need channels >= n - 1");
+  }
+  // Start from a BA graph whose attach count approximates the target mean
+  // degree, then add preferential extras (or stop early) to hit the exact
+  // channel count.
+  std::size_t m_attach = std::max<std::size_t>(1, channels / n);
+  m_attach = std::min(m_attach, n - 1);
+  Graph ba = barabasi_albert(n, m_attach, rng);
+
+  // Rebuild, tracking pairs, so we can top up to the exact count.
+  Graph g(n);
+  PairSet pairs;
+  std::vector<NodeId> endpoints;
+  std::size_t added = 0;
+  for (std::size_t c = 0; c < ba.num_channels() && added < channels; ++c) {
+    const EdgeId e = ba.channel_forward_edge(c);
+    const NodeId u = ba.from(e);
+    const NodeId v = ba.to(e);
+    if (!pairs.insert(u, v)) continue;
+    g.add_channel(u, v);
+    endpoints.push_back(u);
+    endpoints.push_back(v);
+    ++added;
+  }
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 256 * channels;
+  while (added < channels && attempts < max_attempts) {
+    ++attempts;
+    // One endpoint preferential, the other uniform: keeps the degree
+    // distribution heavy-tailed, like the hub-dominated PCN crawls.
+    const NodeId u = endpoints[rng.next_below(endpoints.size())];
+    const auto v = static_cast<NodeId>(rng.next_below(n));
+    if (u == v || !pairs.insert(u, v)) continue;
+    g.add_channel(u, v);
+    endpoints.push_back(u);
+    endpoints.push_back(v);
+    ++added;
+  }
+  if (added < channels) {
+    throw std::runtime_error("scale_free: could not place requested channels");
+  }
+  return g;
+}
+
+Graph ripple_like(Rng& rng) { return scale_free(1870, 8708, rng); }
+
+Graph lightning_like(Rng& rng) { return scale_free(2511, 36016, rng); }
+
+Graph ring_graph(std::size_t n) {
+  assert(n >= 3);
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_channel(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n));
+  }
+  return g;
+}
+
+Graph line_graph(std::size_t n) {
+  assert(n >= 2);
+  Graph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    g.add_channel(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  }
+  return g;
+}
+
+Graph star_graph(std::size_t leaves) {
+  assert(leaves >= 1);
+  Graph g(leaves + 1);
+  for (std::size_t i = 1; i <= leaves; ++i) {
+    g.add_channel(0, static_cast<NodeId>(i));
+  }
+  return g;
+}
+
+Graph complete_graph(std::size_t n) {
+  assert(n >= 2);
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      g.add_channel(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    }
+  }
+  return g;
+}
+
+Graph prune_low_degree(const Graph& g, std::size_t min_degree,
+                       std::vector<NodeId>* old_to_new) {
+  // Iteratively drop nodes whose count of *distinct* live neighbours is
+  // below the threshold.
+  std::vector<char> alive(g.num_nodes(), 1);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (!alive[u]) continue;
+      std::set<NodeId> nbrs;
+      for (EdgeId e : g.out_edges(u)) {
+        const NodeId v = g.to(e);
+        if (alive[v]) nbrs.insert(v);
+      }
+      if (nbrs.size() < min_degree) {
+        alive[u] = 0;
+        changed = true;
+      }
+    }
+  }
+  std::vector<NodeId> mapping(g.num_nodes(), kInvalidNode);
+  Graph out;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (alive[u]) mapping[u] = out.add_node();
+  }
+  for (std::size_t c = 0; c < g.num_channels(); ++c) {
+    const EdgeId e = g.channel_forward_edge(c);
+    const NodeId u = g.from(e);
+    const NodeId v = g.to(e);
+    if (alive[u] && alive[v]) out.add_channel(mapping[u], mapping[v]);
+  }
+  if (old_to_new) *old_to_new = std::move(mapping);
+  return out;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() == 0) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == kUnreachable; });
+}
+
+}  // namespace flash

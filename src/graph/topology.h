@@ -1,0 +1,62 @@
+// Topology generators for offchain-network experiments.
+//
+// The paper evaluates on a pruned Ripple crawl (1,870 nodes / 17,416 edges),
+// a Lightning snapshot (2,511 nodes / 36,016 channels) and Watts-Strogatz
+// graphs for the testbed (§4.1, §5.2). The real crawls are not available
+// offline, so `ripple_like` / `lightning_like` build scale-free graphs with
+// matched node and channel counts (see DESIGN.md "Substitutions").
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace flash {
+
+/// Watts-Strogatz small-world graph: ring lattice with `k_neighbors`
+/// (rounded down to even) neighbours per node, each lattice edge rewired
+/// with probability beta. Self-loops and duplicate channels are avoided.
+/// Precondition: n > k_neighbors >= 2.
+Graph watts_strogatz(std::size_t n, std::size_t k_neighbors, double beta,
+                     Rng& rng);
+
+/// Barabasi-Albert preferential attachment: each new node attaches
+/// `m_attach` channels to existing nodes with probability proportional to
+/// degree. Precondition: n > m_attach >= 1.
+Graph barabasi_albert(std::size_t n, std::size_t m_attach, Rng& rng);
+
+/// Erdos-Renyi G(n, M): exactly `channels` distinct random channels.
+Graph erdos_renyi(std::size_t n, std::size_t channels, Rng& rng);
+
+/// Scale-free graph with exactly `channels` channels: Barabasi-Albert core
+/// plus preferential extra edges until the target count is reached.
+/// Precondition: channels >= n - 1.
+Graph scale_free(std::size_t n, std::size_t channels, Rng& rng);
+
+/// Ripple-like topology: 1,870 nodes, 8,708 channels (the paper's 17,416
+/// directed edges), scale-free.
+Graph ripple_like(Rng& rng);
+
+/// Lightning-like topology: 2,511 nodes, 36,016 channels, scale-free.
+Graph lightning_like(Rng& rng);
+
+/// Simple deterministic shapes for unit tests.
+Graph ring_graph(std::size_t n);
+Graph line_graph(std::size_t n);
+Graph star_graph(std::size_t leaves);
+Graph complete_graph(std::size_t n);
+
+/// Rebuilds the graph keeping only channels that survive iterative removal
+/// of nodes with fewer than `min_degree` distinct neighbours, mimicking the
+/// paper's preprocessing ("we remove nodes with only a single neighbor";
+/// use min_degree = 2). Node ids are compacted; `old_to_new` (optional out)
+/// receives the mapping (kInvalidNode for dropped nodes).
+Graph prune_low_degree(const Graph& g, std::size_t min_degree,
+                       std::vector<NodeId>* old_to_new = nullptr);
+
+/// True if the undirected topology is connected (ignoring isolated graphs
+/// with zero nodes, which count as connected).
+bool is_connected(const Graph& g);
+
+}  // namespace flash

@@ -1,0 +1,30 @@
+// Fundamental identifier types for the payment-channel network graph.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace flash {
+
+/// Dense node index in [0, Graph::num_nodes()).
+using NodeId = std::uint32_t;
+
+/// Dense directed-edge index in [0, Graph::num_edges()).
+/// A payment channel contributes two directed edges (one per direction).
+using EdgeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/// A path is the sequence of directed edges traversed from sender to
+/// receiver. Edge sequences (rather than node sequences) are unambiguous in
+/// the presence of parallel channels between the same pair of nodes.
+using Path = std::vector<EdgeId>;
+
+/// Monetary amount. The unit is workload-defined (USD for Ripple-style
+/// workloads, satoshi for Bitcoin/Lightning-style ones); doubles carry both
+/// comfortably at the scales the paper uses.
+using Amount = double;
+
+}  // namespace flash

@@ -1,0 +1,23 @@
+// Yen's k shortest loopless paths.
+//
+// Flash's mice routing table stores the top-m shortest paths per receiver,
+// computed with Yen's algorithm on the local topology (paper §3.3).
+#pragma once
+
+#include <vector>
+
+#include "graph/dijkstra.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace flash {
+
+/// Up to k loopless shortest paths from s to t ordered by increasing cost
+/// (hop count when `weight` is empty; ties broken deterministically by the
+/// candidate-generation order). Fewer than k paths are returned when the
+/// graph does not contain k distinct loopless paths.
+std::vector<Path> yen_k_shortest_paths(const Graph& g, NodeId s, NodeId t,
+                                       std::size_t k,
+                                       const EdgeWeight& weight = {});
+
+}  // namespace flash

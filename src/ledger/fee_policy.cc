@@ -1,0 +1,29 @@
+#include "ledger/fee_policy.h"
+
+namespace flash {
+
+FeeSchedule FeeSchedule::paper_default(const Graph& g, Rng& rng) {
+  FeeSchedule s(g);
+  for (std::size_t c = 0; c < g.num_channels(); ++c) {
+    const double rate = rng.chance(0.9) ? rng.uniform(0.001, 0.01)
+                                        : rng.uniform(0.01, 0.10);
+    const EdgeId fwd = g.channel_forward_edge(c);
+    s.policies_[fwd] = FeePolicy{0, rate};
+    s.policies_[g.reverse(fwd)] = FeePolicy{0, rate};
+  }
+  return s;
+}
+
+Amount FeeSchedule::path_fee(const Path& path, Amount amount) const {
+  Amount total = 0;
+  for (EdgeId e : path) total += edge_fee(e, amount);
+  return total;
+}
+
+double FeeSchedule::path_rate(const Path& path) const {
+  double total = 0;
+  for (EdgeId e : path) total += policies_.at(e).rate;
+  return total;
+}
+
+}  // namespace flash

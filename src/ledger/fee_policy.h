@@ -1,0 +1,60 @@
+// Transaction-fee model for payment channels.
+//
+// Intermediate nodes collect fees for relaying payments (paper §3.2). In
+// practice the charging function is linear: a fixed base fee plus a
+// volume-proportional component; the paper's evaluation (§4.3) uses purely
+// proportional fees, with 90 % of channels charging U[0.1 %, 1 %] and 10 %
+// charging U[1 %, 10 %] of the relayed volume.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/rng.h"
+
+namespace flash {
+
+/// Linear fee: fee(amount) = base + rate * amount.
+struct FeePolicy {
+  Amount base = 0;
+  double rate = 0;
+
+  Amount fee(Amount amount) const noexcept { return base + rate * amount; }
+};
+
+/// Per-directed-edge fee policies for a whole network.
+class FeeSchedule {
+ public:
+  FeeSchedule() = default;
+
+  /// Zero fees on every directed edge of g.
+  explicit FeeSchedule(const Graph& g) : policies_(g.num_edges()) {}
+
+  /// The paper's evaluation setup: each *channel* draws one proportional
+  /// rate, applied to both directions; 90 % of channels draw the rate from
+  /// U[0.1 %, 1 %] and the rest from U[1 %, 10 %] (§4.3).
+  static FeeSchedule paper_default(const Graph& g, Rng& rng);
+
+  const FeePolicy& policy(EdgeId e) const { return policies_.at(e); }
+  void set_policy(EdgeId e, FeePolicy p) { policies_.at(e) = p; }
+
+  /// Fee charged for relaying `amount` across directed edge e.
+  Amount edge_fee(EdgeId e, Amount amount) const {
+    return policies_.at(e).fee(amount);
+  }
+
+  /// Total fee for sending `amount` along every edge of `path`.
+  Amount path_fee(const Path& path, Amount amount) const;
+
+  /// Sum of proportional rates along a path (the LP objective coefficient).
+  double path_rate(const Path& path) const;
+
+  std::size_t size() const noexcept { return policies_.size(); }
+  bool empty() const noexcept { return policies_.empty(); }
+
+ private:
+  std::vector<FeePolicy> policies_;
+};
+
+}  // namespace flash

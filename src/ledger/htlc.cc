@@ -1,0 +1,44 @@
+#include "ledger/htlc.h"
+
+#include <stdexcept>
+
+namespace flash {
+
+AtomicPayment::~AtomicPayment() {
+  if (!settled_) abort();
+}
+
+bool AtomicPayment::add_part(const Path& path, Amount amount) {
+  if (settled_) throw std::logic_error("add_part after settle");
+  const auto id = state_->hold(path, amount);
+  if (!id) return false;
+  holds_.push_back(*id);
+  held_amount_ += amount;
+  return true;
+}
+
+bool AtomicPayment::add_flow(std::span<const EdgeAmount> edge_amounts,
+                             Amount amount) {
+  if (settled_) throw std::logic_error("add_flow after settle");
+  const auto id = state_->hold_flow(edge_amounts);
+  if (!id) return false;
+  holds_.push_back(*id);
+  held_amount_ += amount;
+  return true;
+}
+
+void AtomicPayment::commit() {
+  if (settled_) throw std::logic_error("double settle");
+  for (HoldId id : holds_) state_->commit(id);
+  settled_ = true;
+}
+
+void AtomicPayment::abort() {
+  if (settled_) return;
+  for (HoldId id : holds_) state_->abort(id);
+  holds_.clear();
+  held_amount_ = 0;
+  settled_ = true;
+}
+
+}  // namespace flash

@@ -1,0 +1,57 @@
+// Atomic multipath payment (AMP) coordination over the ledger.
+//
+// The paper assumes multipath atomicity is provided by AMP on top of HTLC
+// (§3.1): the receiver either receives all partial payments or none. This
+// class realizes that contract against NetworkState: partial payments are
+// *held* as they are placed; the payment as a whole is then committed or
+// aborted. Destruction before commit() aborts everything (strong exception
+// safety for routers).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ledger/network_state.h"
+
+namespace flash {
+
+class AtomicPayment {
+ public:
+  explicit AtomicPayment(NetworkState& state) : state_(&state) {}
+
+  AtomicPayment(const AtomicPayment&) = delete;
+  AtomicPayment& operator=(const AtomicPayment&) = delete;
+  AtomicPayment(AtomicPayment&&) = delete;
+  AtomicPayment& operator=(AtomicPayment&&) = delete;
+
+  /// Aborts all held parts unless the payment was committed.
+  ~AtomicPayment();
+
+  /// Tries to hold `amount` along `path`. Returns false (holding nothing
+  /// new) if the path cannot carry the amount.
+  bool add_part(const Path& path, Amount amount);
+
+  /// Tries to hold a flow (per-edge amounts, e.g. the netted result of an
+  /// LP split). `amount` is the end-to-end value it represents, counted in
+  /// held_amount() on success.
+  bool add_flow(std::span<const EdgeAmount> edge_amounts, Amount amount);
+
+  /// Total end-to-end amount held so far across all parts.
+  Amount held_amount() const noexcept { return held_amount_; }
+
+  std::size_t parts() const noexcept { return holds_.size(); }
+
+  /// Commits every part. May be called once; no further add_part allowed.
+  void commit();
+
+  /// Aborts every part explicitly (idempotent; also done by destructor).
+  void abort();
+
+ private:
+  NetworkState* state_;
+  std::vector<HoldId> holds_;
+  Amount held_amount_ = 0;
+  bool settled_ = false;  // committed or aborted
+};
+
+}  // namespace flash

@@ -1,0 +1,245 @@
+#include "ledger/network_state.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace flash {
+
+namespace {
+constexpr Amount kEps = 1e-6;
+}
+
+NetworkState::NetworkState(const Graph& g)
+    : graph_(&g),
+      balance_(g.num_edges(), 0),
+      deposit_(g.num_channels(), 0) {}
+
+void NetworkState::set_balance(EdgeId e, Amount amount) {
+  if (amount < 0) throw std::invalid_argument("negative balance");
+  balance_.at(e) = amount;
+  recompute_deposits();
+}
+
+void NetworkState::assign_uniform_split(Amount lo, Amount hi, Rng& rng) {
+  for (std::size_t c = 0; c < graph_->num_channels(); ++c) {
+    const Amount cap = rng.uniform(lo, hi);
+    const EdgeId fwd = graph_->channel_forward_edge(c);
+    balance_[fwd] = cap / 2;
+    balance_[graph_->reverse(fwd)] = cap / 2;
+  }
+  recompute_deposits();
+}
+
+void NetworkState::assign_uniform_skewed(Amount lo, Amount hi, double skew_lo,
+                                         double skew_hi, Rng& rng) {
+  if (skew_lo < 0 || skew_hi > 1 || skew_lo > skew_hi) {
+    throw std::invalid_argument("assign_uniform_skewed: bad skew range");
+  }
+  for (std::size_t c = 0; c < graph_->num_channels(); ++c) {
+    const Amount cap = rng.uniform(lo, hi);
+    const double f = rng.uniform(skew_lo, skew_hi);
+    const EdgeId fwd = graph_->channel_forward_edge(c);
+    balance_[fwd] = cap * f;
+    balance_[graph_->reverse(fwd)] = cap * (1 - f);
+  }
+  recompute_deposits();
+}
+
+void NetworkState::assign_lognormal_split(Amount median, double sigma,
+                                          Rng& rng) {
+  if (median <= 0) throw std::invalid_argument("median must be positive");
+  const double mu = std::log(median);
+  for (std::size_t c = 0; c < graph_->num_channels(); ++c) {
+    const Amount cap = rng.lognormal(mu, sigma);
+    const EdgeId fwd = graph_->channel_forward_edge(c);
+    balance_[fwd] = cap / 2;
+    balance_[graph_->reverse(fwd)] = cap / 2;
+  }
+  recompute_deposits();
+}
+
+void NetworkState::assign_lognormal_degree_weighted(Amount median,
+                                                    double sigma, Rng& rng) {
+  if (median <= 0) throw std::invalid_argument("median must be positive");
+  double avg_degree = 0;
+  for (NodeId v = 0; v < graph_->num_nodes(); ++v) {
+    avg_degree += static_cast<double>(graph_->out_degree(v));
+  }
+  avg_degree /= std::max<double>(1.0, static_cast<double>(graph_->num_nodes()));
+  const double mu = std::log(median);
+  for (std::size_t c = 0; c < graph_->num_channels(); ++c) {
+    const EdgeId fwd = graph_->channel_forward_edge(c);
+    const double du = static_cast<double>(graph_->out_degree(graph_->from(fwd)));
+    const double dv = static_cast<double>(graph_->out_degree(graph_->to(fwd)));
+    const double weight = std::sqrt(du * dv) / std::max(avg_degree, 1.0);
+    const Amount cap = rng.lognormal(mu, sigma) * weight;
+    balance_[fwd] = cap / 2;
+    balance_[graph_->reverse(fwd)] = cap / 2;
+  }
+  recompute_deposits();
+}
+
+void NetworkState::scale_all(double factor) {
+  if (factor <= 0) throw std::invalid_argument("scale factor must be > 0");
+  if (active_holds_ != 0) {
+    throw std::logic_error("scale_all with holds in flight");
+  }
+  for (auto& b : balance_) b *= factor;
+  recompute_deposits();
+}
+
+Amount NetworkState::channel_deposit(EdgeId e) const {
+  return deposit_.at(graph_->channel_of(e));
+}
+
+Amount NetworkState::total_balance() const {
+  Amount total = 0;
+  for (Amount b : balance_) total += b;
+  return total;
+}
+
+Amount NetworkState::total_held() const {
+  Amount total = 0;
+  for (const auto& h : holds_) {
+    if (!h.active) continue;
+    for (const auto& [e, amt] : h.parts) total += amt;
+  }
+  return total;
+}
+
+Amount NetworkState::path_bottleneck(const Path& path) const {
+  if (path.empty()) return 0;
+  Amount bn = balance_.at(path.front());
+  for (EdgeId e : path) bn = std::min(bn, balance_.at(e));
+  return bn;
+}
+
+bool NetworkState::path_can_carry(const Path& path, Amount amount) const {
+  for (EdgeId e : path) {
+    if (balance_.at(e) + kEps < amount) return false;
+  }
+  return true;
+}
+
+std::vector<Amount> NetworkState::probe_path(const Path& path) {
+  probe_messages_ += 2 * path.size();  // PROBE forward + PROBE_ACK back
+  std::vector<Amount> out;
+  out.reserve(path.size());
+  for (EdgeId e : path) out.push_back(balance_.at(e));
+  return out;
+}
+
+std::optional<HoldId> NetworkState::hold(const Path& path, Amount amount) {
+  if (amount <= 0 || path.empty()) {
+    throw std::invalid_argument("hold: need positive amount, non-empty path");
+  }
+  std::vector<EdgeAmount> parts;
+  parts.reserve(path.size());
+  for (EdgeId e : path) parts.emplace_back(e, amount);
+  return hold_flow(parts);
+}
+
+std::optional<HoldId> NetworkState::hold_flow(
+    std::span<const EdgeAmount> edge_amounts) {
+  // Aggregate duplicates so the feasibility check is exact.
+  std::vector<EdgeAmount> parts(edge_amounts.begin(), edge_amounts.end());
+  std::erase_if(parts, [](const EdgeAmount& ea) { return ea.second <= 0; });
+  if (parts.empty()) return std::nullopt;
+  std::sort(parts.begin(), parts.end());
+  std::vector<EdgeAmount> agg;
+  agg.reserve(parts.size());
+  for (const auto& [e, amt] : parts) {
+    if (!agg.empty() && agg.back().first == e) {
+      agg.back().second += amt;
+    } else {
+      agg.emplace_back(e, amt);
+    }
+  }
+  for (const auto& [e, amt] : agg) {
+    if (e >= graph_->num_edges()) {
+      throw std::out_of_range("hold_flow: bad edge id");
+    }
+    if (balance_[e] + kEps < amt) return std::nullopt;
+  }
+  for (const auto& [e, amt] : agg) {
+    balance_[e] = std::max<Amount>(0, balance_[e] - amt);
+  }
+  holds_.push_back({std::move(agg), true});
+  ++active_holds_;
+  return static_cast<HoldId>(holds_.size() - 1);
+}
+
+void NetworkState::commit(HoldId id) {
+  HoldRecord& h = holds_.at(id);
+  if (!h.active) throw std::logic_error("commit: hold not active");
+  for (const auto& [e, amt] : h.parts) {
+    balance_[graph_->reverse(e)] += amt;
+  }
+  h.active = false;
+  --active_holds_;
+}
+
+void NetworkState::abort(HoldId id) {
+  HoldRecord& h = holds_.at(id);
+  if (!h.active) throw std::logic_error("abort: hold not active");
+  for (const auto& [e, amt] : h.parts) {
+    balance_[e] += amt;
+  }
+  h.active = false;
+  --active_holds_;
+}
+
+bool NetworkState::check_invariants(std::size_t* bad_channel) const {
+  // held[e] = sum of active hold amounts on e.
+  std::vector<Amount> held(graph_->num_edges(), 0);
+  for (const auto& h : holds_) {
+    if (!h.active) continue;
+    for (const auto& [e, amt] : h.parts) held[e] += amt;
+  }
+  for (std::size_t c = 0; c < graph_->num_channels(); ++c) {
+    const EdgeId fwd = graph_->channel_forward_edge(c);
+    const EdgeId bwd = graph_->reverse(fwd);
+    const Amount sum = balance_[fwd] + balance_[bwd] + held[fwd] + held[bwd];
+    const Amount tolerance =
+        1e-4 * std::max<Amount>(1, std::abs(deposit_[c]));
+    if (std::abs(sum - deposit_[c]) > tolerance) {
+      if (bad_channel) *bad_channel = c;
+      return false;
+    }
+    if (balance_[fwd] < -kEps || balance_[bwd] < -kEps) {
+      if (bad_channel) *bad_channel = c;
+      return false;
+    }
+  }
+  return true;
+}
+
+NetworkState::Snapshot NetworkState::snapshot() const {
+  if (active_holds_ != 0) {
+    throw std::logic_error("snapshot with holds in flight");
+  }
+  return Snapshot{balance_};
+}
+
+void NetworkState::restore(const Snapshot& s) {
+  if (s.balance.size() != balance_.size()) {
+    throw std::invalid_argument("snapshot size mismatch");
+  }
+  if (active_holds_ != 0) {
+    throw std::logic_error("restore with holds in flight");
+  }
+  balance_ = s.balance;
+  holds_.clear();
+  recompute_deposits();
+}
+
+void NetworkState::recompute_deposits() {
+  for (std::size_t c = 0; c < graph_->num_channels(); ++c) {
+    const EdgeId fwd = graph_->channel_forward_edge(c);
+    deposit_[c] = balance_[fwd] + balance_[graph_->reverse(fwd)];
+  }
+}
+
+}  // namespace flash

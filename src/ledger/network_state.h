@@ -1,0 +1,163 @@
+// Dynamic channel-balance ledger of an offchain network.
+//
+// The Graph carries the (quasi-static) topology that every node knows; this
+// class carries what nodes do NOT know a priori: the per-direction channel
+// balances, which change after every payment (paper §1, §3.1). Routers may
+// only learn balances through the probing interface, which also counts
+// probe messages so that the overhead comparisons of §4.2 are faithful.
+//
+// Channel invariant: for every channel, balance(u->v) + balance(v->u) +
+// in-flight holds == total deposit, under every sequence of operations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/rng.h"
+
+namespace flash {
+
+/// Identifier of an in-flight (held but not yet committed) payment part.
+using HoldId = std::uint64_t;
+
+/// Amount held/transferred on one directed edge.
+using EdgeAmount = std::pair<EdgeId, Amount>;
+
+class NetworkState {
+ public:
+  /// All balances zero.
+  explicit NetworkState(const Graph& g);
+
+  const Graph& graph() const noexcept { return *graph_; }
+
+  // --- Balance initialization -------------------------------------------
+
+  /// Sets the balance of a single directed edge (init-time only: it also
+  /// re-bases the channel's recorded deposit).
+  void set_balance(EdgeId e, Amount amount);
+
+  /// Draws each *channel* capacity from U[lo, hi) and splits it evenly
+  /// across the two directions (the paper redistributes Ripple funds
+  /// evenly, §4.1; the testbed draws channel capacity from an interval,
+  /// §5.2).
+  void assign_uniform_split(Amount lo, Amount hi, Rng& rng);
+
+  /// Like assign_uniform_split, but the forward direction receives a
+  /// random fraction drawn from U[skew_lo, skew_hi] of the channel
+  /// capacity (skew 0.5/0.5 reproduces the even split). Real channels are
+  /// funded mostly by the opening party, so single-path routing meets
+  /// depleted directions much more often than the even split suggests.
+  void assign_uniform_skewed(Amount lo, Amount hi, double skew_lo,
+                             double skew_hi, Rng& rng);
+
+  /// Draws each channel capacity lognormal(mu, sigma) and splits evenly.
+  /// `median` is the distribution median (= exp(mu)).
+  void assign_lognormal_split(Amount median, double sigma, Rng& rng);
+
+  /// Like assign_lognormal_split, but scales each channel's capacity by
+  /// the geometric mean of its endpoints' degrees relative to the average
+  /// degree. Well-connected nodes fund larger channels in real PCNs
+  /// (gateway/whale channels), so hub-hub channels carry most liquidity.
+  /// `median` remains the median for a channel between average-degree
+  /// endpoints.
+  void assign_lognormal_degree_weighted(Amount median, double sigma,
+                                        Rng& rng);
+
+  /// Multiplies every balance by `factor` (the capacity scale factor of
+  /// Fig. 6). Precondition: no holds in flight.
+  void scale_all(double factor);
+
+  // --- Introspection ------------------------------------------------------
+
+  Amount balance(EdgeId e) const { return balance_.at(e); }
+
+  /// Total deposit of the channel containing e (both directions + holds).
+  Amount channel_deposit(EdgeId e) const;
+
+  /// Sum of all balances (excludes held amounts).
+  Amount total_balance() const;
+
+  /// Sum of all held amounts (over every edge of every active hold).
+  Amount total_held() const;
+
+  /// Bottleneck (minimum) balance along a path; 0 for an empty path.
+  Amount path_bottleneck(const Path& path) const;
+
+  /// True if every edge of the path has balance >= amount.
+  bool path_can_carry(const Path& path, Amount amount) const;
+
+  // --- Probing ------------------------------------------------------------
+
+  /// Reads the balances along `path`, charging 2*|path| probe messages
+  /// (PROBE out along the path + PROBE_ACK back, §5.1).
+  std::vector<Amount> probe_path(const Path& path);
+
+  /// Number of probe messages sent so far (monotone).
+  std::uint64_t probe_messages() const noexcept { return probe_messages_; }
+
+  /// Adds to the probe message counter (for protocols whose
+  /// balance-discovery cost is not a plain path probe).
+  void charge_messages(std::uint64_t n) noexcept { probe_messages_ += n; }
+
+  // --- Two-phase payment execution ----------------------------------------
+  //
+  // A (partial) payment first *holds* funds (decrementing the balances of
+  // the edges it uses), then either *commits* (credits the reverse
+  // directions: funds have moved) or *aborts* (restores the original
+  // balances). Multipath atomicity (AMP, §3.1) is built on top by holding
+  // all parts before committing any (see AtomicPayment in htlc.h).
+
+  /// Holds `amount` on every edge of `path`. Returns nullopt (and changes
+  /// nothing) if some edge has insufficient balance. Precondition:
+  /// amount > 0, path non-empty.
+  std::optional<HoldId> hold(const Path& path, Amount amount);
+
+  /// Holds per-edge amounts (a flow). Amounts on duplicate edges are
+  /// aggregated before the feasibility check. Entries with amount <= 0 are
+  /// ignored. Returns nullopt (and changes nothing) on insufficient
+  /// balance; nullopt also when nothing positive remains to hold.
+  std::optional<HoldId> hold_flow(std::span<const EdgeAmount> edge_amounts);
+
+  /// Commits a held payment: credits reverse directions, retires the hold.
+  void commit(HoldId id);
+
+  /// Aborts a held payment: restores balances, retires the hold.
+  void abort(HoldId id);
+
+  std::size_t active_holds() const noexcept { return active_holds_; }
+
+  /// Verifies the channel invariant for every channel (O(V+E+holds)).
+  /// Returns false and sets `bad_channel` (optional) on violation.
+  bool check_invariants(std::size_t* bad_channel = nullptr) const;
+
+  // --- Snapshots ----------------------------------------------------------
+
+  /// Captures balances. Throws if holds are in flight.
+  struct Snapshot {
+    std::vector<Amount> balance;
+  };
+  Snapshot snapshot() const;
+  void restore(const Snapshot& s);
+
+ private:
+  struct HoldRecord {
+    std::vector<EdgeAmount> parts;  // aggregated, amounts > 0
+    bool active = false;
+  };
+
+  const Graph* graph_;
+  std::vector<Amount> balance_;
+  std::vector<Amount> deposit_;  // per channel, fixed at init
+  std::vector<HoldRecord> holds_;
+  std::size_t active_holds_ = 0;
+  std::uint64_t probe_messages_ = 0;
+
+  void recompute_deposits();
+};
+
+}  // namespace flash

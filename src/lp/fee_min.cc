@@ -1,0 +1,124 @@
+#include "lp/fee_min.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "lp/simplex.h"
+
+namespace flash {
+
+namespace {
+
+/// Net flow coefficient of path p on directed edge e: +1 if p uses e,
+/// -1 if p uses reverse(e), 0 otherwise (a simple path cannot use both).
+double net_coeff(const Graph& g, const Path& p, EdgeId e) {
+  const EdgeId rev = g.reverse(e);
+  for (EdgeId pe : p) {
+    if (pe == e) return 1.0;
+    if (pe == rev) return -1.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+SplitResult optimize_fee_split(const Graph& g, const std::vector<Path>& paths,
+                               Amount demand, const CapacityMap& cap,
+                               const FeeSchedule& fees) {
+  SplitResult result;
+  if (paths.empty() || demand <= 0) return result;
+
+  // Scale amounts by the demand so variables are O(1) for the solver.
+  const double scale = demand;
+
+  LpProblem lp;
+  lp.objective.resize(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    lp.objective[i] = fees.path_rate(paths[i]);
+  }
+
+  // Demand constraint: sum r_p = 1 (scaled).
+  LpConstraint demand_con;
+  demand_con.coeffs.assign(paths.size(), 1.0);
+  demand_con.rel = Relation::kEq;
+  demand_con.rhs = 1.0;
+  lp.constraints.push_back(std::move(demand_con));
+
+  // One capacity constraint per probed directed edge that some path uses.
+  for (const auto& [edge, capacity] : cap) {
+    LpConstraint con;
+    con.coeffs.assign(paths.size(), 0.0);
+    bool touched = false;
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      const double c = net_coeff(g, paths[i], edge);
+      con.coeffs[i] = c;
+      touched = touched || c != 0.0;
+    }
+    if (!touched) continue;
+    con.rel = Relation::kLessEq;
+    con.rhs = capacity / scale;
+    lp.constraints.push_back(std::move(con));
+  }
+
+  const LpSolution sol = solve_lp(lp);
+  if (sol.status != LpStatus::kOptimal) return result;
+
+  result.feasible = true;
+  result.amounts.resize(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    result.amounts[i] = sol.x[i] * scale;
+  }
+  result.total_fee = split_fee(fees, paths, result.amounts);
+  return result;
+}
+
+SplitResult sequential_split(const Graph& g, const std::vector<Path>& paths,
+                             Amount demand, const CapacityMap& cap,
+                             const FeeSchedule& fees) {
+  SplitResult result;
+  if (paths.empty() || demand <= 0) return result;
+
+  CapacityMap residual = cap;
+  result.amounts.assign(paths.size(), 0);
+  Amount remaining = demand;
+  for (std::size_t i = 0; i < paths.size() && remaining > 1e-12; ++i) {
+    // Joint residual bottleneck of this path.
+    Amount bottleneck = remaining;
+    for (EdgeId e : paths[i]) {
+      const auto it = residual.find(e);
+      if (it == residual.end()) {
+        throw std::invalid_argument("sequential_split: edge missing from C");
+      }
+      bottleneck = std::min(bottleneck, it->second);
+    }
+    if (bottleneck <= 0) continue;
+    result.amounts[i] = bottleneck;
+    remaining -= bottleneck;
+    for (EdgeId e : paths[i]) {
+      residual[e] -= bottleneck;
+      // Flow on e frees capacity on the reverse direction (offsetting).
+      const auto rit = residual.find(g.reverse(e));
+      if (rit != residual.end()) rit->second += bottleneck;
+    }
+  }
+  if (remaining > 1e-9 * std::max<Amount>(1, demand)) {
+    return result;  // infeasible: could not place the full demand
+  }
+  result.feasible = true;
+  result.total_fee = split_fee(fees, paths, result.amounts);
+  return result;
+}
+
+Amount split_fee(const FeeSchedule& fees, const std::vector<Path>& paths,
+                 const std::vector<Amount>& amounts) {
+  assert(paths.size() == amounts.size());
+  Amount total = 0;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (amounts[i] <= 0) continue;
+    total += fees.path_fee(paths[i], amounts[i]);
+  }
+  return total;
+}
+
+}  // namespace flash

@@ -1,0 +1,49 @@
+// Fee-minimizing payment split across probed paths — program (1) of §3.2.
+//
+//   min  sum_p sum_{(u,v) in p} fee_{u,v}(r_p)
+//   s.t. sum_p r_p = d
+//        sum_p r_p a^p(u,v) - sum_p r_p a^p(v,u) <= C(u,v)  for all (u,v)
+//        r_p >= 0
+//
+// where C is the capacity matrix probed by Algorithm 1. Flows on opposite
+// directions of the same channel offset each other, exactly as in the paper.
+// With linear (proportional) fees the objective coefficient of r_p is the
+// sum of fee rates along p, making this an LP solved by simplex.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "ledger/fee_policy.h"
+
+namespace flash {
+
+/// Probed capacity per directed edge (the sparse capacity matrix C).
+using CapacityMap = std::unordered_map<EdgeId, Amount>;
+
+struct SplitResult {
+  bool feasible = false;
+  std::vector<Amount> amounts;  // per path, aligned with `paths`
+  Amount total_fee = 0;         // fees over all used paths at these amounts
+};
+
+/// LP-optimal split of demand d over `paths` under capacities `cap`.
+/// Every edge appearing in `paths` must be present in `cap`.
+SplitResult optimize_fee_split(const Graph& g, const std::vector<Path>& paths,
+                               Amount demand, const CapacityMap& cap,
+                               const FeeSchedule& fees);
+
+/// The "w/o optimization" baseline of Fig. 9: fill paths sequentially in
+/// discovery order, each up to its joint residual capacity, until the
+/// demand is met.
+SplitResult sequential_split(const Graph& g, const std::vector<Path>& paths,
+                             Amount demand, const CapacityMap& cap,
+                             const FeeSchedule& fees);
+
+/// Fee charged for a split (shared by both strategies and the tests).
+Amount split_fee(const FeeSchedule& fees, const std::vector<Path>& paths,
+                 const std::vector<Amount>& amounts);
+
+}  // namespace flash

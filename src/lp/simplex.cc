@@ -1,0 +1,260 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace flash {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Dense simplex tableau with an explicit basis.
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), a_(rows, std::vector<double>(cols + 1, 0)),
+        basis_(rows, 0) {}
+
+  double& at(std::size_t r, std::size_t c) { return a_[r][c]; }
+  double& rhs(std::size_t r) { return a_[r][cols_]; }
+  std::size_t basis(std::size_t r) const { return basis_[r]; }
+  void set_basis(std::size_t r, std::size_t var) { basis_[r] = var; }
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Gauss pivot on (pr, pc): pc's variable enters the basis at row pr.
+  void pivot(std::size_t pr, std::size_t pc, std::vector<double>& z,
+             double& z_value) {
+    const double p = a_[pr][pc];
+    assert(std::abs(p) > kEps);
+    for (double& v : a_[pr]) v /= p;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == pr) continue;
+      const double factor = a_[r][pc];
+      if (std::abs(factor) < kEps) continue;
+      for (std::size_t c = 0; c <= cols_; ++c) {
+        a_[r][c] -= factor * a_[pr][c];
+      }
+      a_[r][pc] = 0;  // exact zero against drift
+    }
+    const double zf = z[pc];
+    if (std::abs(zf) > 0) {
+      for (std::size_t c = 0; c < cols_; ++c) z[c] -= zf * a_[pr][c];
+      z_value -= zf * a_[pr][cols_];
+      z[pc] = 0;
+    }
+    basis_[pr] = pc;
+  }
+
+  /// Runs simplex iterations on reduced-cost row z until optimal or
+  /// unbounded. Bland's rule: entering = smallest index with z < -eps;
+  /// leaving = min ratio, ties by smallest basic variable index.
+  /// Returns false on unboundedness.
+  bool iterate(std::vector<double>& z, double& z_value,
+               const std::vector<char>& allowed) {
+    while (true) {
+      std::size_t entering = cols_;
+      for (std::size_t c = 0; c < cols_; ++c) {
+        if (allowed[c] && z[c] < -kEps) {
+          entering = c;
+          break;
+        }
+      }
+      if (entering == cols_) return true;  // optimal
+
+      std::size_t leaving = rows_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t r = 0; r < rows_; ++r) {
+        if (a_[r][entering] > kEps) {
+          const double ratio = a_[r][cols_] / a_[r][entering];
+          if (ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps &&
+               (leaving == rows_ || basis_[r] < basis_[leaving]))) {
+            best_ratio = ratio;
+            leaving = r;
+          }
+        }
+      }
+      if (leaving == rows_) return false;  // unbounded
+      pivot(leaving, entering, z, z_value);
+    }
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::vector<double>> a_;
+  std::vector<std::size_t> basis_;
+};
+
+}  // namespace
+
+LpSolution solve_lp(const LpProblem& problem) {
+  const std::size_t n = problem.num_vars();
+  const std::size_t m = problem.constraints.size();
+  LpSolution solution;
+
+  // Column layout: [0, n) structural, then one slack/surplus per inequality,
+  // then one artificial per constraint that needs one.
+  std::size_t num_slack = 0;
+  for (const auto& con : problem.constraints) {
+    if (con.rel != Relation::kEq) ++num_slack;
+  }
+
+  // First pass to count artificials: a >= or == row always gets one; a <=
+  // row gets one only if its (sign-normalized) rhs is negative, i.e. the
+  // slack cannot serve as the initial basic variable.
+  std::vector<double> sign(m, 1.0);
+  std::vector<char> needs_artificial(m, 0);
+  {
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto& con = problem.constraints[i];
+      Relation rel = con.rel;
+      double rhs = con.rhs;
+      if (rhs < 0) {
+        sign[i] = -1.0;
+        rhs = -rhs;
+        if (rel == Relation::kLessEq) {
+          rel = Relation::kGreaterEq;
+        } else if (rel == Relation::kGreaterEq) {
+          rel = Relation::kLessEq;
+        }
+      }
+      needs_artificial[i] = (rel != Relation::kLessEq) ? 1 : 0;
+    }
+  }
+  std::size_t num_artificial = 0;
+  for (std::size_t i = 0; i < m; ++i) num_artificial += needs_artificial[i];
+
+  const std::size_t total = n + num_slack + num_artificial;
+  Tableau t(m, total);
+
+  std::size_t slack_col = n;
+  std::size_t art_col = n + num_slack;
+  std::vector<std::size_t> artificial_cols;
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto& con = problem.constraints[i];
+    assert(con.coeffs.size() <= n);
+    for (std::size_t j = 0; j < con.coeffs.size(); ++j) {
+      t.at(i, j) = sign[i] * con.coeffs[j];
+    }
+    t.rhs(i) = sign[i] * con.rhs;
+
+    Relation rel = con.rel;
+    if (sign[i] < 0) {
+      if (rel == Relation::kLessEq) {
+        rel = Relation::kGreaterEq;
+      } else if (rel == Relation::kGreaterEq) {
+        rel = Relation::kLessEq;
+      }
+    }
+    if (rel == Relation::kLessEq) {
+      t.at(i, slack_col) = 1.0;
+      t.set_basis(i, slack_col);
+      ++slack_col;
+    } else if (rel == Relation::kGreaterEq) {
+      t.at(i, slack_col) = -1.0;  // surplus
+      ++slack_col;
+      t.at(i, art_col) = 1.0;
+      t.set_basis(i, art_col);
+      artificial_cols.push_back(art_col);
+      ++art_col;
+    } else {  // equality
+      t.at(i, art_col) = 1.0;
+      t.set_basis(i, art_col);
+      artificial_cols.push_back(art_col);
+      ++art_col;
+    }
+  }
+
+  std::vector<char> allowed(total, 1);
+
+  // ---- Phase 1: minimize the sum of artificials. ----
+  if (num_artificial > 0) {
+    std::vector<double> z1(total, 0.0);
+    double z1_value = 0.0;
+    for (std::size_t c : artificial_cols) z1[c] = 1.0;
+    // Reduce: subtract rows whose basis is artificial.
+    for (std::size_t r = 0; r < m; ++r) {
+      const std::size_t b = t.basis(r);
+      const bool basic_artificial =
+          std::find(artificial_cols.begin(), artificial_cols.end(), b) !=
+          artificial_cols.end();
+      if (basic_artificial) {
+        for (std::size_t c = 0; c < total; ++c) z1[c] -= t.at(r, c);
+        z1_value -= t.rhs(r);
+      }
+    }
+    if (!t.iterate(z1, z1_value, allowed)) {
+      // Phase-1 objective is bounded below by 0; unbounded means a bug.
+      solution.status = LpStatus::kInfeasible;
+      return solution;
+    }
+    if (-z1_value > 1e-7) {  // minimized sum of artificials is -z1_value
+      solution.status = LpStatus::kInfeasible;
+      return solution;
+    }
+    // Drive any degenerate basic artificial out of the basis.
+    for (std::size_t r = 0; r < m; ++r) {
+      const std::size_t b = t.basis(r);
+      if (std::find(artificial_cols.begin(), artificial_cols.end(), b) ==
+          artificial_cols.end()) {
+        continue;
+      }
+      std::size_t pc = total;
+      for (std::size_t c = 0; c < n + num_slack; ++c) {
+        if (std::abs(t.at(r, c)) > kEps) {
+          pc = c;
+          break;
+        }
+      }
+      if (pc != total) {
+        double dummy = 0.0;
+        std::vector<double> zdummy(total, 0.0);
+        t.pivot(r, pc, zdummy, dummy);
+      }
+      // If the whole row is zero the constraint is redundant; the
+      // artificial stays basic at value 0, which is harmless as long as it
+      // cannot re-enter (disallowed below).
+    }
+    for (std::size_t c : artificial_cols) allowed[c] = 0;
+  }
+
+  // ---- Phase 2: minimize the real objective. ----
+  std::vector<double> z2(total, 0.0);
+  double z2_value = 0.0;
+  for (std::size_t j = 0; j < n; ++j) z2[j] = problem.objective[j];
+  for (std::size_t r = 0; r < m; ++r) {
+    const std::size_t b = t.basis(r);
+    if (b < total && std::abs(z2[b]) > 0) {
+      const double factor = z2[b];
+      for (std::size_t c = 0; c < total; ++c) z2[c] -= factor * t.at(r, c);
+      z2_value -= factor * t.rhs(r);
+      z2[b] = 0;
+    }
+  }
+  if (!t.iterate(z2, z2_value, allowed)) {
+    solution.status = LpStatus::kUnbounded;
+    return solution;
+  }
+
+  solution.status = LpStatus::kOptimal;
+  solution.x.assign(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    const std::size_t b = t.basis(r);
+    if (b < n) solution.x[b] = std::max(0.0, t.rhs(r));
+  }
+  solution.objective_value = -z2_value;
+  // Recompute the objective from x to shed accumulated pivot drift.
+  double direct = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    direct += problem.objective[j] * solution.x[j];
+  }
+  solution.objective_value = direct;
+  return solution;
+}
+
+}  // namespace flash

@@ -1,0 +1,43 @@
+// Dense two-phase simplex linear-program solver.
+//
+// Program (1) of the paper — split an elephant payment over the probed path
+// set to minimize total fees — is a linear program when fees are linear
+// (§3.2: "the fee charging function is typically linear ... which means (1)
+// is a simple linear program"). Problems here are tiny (k <= ~30 variables,
+// a few dozen constraints), so a dense tableau with Bland's anti-cycling
+// rule is simple, exact enough, and fast.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace flash {
+
+enum class Relation { kLessEq, kEq, kGreaterEq };
+
+struct LpConstraint {
+  std::vector<double> coeffs;  // one per variable; missing treated as 0
+  Relation rel = Relation::kLessEq;
+  double rhs = 0;
+};
+
+/// minimize objective . x  subject to constraints, x >= 0.
+struct LpProblem {
+  std::vector<double> objective;
+  std::vector<LpConstraint> constraints;
+
+  std::size_t num_vars() const noexcept { return objective.size(); }
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  std::vector<double> x;        // valid iff status == kOptimal
+  double objective_value = 0;   // valid iff status == kOptimal
+};
+
+/// Solves the LP. Deterministic; terminates on all inputs (Bland's rule).
+LpSolution solve_lp(const LpProblem& problem);
+
+}  // namespace flash

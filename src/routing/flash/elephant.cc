@@ -1,0 +1,141 @@
+#include "routing/flash/elephant.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/bfs.h"
+#include "ledger/htlc.h"
+
+namespace flash {
+
+namespace {
+constexpr Amount kEps = 1e-9;
+}
+
+ElephantProbeResult elephant_find_paths(const Graph& g, NodeId s, NodeId t,
+                                        Amount demand, std::size_t max_paths,
+                                        NetworkState& state) {
+  ElephantProbeResult result;
+  if (s == t || demand <= 0) return result;
+
+  // Residual capacity matrix C' (line 5): unknown edges are treated as
+  // having capacity (= infinity) so BFS may explore them; probed edges use
+  // their residual value.
+  CapacityMap residual;  // only probed edges appear
+  auto residual_admits = [&](EdgeId e) {
+    const auto it = residual.find(e);
+    return it == residual.end() || it->second > kEps;
+  };
+
+  while (result.paths.size() < max_paths) {
+    // Line 7: BFS on G with residual filter.
+    const Path p = bfs_path(g, s, t, residual_admits);
+    if (p.empty()) break;  // line 8-9
+
+    // Line 11: probe each channel on p. The probe returns the balances of
+    // both directions of every channel on the path (the PROBE_ACK carries
+    // the Capacity field both ways, §5.1 / Algorithm 1 lines 17-22).
+    const std::vector<Amount> balances = state.probe_path(p);
+    ++result.probes;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const EdgeId e = p[i];
+      const EdgeId rev = g.reverse(e);
+      if (!result.capacities.count(e)) {  // line 17: first time
+        result.capacities[e] = balances[i];
+        residual[e] = balances[i];
+      }
+      if (!result.capacities.count(rev)) {  // line 20
+        const Amount rev_balance = state.balance(rev);
+        result.capacities[rev] = rev_balance;
+        residual[rev] = rev_balance;
+      }
+    }
+
+    // Line 12: bottleneck over the *residual* capacities (fresh edges have
+    // residual == probed balance; edges reused across paths keep their
+    // reduced residual).
+    Amount bottleneck = std::numeric_limits<Amount>::max();
+    for (EdgeId e : p) bottleneck = std::min(bottleneck, residual[e]);
+    bottleneck = std::max<Amount>(bottleneck, 0);
+
+    result.paths.push_back(p);
+    result.bottlenecks.push_back(bottleneck);
+
+    if (bottleneck > kEps) {
+      result.max_flow += bottleneck;  // line 13
+      for (EdgeId e : p) {
+        residual[e] -= bottleneck;               // line 23
+        residual[g.reverse(e)] += bottleneck;    // line 24
+      }
+    }
+    // Note: no early exit when f >= d. Algorithm 1 checks the demand only
+    // after the loop (lines 25-28), i.e. it always gathers up to k paths.
+    // The surplus capacity is what gives program (1) room to shift flow
+    // onto cheap paths (the ~40 % fee saving of Fig. 9).
+  }
+
+  result.feasible = result.max_flow + kEps >= demand;
+  return result;
+}
+
+RouteResult route_elephant(const Graph& g, const Transaction& tx,
+                           NetworkState& state, const FeeSchedule& fees,
+                           const ElephantConfig& config) {
+  RouteResult result;
+  result.elephant = true;
+  if (tx.amount <= 0 || tx.sender == tx.receiver) return result;
+
+  const std::uint64_t msgs_before = state.probe_messages();
+  ElephantProbeResult probe = elephant_find_paths(
+      g, tx.sender, tx.receiver, tx.amount, config.max_paths, state);
+  result.probes = probe.probes;
+  result.probe_messages = state.probe_messages() - msgs_before;
+  if (!probe.feasible) return result;  // Algorithm 1 returns empty set
+
+  // Path selection: program (1), or the discovery-order fill ablation.
+  SplitResult split =
+      config.optimize_fees
+          ? optimize_fee_split(g, probe.paths, tx.amount, probe.capacities,
+                               fees)
+          : sequential_split(g, probe.paths, tx.amount, probe.capacities,
+                             fees);
+  if (!split.feasible && config.optimize_fees) {
+    // LP numerically degenerate (rare): fall back to the sequential fill,
+    // which is feasible whenever Algorithm 1 reported f >= d.
+    split = sequential_split(g, probe.paths, tx.amount, probe.capacities,
+                             fees);
+  }
+  if (!split.feasible) return result;
+
+  // Net the split into per-edge amounts: opposite directions offset
+  // (program (1) allows it, and committing the net flow is what the
+  // channel balances experience after all partial payments settle).
+  std::vector<Amount> net(g.num_edges(), 0);
+  for (std::size_t i = 0; i < probe.paths.size(); ++i) {
+    if (split.amounts[i] <= kEps) continue;
+    ++result.paths_used;
+    for (EdgeId e : probe.paths[i]) net[e] += split.amounts[i];
+  }
+  std::vector<EdgeAmount> flow;
+  for (EdgeId e = 0; e < g.num_edges(); e += 2) {
+    const EdgeId r = g.reverse(e);
+    const Amount delta = net[e] - net[r];
+    if (delta > kEps) {
+      flow.emplace_back(e, delta);
+    } else if (delta < -kEps) {
+      flow.emplace_back(r, -delta);
+    }
+  }
+
+  AtomicPayment payment(state);
+  if (!payment.add_flow(flow, tx.amount)) {
+    return result;  // balances changed since probing; atomic failure
+  }
+  payment.commit();
+  result.success = true;
+  result.delivered = tx.amount;
+  result.fee = split.total_fee;
+  return result;
+}
+
+}  // namespace flash

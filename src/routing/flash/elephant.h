@@ -1,0 +1,54 @@
+// Elephant payment routing: Algorithm 1 + fee-minimizing split (paper §3.2).
+//
+// Path finding runs the paper's modified Edmonds-Karp: BFS on the residual
+// graph (edges assumed to have capacity until probed), probe each new path
+// to learn real balances, update residuals, for at most k paths; the
+// demand check happens after the loop (Algorithm 1 lines 25-28), so the
+// path set usually carries surplus capacity. Path selection then solves
+// program (1) to split the payment across the found paths with minimum
+// total fees; the sequential (discovery-order) split is available as the
+// "w/o optimization" ablation of Fig. 9.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "ledger/fee_policy.h"
+#include "ledger/network_state.h"
+#include "lp/fee_min.h"
+#include "routing/router.h"
+
+namespace flash {
+
+struct ElephantConfig {
+  /// Maximum number of paths to find and probe (the paper's k; default 20,
+  /// with 20-30 recommended for realistic topologies, §3.2/§4.1).
+  std::size_t max_paths = 20;
+  /// When false, skip the LP and fill paths in discovery order (Fig. 9
+  /// baseline).
+  bool optimize_fees = true;
+};
+
+/// Outcome of the probing phase (Algorithm 1).
+struct ElephantProbeResult {
+  bool feasible = false;            // f >= d after the loop
+  std::vector<Path> paths;          // the path set P
+  std::vector<Amount> bottlenecks;  // per-path residual bottleneck c
+  CapacityMap capacities;           // probed capacity matrix C
+  Amount max_flow = 0;              // f
+  std::uint32_t probes = 0;         // number of path probes issued
+};
+
+/// Algorithm 1: modified Edmonds-Karp with probing against `state`.
+ElephantProbeResult elephant_find_paths(const Graph& g, NodeId s, NodeId t,
+                                        Amount demand, std::size_t max_paths,
+                                        NetworkState& state);
+
+/// Full elephant pipeline: find paths, split (LP or sequential), execute
+/// atomically against the ledger.
+RouteResult route_elephant(const Graph& g, const Transaction& tx,
+                           NetworkState& state, const FeeSchedule& fees,
+                           const ElephantConfig& config);
+
+}  // namespace flash

@@ -1,0 +1,77 @@
+// Flash: the paper's routing scheme (§3).
+//
+// Differentiates elephant from mice payments by a size threshold. Elephants
+// (few, huge, throughput-defining) get the probing modified-max-flow search
+// plus the fee-minimizing LP split; mice (the vast majority) get routing
+// table lookups with a trial-and-error loop that probes only on failure.
+#pragma once
+
+#include <memory>
+
+#include "graph/graph.h"
+#include "ledger/fee_policy.h"
+#include "routing/flash/elephant.h"
+#include "routing/flash/mice.h"
+#include "routing/flash/routing_table.h"
+#include "routing/router.h"
+#include "util/rng.h"
+
+namespace flash {
+
+/// How mice payments pick among their routing-table paths.
+enum class MiceSelection {
+  /// The paper's design (§3.3): random order, send-then-probe.
+  kTrialAndError,
+  /// Extension (§6 future work): probe all paths, waterfill like Spider.
+  /// Balance-aware but pays probing overhead on every payment.
+  kWaterfill,
+};
+
+struct FlashConfig {
+  /// Payments with amount >= threshold are elephants. The paper sets the
+  /// threshold at the workload's 90th size percentile so 90 % of payments
+  /// are mice (§4.1); use Workload::size_quantile(0.9).
+  Amount elephant_threshold = 0;
+  /// Elephant path budget k (paper default 20).
+  std::size_t k_elephant_paths = 20;
+  /// Mice routing-table paths per receiver m (paper default 4).
+  std::size_t m_mice_paths = 4;
+  /// Fee-minimization LP on/off (off = Fig. 9's "w/o optimization").
+  bool optimize_fees = true;
+  /// Spare Yen paths cached for dead-path replacement.
+  std::size_t spare_paths = 4;
+  /// Routing-table entry timeout in lookups (0 = keep forever).
+  std::uint64_t table_timeout = 0;
+  /// Seed for the randomized mice path order.
+  std::uint64_t seed = 0x5eedf1a5;
+  /// When m_mice_paths == 0, mice are routed exactly like elephants - the
+  /// upper bound configuration of Fig. 11.
+  bool mice_as_elephants_when_m0 = true;
+  /// Mice path-selection strategy (paper default: trial-and-error).
+  MiceSelection mice_selection = MiceSelection::kTrialAndError;
+};
+
+class FlashRouter : public Router {
+ public:
+  FlashRouter(const Graph& graph, const FeeSchedule& fees, FlashConfig config);
+
+  RouteResult route(const Transaction& tx, NetworkState& state) override;
+  std::string name() const override { return "Flash"; }
+  void on_topology_update() override { table_.clear(); }
+
+  bool is_elephant(Amount amount) const noexcept {
+    return amount >= config_.elephant_threshold;
+  }
+
+  const FlashConfig& config() const noexcept { return config_; }
+  const MiceRoutingTable& routing_table() const noexcept { return table_; }
+
+ private:
+  const Graph* graph_;
+  const FeeSchedule* fees_;
+  FlashConfig config_;
+  MiceRoutingTable table_;
+  Rng rng_;
+};
+
+}  // namespace flash

@@ -1,0 +1,76 @@
+#include "routing/flash/routing_table.h"
+
+#include <algorithm>
+
+#include "graph/yen.h"
+
+namespace flash {
+
+namespace {
+std::uint64_t pair_key(NodeId s, NodeId t) {
+  return (static_cast<std::uint64_t>(s) << 32) | t;
+}
+}  // namespace
+
+MiceRoutingTable::MiceRoutingTable(const Graph& graph,
+                                   RoutingTableConfig config)
+    : graph_(&graph), config_(config) {}
+
+const std::vector<Path>& MiceRoutingTable::lookup(NodeId sender,
+                                                  NodeId receiver,
+                                                  bool* computed) {
+  ++clock_;
+  if (config_.entry_timeout != 0 && (clock_ % 256) == 0) evict_stale();
+
+  const auto key = pair_key(sender, receiver);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    Entry entry;
+    auto paths = yen_k_shortest_paths(
+        *graph_, sender, receiver,
+        config_.paths_per_receiver + config_.spare_paths);
+    ++computations_;
+    const std::size_t active =
+        std::min(paths.size(), config_.paths_per_receiver);
+    entry.active.assign(paths.begin(),
+                        paths.begin() + static_cast<long>(active));
+    entry.spares.assign(paths.begin() + static_cast<long>(active),
+                        paths.end());
+    it = entries_.emplace(key, std::move(entry)).first;
+    if (computed) *computed = true;
+  } else if (computed) {
+    *computed = false;
+  }
+  it->second.last_used = clock_;
+  return it->second.active;
+}
+
+bool MiceRoutingTable::replace_dead_path(NodeId sender, NodeId receiver,
+                                         const Path& path) {
+  const auto it = entries_.find(pair_key(sender, receiver));
+  if (it == entries_.end()) return false;
+  Entry& entry = it->second;
+  const auto pos = std::find(entry.active.begin(), entry.active.end(), path);
+  if (pos == entry.active.end()) return false;
+  if (!entry.spares.empty()) {
+    *pos = std::move(entry.spares.front());
+    entry.spares.erase(entry.spares.begin());
+    return true;
+  }
+  entry.active.erase(pos);
+  return false;
+}
+
+void MiceRoutingTable::clear() { entries_.clear(); }
+
+void MiceRoutingTable::evict_stale() {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (clock_ - it->second.last_used > config_.entry_timeout) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace flash

@@ -1,0 +1,51 @@
+// Router interface shared by Flash and the three baselines.
+//
+// A router processes one payment at a time against the live ledger
+// (NetworkState), exactly as in the paper's simulation where "payments
+// arrive at senders sequentially" (§4.1). Routers learn balances only
+// through NetworkState's probing interface, which meters probe messages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ledger/network_state.h"
+#include "trace/transaction.h"
+
+namespace flash {
+
+/// Per-payment outcome.
+struct RouteResult {
+  bool success = false;
+  /// Amount delivered end-to-end: tx.amount on success, 0 on failure
+  /// (payments are atomic — partial delivery never settles, §3.1).
+  Amount delivered = 0;
+  /// Total transaction fees that the delivered payment incurs.
+  Amount fee = 0;
+  /// Probe messages this payment consumed (delta of the ledger's meter).
+  std::uint64_t probe_messages = 0;
+  /// Number of path probes issued.
+  std::uint32_t probes = 0;
+  /// Paths that carried a positive amount.
+  std::uint32_t paths_used = 0;
+  /// Set by Flash: whether the payment was classified as an elephant.
+  bool elephant = false;
+};
+
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  /// Routes one payment, settling it against `state` on success.
+  virtual RouteResult route(const Transaction& tx, NetworkState& state) = 0;
+
+  /// Scheme name as used in the paper's figures ("Flash", "Spider", ...).
+  virtual std::string name() const = 0;
+
+  /// Invalidates any cached paths/coordinates after a topology change
+  /// (the paper's routing tables are refreshed when the gossiped topology
+  /// updates, §3.3).
+  virtual void on_topology_update() {}
+};
+
+}  // namespace flash

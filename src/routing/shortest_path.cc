@@ -1,0 +1,44 @@
+#include "routing/shortest_path.h"
+
+#include "graph/bfs.h"
+#include "ledger/htlc.h"
+
+namespace flash {
+
+namespace {
+std::uint64_t pair_key(NodeId s, NodeId t) {
+  return (static_cast<std::uint64_t>(s) << 32) | t;
+}
+}  // namespace
+
+ShortestPathRouter::ShortestPathRouter(const Graph& graph,
+                                       const FeeSchedule& fees)
+    : graph_(&graph), fees_(&fees) {}
+
+const Path& ShortestPathRouter::shortest_path(NodeId s, NodeId t) {
+  const auto key = pair_key(s, t);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, bfs_path(*graph_, s, t)).first;
+  }
+  return it->second;
+}
+
+RouteResult ShortestPathRouter::route(const Transaction& tx,
+                                      NetworkState& state) {
+  RouteResult result;
+  if (tx.amount <= 0 || tx.sender == tx.receiver) return result;
+  const Path& path = shortest_path(tx.sender, tx.receiver);
+  if (path.empty()) return result;  // unreachable
+
+  AtomicPayment payment(state);
+  if (!payment.add_part(path, tx.amount)) return result;
+  payment.commit();
+  result.success = true;
+  result.delivered = tx.amount;
+  result.fee = fees_->path_fee(path, tx.amount);
+  result.paths_used = 1;
+  return result;
+}
+
+}  // namespace flash

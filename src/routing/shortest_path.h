@@ -1,0 +1,33 @@
+// Shortest Path (SP) baseline: route the whole payment over the single
+// fewest-hops path (paper §4.1). Static: no probing, no balance awareness;
+// the payment fails if any hop lacks balance.
+#pragma once
+
+#include <unordered_map>
+
+#include "graph/graph.h"
+#include "ledger/fee_policy.h"
+#include "routing/router.h"
+
+namespace flash {
+
+class ShortestPathRouter : public Router {
+ public:
+  /// `fees` is used only for reporting the fee metric; it must outlive the
+  /// router, as must `graph`.
+  ShortestPathRouter(const Graph& graph, const FeeSchedule& fees);
+
+  RouteResult route(const Transaction& tx, NetworkState& state) override;
+  std::string name() const override { return "SP"; }
+  void on_topology_update() override { cache_.clear(); }
+
+ private:
+  const Graph* graph_;
+  const FeeSchedule* fees_;
+  /// Shortest paths are static given the topology, so cache per pair.
+  std::unordered_map<std::uint64_t, Path> cache_;
+
+  const Path& shortest_path(NodeId s, NodeId t);
+};
+
+}  // namespace flash

@@ -1,0 +1,107 @@
+#include "sim/experiment.h"
+
+#include <stdexcept>
+
+#include "routing/flash/flash_router.h"
+#include "routing/shortest_path.h"
+#include "routing/speedymurmurs.h"
+#include "routing/spider.h"
+
+namespace flash {
+
+std::string scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kFlash:
+      return "Flash";
+    case Scheme::kSpider:
+      return "Spider";
+    case Scheme::kSpeedyMurmurs:
+      return "SpeedyMurmurs";
+    case Scheme::kShortestPath:
+      return "SP";
+  }
+  throw std::invalid_argument("unknown scheme");
+}
+
+std::vector<Scheme> all_schemes() {
+  return {Scheme::kFlash, Scheme::kSpider, Scheme::kSpeedyMurmurs,
+          Scheme::kShortestPath};
+}
+
+std::unique_ptr<Router> make_router(Scheme scheme, const Workload& workload,
+                                    const FlashOptions& opts,
+                                    std::uint64_t seed) {
+  switch (scheme) {
+    case Scheme::kFlash: {
+      FlashConfig config;
+      config.elephant_threshold = workload.size_quantile(opts.mice_quantile);
+      config.k_elephant_paths = opts.k_elephant_paths;
+      config.m_mice_paths = opts.m_mice_paths;
+      config.optimize_fees = opts.optimize_fees;
+      config.seed = seed * 0x9e3779b9ULL + 7;
+      return std::make_unique<FlashRouter>(workload.graph(), workload.fees(),
+                                           config);
+    }
+    case Scheme::kSpider:
+      return std::make_unique<SpiderRouter>(workload.graph(),
+                                            workload.fees());
+    case Scheme::kSpeedyMurmurs:
+      return std::make_unique<SpeedyMurmursRouter>(workload.graph(),
+                                                   workload.fees());
+    case Scheme::kShortestPath:
+      return std::make_unique<ShortestPathRouter>(workload.graph(),
+                                                  workload.fees());
+  }
+  throw std::invalid_argument("unknown scheme");
+}
+
+Aggregate RunSeries::aggregate(
+    const std::function<double(const SimResult&)>& f) const {
+  Aggregate a;
+  if (runs.empty()) return a;
+  a.min = f(runs.front());
+  a.max = a.min;
+  double sum = 0;
+  for (const auto& r : runs) {
+    const double v = f(r);
+    a.min = std::min(a.min, v);
+    a.max = std::max(a.max, v);
+    sum += v;
+  }
+  a.mean = sum / static_cast<double>(runs.size());
+  return a;
+}
+
+Aggregate RunSeries::success_ratio() const {
+  return aggregate([](const SimResult& r) { return r.success_ratio(); });
+}
+
+Aggregate RunSeries::success_volume() const {
+  return aggregate(
+      [](const SimResult& r) { return static_cast<double>(r.volume_succeeded); });
+}
+
+Aggregate RunSeries::probe_messages() const {
+  return aggregate(
+      [](const SimResult& r) { return static_cast<double>(r.probe_messages); });
+}
+
+Aggregate RunSeries::fee_ratio() const {
+  return aggregate([](const SimResult& r) { return r.fee_ratio(); });
+}
+
+RunSeries run_series(const WorkloadFactory& make_workload, Scheme scheme,
+                     const FlashOptions& opts, const SimConfig& sim,
+                     std::size_t runs, std::uint64_t base_seed) {
+  RunSeries series;
+  series.runs.reserve(runs);
+  for (std::size_t i = 0; i < runs; ++i) {
+    const std::uint64_t seed = base_seed + i;
+    const Workload workload = make_workload(seed);
+    const auto router = make_router(scheme, workload, opts, seed);
+    series.runs.push_back(run_simulation(workload, *router, sim));
+  }
+  return series;
+}
+
+}  // namespace flash

@@ -1,0 +1,65 @@
+// Multi-seed experiment harness: builds workloads and routers per run,
+// averages results, and exposes the scheme set the paper compares (§4.1).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "trace/workload.h"
+
+namespace flash {
+
+/// The four schemes of the evaluation.
+enum class Scheme { kFlash, kSpider, kSpeedyMurmurs, kShortestPath };
+
+std::string scheme_name(Scheme s);
+
+/// All four, in the paper's legend order.
+std::vector<Scheme> all_schemes();
+
+/// Options forwarded to FlashRouter (ignored by the baselines).
+struct FlashOptions {
+  double mice_quantile = 0.9;  // threshold st. this fraction are mice
+  std::size_t k_elephant_paths = 20;
+  std::size_t m_mice_paths = 4;
+  bool optimize_fees = true;
+};
+
+/// Builds a fresh router for a scheme against a workload.
+std::unique_ptr<Router> make_router(Scheme scheme, const Workload& workload,
+                                    const FlashOptions& opts,
+                                    std::uint64_t seed);
+
+/// min / mean / max over runs of a scalar extracted from SimResult.
+struct Aggregate {
+  double min = 0;
+  double mean = 0;
+  double max = 0;
+};
+
+/// A repeated experiment: same configuration, `runs` different seeds (the
+/// workload and the router randomness both vary per run, as in the paper's
+/// "average results over 5 runs").
+struct RunSeries {
+  std::vector<SimResult> runs;
+
+  Aggregate aggregate(const std::function<double(const SimResult&)>& f) const;
+  Aggregate success_ratio() const;
+  Aggregate success_volume() const;
+  Aggregate probe_messages() const;
+  Aggregate fee_ratio() const;
+};
+
+/// Workload factory: seed -> workload (e.g. bind make_ripple_workload).
+using WorkloadFactory = std::function<Workload(std::uint64_t seed)>;
+
+/// Runs `scheme` for `runs` seeds starting at `base_seed`.
+RunSeries run_series(const WorkloadFactory& make_workload, Scheme scheme,
+                     const FlashOptions& opts, const SimConfig& sim,
+                     std::size_t runs, std::uint64_t base_seed = 1);
+
+}  // namespace flash

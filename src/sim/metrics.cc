@@ -1,0 +1,33 @@
+#include "sim/metrics.h"
+
+namespace flash {
+
+void SimResult::add(const Transaction& tx, const RouteResult& r,
+                    bool counts_as_mouse) {
+  ++transactions;
+  volume_attempted += tx.amount;
+  probe_messages += r.probe_messages;
+  probes += r.probes;
+  if (r.success) {
+    ++successes;
+    volume_succeeded += r.delivered;
+    fees_paid += r.fee;
+  }
+  if (counts_as_mouse) {
+    ++mice_transactions;
+    mice_probe_messages += r.probe_messages;
+    if (r.success) {
+      ++mice_successes;
+      mice_volume_succeeded += r.delivered;
+    }
+  } else {
+    ++elephant_transactions;
+    elephant_probe_messages += r.probe_messages;
+    if (r.success) {
+      ++elephant_successes;
+      elephant_volume_succeeded += r.delivered;
+    }
+  }
+}
+
+}  // namespace flash

@@ -1,0 +1,63 @@
+// Metrics collected by the payment simulator.
+//
+// The paper's primary metrics (§4.1): success ratio, success volume, and
+// number of probing messages; plus fees (Fig. 9) and per-class (mice /
+// elephant) breakdowns (Figs. 10-11).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.h"
+#include "routing/router.h"
+
+namespace flash {
+
+struct SimResult {
+  std::size_t transactions = 0;
+  std::size_t successes = 0;
+  Amount volume_attempted = 0;
+  Amount volume_succeeded = 0;
+  Amount fees_paid = 0;
+  std::uint64_t probe_messages = 0;
+  std::uint64_t probes = 0;
+
+  // Per-class breakdown. Classification is by the workload's elephant
+  // threshold so that baselines (which do not differentiate) can still be
+  // compared class-by-class.
+  std::size_t mice_transactions = 0;
+  std::size_t mice_successes = 0;
+  Amount mice_volume_succeeded = 0;
+  std::uint64_t mice_probe_messages = 0;
+  std::size_t elephant_transactions = 0;
+  std::size_t elephant_successes = 0;
+  Amount elephant_volume_succeeded = 0;
+  std::uint64_t elephant_probe_messages = 0;
+
+  double success_ratio() const {
+    return transactions ? static_cast<double>(successes) /
+                              static_cast<double>(transactions)
+                        : 0.0;
+  }
+  double mice_success_ratio() const {
+    return mice_transactions ? static_cast<double>(mice_successes) /
+                                   static_cast<double>(mice_transactions)
+                             : 0.0;
+  }
+  double elephant_success_ratio() const {
+    return elephant_transactions
+               ? static_cast<double>(elephant_successes) /
+                     static_cast<double>(elephant_transactions)
+               : 0.0;
+  }
+  /// Unit fee: total fees over total delivered volume (Fig. 9's
+  /// "ratio of transaction fees to volume").
+  double fee_ratio() const {
+    return volume_succeeded > 0 ? static_cast<double>(fees_paid) /
+                                      static_cast<double>(volume_succeeded)
+                                : 0.0;
+  }
+
+  void add(const Transaction& tx, const RouteResult& r, bool counts_as_mouse);
+};
+
+}  // namespace flash

@@ -1,0 +1,33 @@
+#include "testbed/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace flash::testbed {
+
+void EventQueue::schedule(double when, Event event) {
+  if (when < now_) when = now_;  // clamp: no scheduling into the past
+  heap_.push(Entry{when, next_seq_++, std::move(event)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the handle instead (Event is a small std::function).
+  Entry entry = heap_.top();
+  heap_.pop();
+  now_ = entry.when;
+  entry.event();
+  return true;
+}
+
+void EventQueue::run_until_idle(std::uint64_t max_events) {
+  std::uint64_t executed = 0;
+  while (step()) {
+    if (max_events != 0 && ++executed > max_events) {
+      throw std::runtime_error("EventQueue: event budget exceeded");
+    }
+  }
+}
+
+}  // namespace flash::testbed

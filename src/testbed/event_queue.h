@@ -1,0 +1,57 @@
+// Deterministic discrete-event scheduler for the testbed emulation.
+//
+// Events at equal timestamps run in insertion order (a monotone sequence
+// number breaks ties), so runs are bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace flash::testbed {
+
+class EventQueue {
+ public:
+  using Event = std::function<void()>;
+
+  /// Current simulation time (milliseconds).
+  double now() const noexcept { return now_; }
+
+  /// Schedules `event` at absolute time `when` (>= now).
+  void schedule(double when, Event event);
+
+  /// Schedules `event` `delay` after now.
+  void schedule_in(double delay, Event event) {
+    schedule(now_ + delay, std::move(event));
+  }
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Runs the earliest event; returns false when idle.
+  bool step();
+
+  /// Runs until no events remain. `max_events` guards against runaway
+  /// protocols (throws std::runtime_error when exceeded; 0 = unlimited).
+  void run_until_idle(std::uint64_t max_events = 0);
+
+ private:
+  struct Entry {
+    double when;
+    std::uint64_t seq;
+    Event event;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+}  // namespace flash::testbed

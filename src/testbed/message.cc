@@ -1,0 +1,29 @@
+#include "testbed/message.h"
+
+namespace flash::testbed {
+
+std::string to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kProbe:
+      return "PROBE";
+    case MsgType::kProbeAck:
+      return "PROBE_ACK";
+    case MsgType::kCommit:
+      return "COMMIT";
+    case MsgType::kCommitAck:
+      return "COMMIT_ACK";
+    case MsgType::kCommitNack:
+      return "COMMIT_NACK";
+    case MsgType::kConfirm:
+      return "CONFIRM";
+    case MsgType::kConfirmAck:
+      return "CONFIRM_ACK";
+    case MsgType::kReverse:
+      return "REVERSE";
+    case MsgType::kReverseAck:
+      return "REVERSE_ACK";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace flash::testbed

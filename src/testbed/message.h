@@ -1,0 +1,65 @@
+// Message format of the prototype's source-routing protocol (Table 1, §5.1).
+//
+// | Field    | Description                                         |
+// |----------|-----------------------------------------------------|
+// | TransID  | unique id of a (partial) payment                    |
+// | Type     | message type                                        |
+// | Path     | full path of this message (source routing)         |
+// | Capacity | probed channel capacity, appended per hop           |
+// | Commit   | committed amount of funds for this payment          |
+//
+// The prototype's nine message types realize probing and the two-phase
+// commit protocol: PROBE/PROBE_ACK collect balances; COMMIT holds funds
+// hop-by-hop (ACK from the receiver, NACK from the first node with
+// insufficient balance); CONFIRM settles committed funds (the ACK credits
+// reverse directions on its way back); REVERSE rolls held funds back.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace flash::testbed {
+
+enum class MsgType : std::uint8_t {
+  kProbe,
+  kProbeAck,
+  kCommit,
+  kCommitAck,
+  kCommitNack,
+  kConfirm,
+  kConfirmAck,
+  kReverse,
+  kReverseAck,
+};
+
+std::string to_string(MsgType t);
+
+struct Message {
+  std::uint64_t trans_id = 0;
+  MsgType type = MsgType::kProbe;
+  /// Node sequence from sender to receiver (source routing). Backward
+  /// messages (…_ACK/_NACK) keep the same vector and walk it in reverse,
+  /// mirroring the prototype's "reversed path" field without reallocating.
+  std::vector<NodeId> path;
+  /// Index into `path` of the node currently holding the message.
+  std::size_t hop = 0;
+  /// PROBE: balances of the forward channels, appended hop by hop;
+  /// PROBE_ACK: balances of the reverse channels, appended on the way back.
+  std::vector<Amount> capacity;
+  std::vector<Amount> capacity_reverse;
+  /// Amount of funds this (partial) payment commits.
+  Amount commit = 0;
+  /// COMMIT_NACK: index of the hop whose channel had insufficient balance
+  /// (nodes with smaller index have already held funds). REVERSE reuses it
+  /// as the reversal horizon.
+  std::size_t fail_hop = 0;
+
+  NodeId sender() const { return path.front(); }
+  NodeId receiver() const { return path.back(); }
+  std::size_t hops() const { return path.size() - 1; }
+};
+
+}  // namespace flash::testbed

@@ -1,0 +1,252 @@
+#include "testbed/network.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace flash::testbed {
+
+namespace {
+std::uint64_t pair_key(NodeId u, NodeId v) {
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+}  // namespace
+
+Network::Network(const Graph& graph, NetworkConfig config)
+    : graph_(&graph),
+      config_(config),
+      balance_(graph.num_edges(), 0),
+      busy_until_(graph.num_nodes(), 0),
+      pending_(graph.num_nodes()) {
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    edge_lookup_.emplace(pair_key(graph.from(e), graph.to(e)), e);
+  }
+}
+
+Amount Network::total_balance() const {
+  Amount total = 0;
+  for (Amount b : balance_) total += b;
+  return total;
+}
+
+Amount Network::total_pending() const {
+  Amount total = 0;
+  for (const auto& node_pending : pending_) {
+    for (const auto& [id, part] : node_pending) total += part.second;
+  }
+  return total;
+}
+
+EdgeId Network::edge_between(NodeId u, NodeId v) const {
+  const auto it = edge_lookup_.find(pair_key(u, v));
+  return it == edge_lookup_.end() ? kInvalidEdge : it->second;
+}
+
+void Network::register_session(std::uint64_t trans_id, SenderCallback cb) {
+  sessions_[trans_id] = std::move(cb);
+}
+
+void Network::unregister_session(std::uint64_t trans_id) {
+  sessions_.erase(trans_id);
+}
+
+void Network::originate(Message msg) {
+  if (msg.path.size() < 2) {
+    throw std::invalid_argument("originate: path needs >= 2 nodes");
+  }
+  msg.hop = 0;
+  const NodeId origin = msg.path.front();  // read before the move below
+  arrive(origin, std::move(msg));
+}
+
+EdgeId Network::forward_edge(const Message& msg, std::size_t hop) const {
+  const EdgeId e = edge_between(msg.path[hop], msg.path[hop + 1]);
+  if (e == kInvalidEdge) {
+    throw std::logic_error("testbed: path uses a non-existent channel");
+  }
+  return e;
+}
+
+void Network::arrive(NodeId at, Message msg) {
+  // Per-node serialization: the node starts processing when it is free,
+  // spends the per-type processing cost, and the semantics take effect at
+  // the end.
+  const bool read_only =
+      msg.type == MsgType::kProbe || msg.type == MsgType::kProbeAck;
+  const double cost = read_only ? config_.probe_processing_ms
+                                : config_.node_processing_ms;
+  const double start = std::max(queue_.now(), busy_until_[at]);
+  const double done = start + cost;
+  busy_until_[at] = done;
+  queue_.schedule(done, [this, at, m = std::move(msg)]() mutable {
+    process(at, std::move(m));
+  });
+}
+
+void Network::forward(Message msg) {
+  ++msg.hop;
+  const NodeId next = msg.path[msg.hop];
+  queue_.schedule_in(config_.link_latency_ms,
+                     [this, next, m = std::move(msg)]() mutable {
+                       arrive(next, std::move(m));
+                     });
+}
+
+void Network::backward(Message msg) {
+  assert(msg.hop > 0);
+  --msg.hop;
+  const NodeId prev = msg.path[msg.hop];
+  queue_.schedule_in(config_.link_latency_ms,
+                     [this, prev, m = std::move(msg)]() mutable {
+                       arrive(prev, std::move(m));
+                     });
+}
+
+void Network::deliver_to_sender(Message msg) {
+  const auto it = sessions_.find(msg.trans_id);
+  if (it == sessions_.end()) return;  // session gone; drop
+  // Copy the callback: the handler may unregister (and erase) itself.
+  const SenderCallback cb = it->second;
+  cb(msg);
+}
+
+void Network::process(NodeId at, Message msg) {
+  ++messages_;
+  ++per_type_[static_cast<std::size_t>(msg.type)];
+  const std::size_t last = msg.path.size() - 1;
+
+  switch (msg.type) {
+    case MsgType::kProbe: {
+      if (msg.hop < last) {
+        // Intermediate (and sender): append the forward balance, relay.
+        const EdgeId e = forward_edge(msg, msg.hop);
+        msg.capacity.push_back(balance_[e]);
+        forward(std::move(msg));
+      } else {
+        // Receiver: reverse into PROBE_ACK (§5.1), contributing the
+        // reverse balance of the last channel so the sender learns both
+        // directions of every probed channel (Algorithm 1 lines 17-22).
+        msg.type = MsgType::kProbeAck;
+        const EdgeId back = edge_between(at, msg.path[msg.hop - 1]);
+        if (back != kInvalidEdge) {
+          msg.capacity_reverse.push_back(balance_[back]);
+        }
+        backward(std::move(msg));
+      }
+      return;
+    }
+    case MsgType::kProbeAck: {
+      // Each node on the way back appends the balance of its reverse
+      // channel (toward the previous node on the forward path), so the
+      // sender learns both directions (Algorithm 1 lines 17-22).
+      if (msg.hop > 0) {
+        const EdgeId back = edge_between(at, msg.path[msg.hop - 1]);
+        if (back != kInvalidEdge) {
+          msg.capacity_reverse.push_back(balance_[back]);
+        }
+        backward(std::move(msg));
+      } else {
+        deliver_to_sender(std::move(msg));
+      }
+      return;
+    }
+    case MsgType::kCommit: {
+      if (msg.hop < last) {
+        const EdgeId e = forward_edge(msg, msg.hop);
+        if (balance_[e] + 1e-9 >= msg.commit) {
+          balance_[e] -= msg.commit;
+          pending_[at][msg.trans_id] = {e, msg.commit};
+          forward(std::move(msg));
+        } else {
+          // Insufficient balance: NACK back immediately (§5.1).
+          msg.type = MsgType::kCommitNack;
+          msg.fail_hop = msg.hop;
+          if (msg.hop == 0) {
+            deliver_to_sender(std::move(msg));
+          } else {
+            backward(std::move(msg));
+          }
+        }
+      } else {
+        // Receiver: sub-payment arrived; ACK back along the reversed path.
+        msg.type = MsgType::kCommitAck;
+        backward(std::move(msg));
+      }
+      return;
+    }
+    case MsgType::kCommitAck:
+    case MsgType::kCommitNack: {
+      if (msg.hop > 0) {
+        backward(std::move(msg));
+      } else {
+        deliver_to_sender(std::move(msg));
+      }
+      return;
+    }
+    case MsgType::kConfirm: {
+      // Intermediate nodes simply relay (§5.1).
+      if (msg.hop < last) {
+        forward(std::move(msg));
+      } else {
+        // Receiver: the funds of the final channel have arrived; credit
+        // the reverse direction before acknowledging back.
+        const EdgeId credit = edge_between(at, msg.path[msg.hop - 1]);
+        if (credit != kInvalidEdge) balance_[credit] += msg.commit;
+        pending_[at].erase(msg.trans_id);
+        msg.type = MsgType::kConfirmAck;
+        backward(std::move(msg));
+      }
+      return;
+    }
+    case MsgType::kConfirmAck: {
+      // §5.1: each node processes CONFIRM_ACK "by adding the committed
+      // funds of this sub-payment to the channel in the reverse
+      // direction". Funds flowed path[hop-1] -> at, so `at` credits its
+      // own direction (at -> path[hop-1]); the pending hold this node made
+      // on its forward channel (if any) is retired for good - the funds
+      // have permanently moved.
+      if (msg.hop > 0) {
+        const EdgeId credit = edge_between(at, msg.path[msg.hop - 1]);
+        if (credit != kInvalidEdge) balance_[credit] += msg.commit;
+      }
+      pending_[at].erase(msg.trans_id);
+      if (msg.hop > 0) {
+        backward(std::move(msg));
+      } else {
+        deliver_to_sender(std::move(msg));
+      }
+      return;
+    }
+    case MsgType::kReverse: {
+      // Roll back held funds up to fail_hop (exclusive); for fully
+      // committed sub-payments fail_hop == path.size()-1 (receiver).
+      const auto it = pending_[at].find(msg.trans_id);
+      if (it != pending_[at].end()) {
+        balance_[it->second.first] += it->second.second;
+        pending_[at].erase(it);
+      }
+      if (msg.hop < msg.fail_hop && msg.hop < last) {
+        forward(std::move(msg));
+      } else {
+        // Horizon reached: acknowledge back to the sender.
+        msg.type = MsgType::kReverseAck;
+        if (msg.hop == 0) {
+          deliver_to_sender(std::move(msg));
+        } else {
+          backward(std::move(msg));
+        }
+      }
+      return;
+    }
+    case MsgType::kReverseAck: {
+      if (msg.hop > 0) {
+        backward(std::move(msg));
+      } else {
+        deliver_to_sender(std::move(msg));
+      }
+      return;
+    }
+  }
+  throw std::logic_error("testbed: unknown message type");
+}
+
+}  // namespace flash::testbed

@@ -1,0 +1,114 @@
+// Message-level emulation of the prototype offchain network (§5.1).
+//
+// Re-creation of the paper's Go/TCP prototype as a deterministic
+// discrete-event system: each node is an independent actor that owns the
+// balances of its *outgoing* channel directions and processes one message
+// at a time (per-node serialization models CPU contention on the shared
+// testbed server). Intermediate-node and receiver behaviour — balance
+// checks, holds, NACKs, reverse-direction crediting — is implemented here
+// exactly as §5.1 describes; sender-side routing logic lives in
+// sessions.h and communicates only through messages.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "testbed/event_queue.h"
+#include "testbed/message.h"
+
+namespace flash::testbed {
+
+struct NetworkConfig {
+  /// One-hop propagation + transmission delay (ms). The prototype ran all
+  /// nodes on one server over loopback TCP (§5.2), so propagation is tiny.
+  double link_latency_ms = 0.05;
+  /// Per-message processing cost at a node (ms) for state-mutating
+  /// messages (COMMIT/CONFIRM/REVERSE and their ACKs): these update
+  /// balances and, in a real deployment, involve contract/signature work.
+  /// Processing dominates on a shared server — the paper's metric is
+  /// *processing delay* — so protocols that push fewer mutating messages
+  /// through the endpoints settle faster. Nodes are serialized: one
+  /// message at a time.
+  double node_processing_ms = 1.0;
+  /// Processing cost of read-only PROBE/PROBE_ACK messages (they only copy
+  /// a balance into the payload).
+  double probe_processing_ms = 1.0;
+  /// Safety net for protocol bugs.
+  std::uint64_t max_events_per_payment = 2'000'000;
+};
+
+class Network {
+ public:
+  Network(const Graph& graph, NetworkConfig config = {});
+
+  const Graph& graph() const noexcept { return *graph_; }
+  EventQueue& queue() noexcept { return queue_; }
+
+  // --- Balance management (test/verification access) ---------------------
+
+  void set_balance(EdgeId e, Amount amount) { balance_.at(e) = amount; }
+  Amount balance(EdgeId e) const { return balance_.at(e); }
+  Amount total_balance() const;
+
+  /// Sum of funds currently held by pending (uncommitted) sub-payments.
+  Amount total_pending() const;
+
+  /// First channel edge from u to v; kInvalidEdge if none.
+  EdgeId edge_between(NodeId u, NodeId v) const;
+
+  // --- Sender API ---------------------------------------------------------
+
+  /// Terminal messages (the ones §5.1 routes back to the payment's sender)
+  /// are delivered to this callback: PROBE_ACK, COMMIT_ACK, COMMIT_NACK,
+  /// CONFIRM_ACK, REVERSE_ACK.
+  using SenderCallback = std::function<void(const Message&)>;
+  void register_session(std::uint64_t trans_id, SenderCallback cb);
+  void unregister_session(std::uint64_t trans_id);
+
+  /// Sender (path[0]) emits a fresh PROBE / COMMIT / CONFIRM / REVERSE.
+  /// The message enters the sender's own processing queue, so its cost is
+  /// accounted like any other message.
+  void originate(Message msg);
+
+  std::uint64_t fresh_trans_id() noexcept { return next_trans_id_++; }
+
+  // --- Accounting ---------------------------------------------------------
+
+  std::uint64_t messages_processed() const noexcept { return messages_; }
+  std::uint64_t messages_of(MsgType t) const {
+    return per_type_[static_cast<std::size_t>(t)];
+  }
+
+ private:
+  const Graph* graph_;
+  NetworkConfig config_;
+  EventQueue queue_;
+  std::vector<Amount> balance_;          // per directed edge, owned by from()
+  std::vector<double> busy_until_;       // per node
+  /// Pending held funds: node -> (trans_id -> (edge, amount)).
+  std::vector<std::unordered_map<std::uint64_t, std::pair<EdgeId, Amount>>>
+      pending_;
+  std::unordered_map<std::uint64_t, SenderCallback> sessions_;
+  std::unordered_map<std::uint64_t, EdgeId> edge_lookup_;  // (u,v) -> edge
+  std::uint64_t next_trans_id_ = 1;
+  std::uint64_t messages_ = 0;
+  std::uint64_t per_type_[9] = {};
+
+  /// Schedules processing of `msg` at node `at` (applies per-node busy
+  /// serialization and processing cost, then runs the semantics).
+  void arrive(NodeId at, Message msg);
+
+  /// Protocol semantics of §5.1, run when the node "executes" the message.
+  void process(NodeId at, Message msg);
+
+  void forward(Message msg);   // to path[hop + 1]
+  void backward(Message msg);  // to path[hop - 1]
+  void deliver_to_sender(Message msg);
+
+  EdgeId forward_edge(const Message& msg, std::size_t hop) const;
+};
+
+}  // namespace flash::testbed

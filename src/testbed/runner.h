@@ -1,0 +1,75 @@
+// Testbed experiment runner (§5.2-§5.3).
+//
+// Builds a Watts-Strogatz network with capacities drawn from an interval,
+// replays 10,000 Ripple-sized transactions sequentially through the
+// message-level emulation, and measures success volume, success ratio and
+// per-payment processing delay for Flash, Spider and SP — the quantities
+// plotted in Figs. 12 and 13.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/types.h"
+#include "testbed/network.h"
+
+namespace flash::testbed {
+
+enum class TestbedScheme { kFlash, kSpider, kShortestPath };
+
+std::string testbed_scheme_name(TestbedScheme s);
+
+struct TestbedConfig {
+  TestbedScheme scheme = TestbedScheme::kFlash;
+  std::size_t nodes = 50;
+  Amount cap_lo = 1000;
+  Amount cap_hi = 1500;
+  std::size_t num_transactions = 10000;
+  std::uint64_t seed = 1;
+  /// Flash parameters (paper §5.2): threshold at the 90th size percentile,
+  /// k = 20 elephant paths, m = 4 mice paths.
+  double mice_quantile = 0.9;
+  std::size_t k_elephant_paths = 20;
+  std::size_t m_mice_paths = 4;
+  /// Spider: 4 edge-disjoint shortest paths.
+  std::size_t spider_paths = 4;
+  NetworkConfig net;
+};
+
+struct TestbedResult {
+  std::size_t transactions = 0;
+  std::size_t successes = 0;
+  Amount volume_attempted = 0;
+  Amount volume_succeeded = 0;
+  double total_delay_ms = 0;
+  double mice_delay_ms = 0;
+  /// Delay summed over *settled* (successful) payments only — the
+  /// settlement-time view of processing delay.
+  double success_delay_ms = 0;
+  double mice_success_delay_ms = 0;
+  std::size_t mice_transactions = 0;
+  std::size_t mice_successes = 0;
+  std::uint64_t messages = 0;
+
+  double success_ratio() const {
+    return transactions ? static_cast<double>(successes) / transactions : 0;
+  }
+  double avg_delay_ms() const {
+    return transactions ? total_delay_ms / transactions : 0;
+  }
+  double avg_mice_delay_ms() const {
+    return mice_transactions ? mice_delay_ms / mice_transactions : 0;
+  }
+  double avg_success_delay_ms() const {
+    return successes ? success_delay_ms / successes : 0;
+  }
+  double avg_mice_success_delay_ms() const {
+    return mice_successes ? mice_success_delay_ms / mice_successes : 0;
+  }
+};
+
+/// Runs one testbed experiment. Deterministic in config.seed. Throws
+/// std::logic_error if funds conservation is violated at the end.
+TestbedResult run_testbed(const TestbedConfig& config);
+
+}  // namespace flash::testbed

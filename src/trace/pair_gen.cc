@@ -1,0 +1,123 @@
+#include "trace/pair_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace flash {
+
+RecurrentPairGenerator::RecurrentPairGenerator(std::size_t num_nodes,
+                                               PairGenConfig config, Rng& rng)
+    : num_nodes_(num_nodes),
+      config_(config),
+      sender_sampler_(std::max<std::size_t>(num_nodes, 1),
+                      config.sender_zipf_s),
+      sender_identity_(num_nodes) {
+  if (num_nodes < 2) {
+    throw std::invalid_argument("RecurrentPairGenerator: need >= 2 nodes");
+  }
+  if (config.working_set < 1) {
+    throw std::invalid_argument("RecurrentPairGenerator: working_set >= 1");
+  }
+  // Random permutation decouples Zipf rank from node id, so "active"
+  // participants are spread across the topology.
+  std::iota(sender_identity_.begin(), sender_identity_.end(), NodeId{0});
+  rng.shuffle(sender_identity_);
+}
+
+RecurrentPairGenerator::RecurrentPairGenerator(
+    std::vector<NodeId> activity_order, PairGenConfig config)
+    : num_nodes_(activity_order.size()),
+      config_(config),
+      sender_sampler_(std::max<std::size_t>(activity_order.size(), 1),
+                      config.sender_zipf_s),
+      sender_identity_(std::move(activity_order)) {
+  if (num_nodes_ < 2) {
+    throw std::invalid_argument("RecurrentPairGenerator: need >= 2 nodes");
+  }
+  if (config.working_set < 1) {
+    throw std::invalid_argument("RecurrentPairGenerator: working_set >= 1");
+  }
+}
+
+std::pair<NodeId, NodeId> RecurrentPairGenerator::next(Rng& rng) {
+  ++clock_;
+  const NodeId sender = sender_identity_[sender_sampler_(rng)];
+  const auto pair = next_from(sender, rng);
+  if (config_.bidirectional_relationships) {
+    remember(pair.second, pair.first);
+  }
+  return pair;
+}
+
+std::pair<NodeId, NodeId> RecurrentPairGenerator::next_from(NodeId sender,
+                                                            Rng& rng) {
+  auto& ws = working_[sender];
+
+  if (!ws.empty() && rng.chance(config_.recurrence)) {
+    // Zipf-weighted revisit by seniority rank: long-standing counterparties
+    // (the favourite merchant, the partner bank) dominate.
+    double total = 0;
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1),
+                              config_.receiver_zipf_s);
+    }
+    double r = rng.uniform() * total;
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      r -= 1.0 / std::pow(static_cast<double>(i + 1),
+                          config_.receiver_zipf_s);
+      if (r < 0) {
+        ws[i].last_used = clock_;
+        return {sender, ws[i].receiver};
+      }
+    }
+    ws.back().last_used = clock_;
+    return {sender, ws.back().receiver};
+  }
+
+  // Open (or re-open) a relationship with a fresh counterparty.
+  const NodeId receiver = fresh_receiver(sender, rng);
+  remember(sender, receiver);
+  return {sender, receiver};
+}
+
+void RecurrentPairGenerator::remember(NodeId owner, NodeId counterparty) {
+  auto& ws = working_[owner];
+  const auto known = std::find_if(
+      ws.begin(), ws.end(),
+      [counterparty](const Entry& e) { return e.receiver == counterparty; });
+  if (known != ws.end()) {
+    known->last_used = clock_;
+    return;
+  }
+  if (ws.size() >= config_.working_set) {
+    // Evict the least-recently-used counterparty; seniority ranks of the
+    // remaining entries are preserved.
+    const auto lru = std::min_element(
+        ws.begin(), ws.end(), [](const Entry& a, const Entry& b) {
+          return a.last_used < b.last_used;
+        });
+    ws.erase(lru);
+  }
+  ws.push_back({counterparty, clock_});
+}
+
+std::vector<NodeId> RecurrentPairGenerator::receivers_of(
+    NodeId sender) const {
+  std::vector<NodeId> out;
+  const auto it = working_.find(sender);
+  if (it == working_.end()) return out;
+  out.reserve(it->second.size());
+  for (const Entry& e : it->second) out.push_back(e.receiver);
+  return out;
+}
+
+NodeId RecurrentPairGenerator::fresh_receiver(NodeId sender, Rng& rng) const {
+  while (true) {
+    const auto r = static_cast<NodeId>(rng.next_below(num_nodes_));
+    if (r != sender) return r;
+  }
+}
+
+}  // namespace flash

@@ -1,0 +1,45 @@
+#include "trace/size_dist.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace flash {
+
+SizeDistribution::SizeDistribution(double body_median, double body_sigma,
+                                   double tail_prob, double tail_xm,
+                                   double tail_alpha)
+    : body_median_(body_median),
+      body_mu_(std::log(body_median)),
+      body_sigma_(body_sigma),
+      tail_prob_(tail_prob),
+      tail_xm_(tail_xm),
+      tail_alpha_(tail_alpha) {
+  if (body_median <= 0 || body_sigma <= 0 || tail_prob < 0 || tail_prob > 1 ||
+      tail_xm <= 0 || tail_alpha <= 1.0) {
+    throw std::invalid_argument("SizeDistribution: bad parameters");
+  }
+}
+
+SizeDistribution SizeDistribution::ripple() {
+  // Body median chosen so the overall median lands near $4.8 after the
+  // 10 % tail mass shifts quantiles; alpha solves
+  //   0.1 * mean_tail / total_mean = 0.945 with mean_tail = xm*a/(a-1).
+  return SizeDistribution(/*body_median=*/3.6, /*body_sigma=*/2.0,
+                          /*tail_prob=*/0.10, /*tail_xm=*/1740.0,
+                          /*tail_alpha=*/1.46);
+}
+
+SizeDistribution SizeDistribution::bitcoin() {
+  return SizeDistribution(/*body_median=*/0.98e6, /*body_sigma=*/2.0,
+                          /*tail_prob=*/0.10, /*tail_xm=*/8.9e7,
+                          /*tail_alpha=*/1.09);
+}
+
+Amount SizeDistribution::sample(Rng& rng) const {
+  if (rng.chance(tail_prob_)) {
+    return rng.pareto(tail_xm_, tail_alpha_);
+  }
+  return rng.lognormal(body_mu_, body_sigma_);
+}
+
+}  // namespace flash

@@ -1,0 +1,77 @@
+#include "trace/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace flash {
+
+void write_trace(std::ostream& os, const std::vector<Transaction>& txs) {
+  os << "sender,receiver,amount,timestamp\n";
+  CsvWriter w(os);
+  for (const auto& tx : txs) {
+    w.field(static_cast<std::uint64_t>(tx.sender))
+        .field(static_cast<std::uint64_t>(tx.receiver))
+        .field(tx.amount)
+        .field(tx.timestamp);
+    w.end_row();
+  }
+}
+
+std::vector<Transaction> read_trace(std::istream& is) {
+  std::vector<Transaction> txs;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::string_view sv = trim(line);
+    if (sv.empty() || sv.front() == '#') continue;
+    const auto fields = parse_csv_line(sv);
+    if (fields.size() < 3) {
+      throw std::runtime_error("trace line " + std::to_string(lineno) +
+                               ": expected sender,receiver,amount[,ts]");
+    }
+    const auto s = parse_uint(fields[0]);
+    const auto r = parse_uint(fields[1]);
+    const auto a = parse_double(fields[2]);
+    if (!s || !r || !a) {
+      if (lineno == 1) continue;  // tolerate a header row
+      throw std::runtime_error("trace line " + std::to_string(lineno) +
+                               ": parse error");
+    }
+    Transaction tx;
+    tx.sender = static_cast<NodeId>(*s);
+    tx.receiver = static_cast<NodeId>(*r);
+    tx.amount = *a;
+    if (fields.size() >= 4) {
+      const auto ts = parse_double(fields[3]);
+      if (!ts) {
+        throw std::runtime_error("trace line " + std::to_string(lineno) +
+                                 ": bad timestamp");
+      }
+      tx.timestamp = *ts;
+    } else {
+      tx.timestamp = static_cast<double>(txs.size());
+    }
+    txs.push_back(tx);
+  }
+  return txs;
+}
+
+void save_trace(const std::string& path, const std::vector<Transaction>& txs) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  write_trace(os, txs);
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<Transaction> load_trace(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  return read_trace(is);
+}
+
+}  // namespace flash

@@ -1,0 +1,20 @@
+// A single payment request ("transaction" in the paper's traces).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.h"
+
+namespace flash {
+
+struct Transaction {
+  NodeId sender = kInvalidNode;
+  NodeId receiver = kInvalidNode;
+  Amount amount = 0;
+  /// Arrival time. The simulator processes transactions sequentially in
+  /// timestamp order (paper §4.1: "payments arrive at senders
+  /// sequentially"); the recurrence analysis (Fig. 4) buckets by day.
+  double timestamp = 0;
+};
+
+}  // namespace flash

@@ -1,0 +1,170 @@
+#include "trace/workload.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/bfs.h"
+#include "graph/topology.h"
+#include "trace/pair_gen.h"
+#include "trace/size_dist.h"
+#include "util/stats.h"
+
+namespace flash {
+
+Workload::Workload(Graph graph, std::vector<Amount> initial_balances,
+                   FeeSchedule fees, std::vector<Transaction> transactions,
+                   std::string name)
+    : graph_(std::move(graph)),
+      initial_balances_(std::move(initial_balances)),
+      fees_(std::move(fees)),
+      transactions_(std::move(transactions)),
+      name_(std::move(name)) {
+  if (initial_balances_.size() != graph_.num_edges()) {
+    throw std::invalid_argument("workload: balance/edge count mismatch");
+  }
+}
+
+NetworkState Workload::make_state(double capacity_scale) const {
+  NetworkState state(graph_);
+  for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+    state.set_balance(e, initial_balances_[e] * capacity_scale);
+  }
+  return state;
+}
+
+Amount Workload::size_quantile(double q) const {
+  if (transactions_.empty()) return 0;
+  std::vector<double> sizes;
+  sizes.reserve(transactions_.size());
+  for (const auto& tx : transactions_) sizes.push_back(tx.amount);
+  return percentile(std::move(sizes), q * 100.0);
+}
+
+Workload Workload::truncated(std::size_t n) const {
+  std::vector<Transaction> head(
+      transactions_.begin(),
+      transactions_.begin() +
+          static_cast<long>(std::min(n, transactions_.size())));
+  return Workload(graph_, initial_balances_, fees_, std::move(head), name_);
+}
+
+namespace {
+
+std::vector<Transaction> generate_transactions(
+    const Graph& g, const SizeDistribution& sizes, std::size_t count,
+    bool ensure_connectivity, Rng& rng) {
+  // On a connected topology every pair is reachable; skip per-pair BFS.
+  const bool check_pairs = ensure_connectivity && !is_connected(g);
+  // Activity follows connectivity: the most active senders are the
+  // highest-degree nodes (gateways), as in the real credit network.
+  std::vector<NodeId> by_degree(g.num_nodes());
+  std::iota(by_degree.begin(), by_degree.end(), NodeId{0});
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&g](NodeId a, NodeId b) {
+                     return g.out_degree(a) > g.out_degree(b);
+                   });
+  RecurrentPairGenerator pairs(std::move(by_degree), PairGenConfig{});
+  std::vector<Transaction> txs;
+  txs.reserve(count);
+  while (txs.size() < count) {
+    auto [s, r] = pairs.next(rng);
+    if (check_pairs && !reachable(g, s, r)) continue;
+    Transaction tx;
+    tx.sender = s;
+    tx.receiver = r;
+    tx.amount = sizes.sample(rng);
+    tx.timestamp = static_cast<double>(txs.size());
+    txs.push_back(tx);
+  }
+  return txs;
+}
+
+std::vector<Amount> balances_of(const NetworkState& state, const Graph& g) {
+  std::vector<Amount> balances(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) balances[e] = state.balance(e);
+  return balances;
+}
+
+}  // namespace
+
+Workload make_ripple_workload(const WorkloadConfig& config) {
+  Rng rng(config.seed);
+  Graph g = ripple_like(rng);
+  NetworkState init(g);
+  // Median channel capacity in Ripple is ~250 USD (§4.2), funds split
+  // evenly across directions (§4.1).
+  init.assign_lognormal_split(250.0, 1.0, rng);
+  FeeSchedule fees = FeeSchedule::paper_default(g, rng);
+  auto txs =
+      generate_transactions(g, SizeDistribution::ripple(),
+                            config.num_transactions,
+                            config.ensure_connectivity, rng);
+  return Workload(g, balances_of(init, g), std::move(fees), std::move(txs),
+                  "ripple");
+}
+
+Workload make_lightning_workload(const WorkloadConfig& config) {
+  Rng rng(config.seed);
+  Graph g = lightning_like(rng);
+  NetworkState init(g);
+  // Median channel capacity in Lightning is ~500,000 satoshi (§4.2). The
+  // crawled fund distribution is very skewed and concentrated on hub
+  // channels (the paper uses it directly), modelled by degree weighting.
+  init.assign_lognormal_degree_weighted(500000.0, 1.6, rng);
+  FeeSchedule fees = FeeSchedule::paper_default(g, rng);
+  auto txs =
+      generate_transactions(g, SizeDistribution::bitcoin(),
+                            config.num_transactions,
+                            config.ensure_connectivity, rng);
+  return Workload(g, balances_of(init, g), std::move(fees), std::move(txs),
+                  "lightning");
+}
+
+Workload make_testbed_workload(std::size_t nodes, Amount cap_lo,
+                               Amount cap_hi, const WorkloadConfig& config) {
+  Rng rng(config.seed);
+  Graph g = watts_strogatz(nodes, 8, 0.3, rng);
+  NetworkState init(g);
+  // Channels are funded mostly by the opening party, so the per-direction
+  // split is skewed; this is what makes static single-path routing fragile
+  // in the paper's testbed (Fig. 12b: SP trails Flash by ~36 %).
+  init.assign_uniform_skewed(cap_lo, cap_hi, 0.35, 0.65, rng);
+  FeeSchedule fees = FeeSchedule::paper_default(g, rng);
+
+  // The testbed draws sender-receiver pairs uniformly (§5.2), with volumes
+  // following the Ripple trace and at least one path guaranteed.
+  const bool check_pairs = config.ensure_connectivity && !is_connected(g);
+  const SizeDistribution sizes = SizeDistribution::ripple();
+  std::vector<Transaction> txs;
+  txs.reserve(config.num_transactions);
+  while (txs.size() < config.num_transactions) {
+    const auto s = static_cast<NodeId>(rng.next_below(nodes));
+    const auto r = static_cast<NodeId>(rng.next_below(nodes));
+    if (s == r) continue;
+    if (check_pairs && !reachable(g, s, r)) continue;
+    Transaction tx;
+    tx.sender = s;
+    tx.receiver = r;
+    tx.amount = sizes.sample(rng);
+    tx.timestamp = static_cast<double>(txs.size());
+    txs.push_back(tx);
+  }
+  return Workload(g, balances_of(init, g), std::move(fees), std::move(txs),
+                  "testbed-" + std::to_string(nodes));
+}
+
+Workload make_toy_workload(std::size_t nodes, std::size_t num_transactions,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  Graph g = watts_strogatz(std::max<std::size_t>(nodes, 8), 4, 0.2, rng);
+  NetworkState init(g);
+  init.assign_uniform_split(50.0, 150.0, rng);
+  FeeSchedule fees = FeeSchedule::paper_default(g, rng);
+  auto txs = generate_transactions(g, SizeDistribution::ripple(),
+                                   num_transactions, true, rng);
+  return Workload(g, balances_of(init, g), std::move(fees), std::move(txs),
+                  "toy");
+}
+
+}  // namespace flash

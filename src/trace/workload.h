@@ -1,0 +1,83 @@
+// Complete experiment workloads: topology + balances + fees + transactions.
+//
+// Mirrors the paper's evaluation setups (§4.1, §5.2): the Ripple-like and
+// Lightning-like simulation workloads and the Watts-Strogatz testbed
+// workload. A Workload owns its Graph; NetworkState instances are minted
+// per run so multi-seed experiments always start from identical balances.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "ledger/fee_policy.h"
+#include "ledger/network_state.h"
+#include "trace/transaction.h"
+
+namespace flash {
+
+class Workload {
+ public:
+  Workload(Graph graph, std::vector<Amount> initial_balances,
+           FeeSchedule fees, std::vector<Transaction> transactions,
+           std::string name);
+
+  const Graph& graph() const noexcept { return graph_; }
+  const FeeSchedule& fees() const noexcept { return fees_; }
+  const std::vector<Transaction>& transactions() const noexcept {
+    return transactions_;
+  }
+  const std::string& name() const noexcept { return name_; }
+
+  /// Fresh ledger with the workload's initial balances, optionally scaled
+  /// by the capacity scale factor of Fig. 6.
+  NetworkState make_state(double capacity_scale = 1.0) const;
+
+  /// Payment size below which a payment counts as "mice": the q-quantile of
+  /// this workload's payment sizes (paper default q = 0.9, i.e. 90 % of
+  /// payments are mice).
+  Amount size_quantile(double q) const;
+
+  /// Restricts to the first n transactions (for load sweeps, Fig. 7).
+  Workload truncated(std::size_t n) const;
+
+ private:
+  Graph graph_;
+  std::vector<Amount> initial_balances_;  // per directed edge
+  FeeSchedule fees_;
+  std::vector<Transaction> transactions_;
+  std::string name_;
+};
+
+struct WorkloadConfig {
+  std::size_t num_transactions = 2000;
+  std::uint64_t seed = 1;
+  /// When true, resample sender/receiver pairs until a path exists in the
+  /// topology (the paper ensures at least one path exists, §5.2).
+  bool ensure_connectivity = true;
+};
+
+/// Ripple-like simulation workload: scale-free 1,870-node topology,
+/// channel capacities lognormal around a $250 median split evenly across
+/// directions, USD payment sizes per Fig. 3a, recurrent pairs per Fig. 4.
+Workload make_ripple_workload(const WorkloadConfig& config);
+
+/// Lightning-like simulation workload: scale-free 2,511-node topology,
+/// capacities lognormal around a 500,000-satoshi median, satoshi payment
+/// sizes per Fig. 3b, recurrent pairs per Fig. 4 (the paper maps Ripple
+/// pairs onto the Lightning topology; we generate pairs directly).
+Workload make_lightning_workload(const WorkloadConfig& config);
+
+/// Testbed workload (§5.2): Watts-Strogatz graph with `nodes` nodes,
+/// channel capacities uniform in [cap_lo, cap_hi) split across directions
+/// with a random skew (channels are funded mostly by their opener),
+/// Ripple-like payment sizes, uniform random pairs with guaranteed
+/// connectivity.
+Workload make_testbed_workload(std::size_t nodes, Amount cap_lo,
+                               Amount cap_hi, const WorkloadConfig& config);
+
+/// Small deterministic workload for unit tests and the quickstart example.
+Workload make_toy_workload(std::size_t nodes, std::size_t num_transactions,
+                           std::uint64_t seed);
+
+}  // namespace flash

@@ -1,0 +1,103 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+
+namespace flash {
+
+namespace {
+bool needs_quoting(std::string_view v) {
+  return v.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+}  // namespace
+
+CsvWriter& CsvWriter::field(std::string_view v) {
+  if (row_started_) os_ << ',';
+  row_started_ = true;
+  if (needs_quoting(v)) {
+    os_ << '"';
+    for (char c : v) {
+      if (c == '"') os_ << '"';
+      os_ << c;
+    }
+    os_ << '"';
+  } else {
+    os_ << v;
+  }
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return field(std::string_view(buf));
+}
+
+CsvWriter& CsvWriter::field(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return field(std::string_view(buf));
+}
+
+CsvWriter& CsvWriter::field(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return field(std::string_view(buf));
+}
+
+void CsvWriter::end_row() {
+  os_ << '\n';
+  row_started_ = false;
+}
+
+std::vector<std::string> parse_csv_line(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF input.
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::vector<std::vector<std::string>> read_csv(std::istream& is,
+                                               bool skip_header) {
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (first && skip_header) {
+      first = false;
+      continue;
+    }
+    first = false;
+    if (line.empty()) continue;
+    rows.push_back(parse_csv_line(line));
+  }
+  return rows;
+}
+
+}  // namespace flash

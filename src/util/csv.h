@@ -1,0 +1,38 @@
+// Minimal CSV reading/writing used for traces and bench output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flash {
+
+/// Streaming CSV writer. Quotes fields only when needed (comma, quote, NL).
+class CsvWriter {
+ public:
+  /// Writes to the given stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  CsvWriter& field(std::string_view v);
+  CsvWriter& field(double v);
+  CsvWriter& field(std::int64_t v);
+  CsvWriter& field(std::uint64_t v);
+  CsvWriter& field(int v) { return field(static_cast<std::int64_t>(v)); }
+
+  /// Ends the current row.
+  void end_row();
+
+ private:
+  std::ostream& os_;
+  bool row_started_ = false;
+};
+
+/// Splits one CSV line into fields, honoring double-quote escaping.
+std::vector<std::string> parse_csv_line(std::string_view line);
+
+/// Reads all rows of a CSV stream. If skip_header, drops the first row.
+std::vector<std::vector<std::string>> read_csv(std::istream& is,
+                                               bool skip_header = false);
+
+}  // namespace flash

@@ -1,0 +1,110 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Every stochastic component in this repository takes an explicit Rng (or a
+// seed) so that simulations, workload generation and the testbed are
+// bit-reproducible across runs.  The generator is xoshiro256** seeded via
+// splitmix64, which is fast, has a 256-bit state and passes BigCrush.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace flash {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** generator with convenience distributions.
+///
+/// Satisfies UniformRandomBitGenerator so it can also be handed to
+/// <random> distributions and std::shuffle.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Raw 64 uniform bits.
+  result_type operator()() noexcept { return next(); }
+  result_type next() noexcept;
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Standard normal via Box-Muller (no cached spare; stateless per call).
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Lognormal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Pareto with scale x_m > 0 and shape alpha > 0.
+  double pareto(double x_m, double alpha) noexcept;
+
+  /// Exponential with the given rate lambda > 0.
+  double exponential(double lambda) noexcept;
+
+  /// Index in [0, weights.size()) drawn proportionally to weights.
+  /// Precondition: weights non-empty, all >= 0, sum > 0.
+  std::size_t weighted_index(const std::vector<double>& weights) noexcept;
+
+  /// Fisher-Yates shuffle of an entire vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = next_below(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Pick a uniformly random element. Precondition: v non-empty.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) noexcept {
+    return v[next_below(v.size())];
+  }
+
+  /// Derive an independent child generator (for parallel/per-run streams).
+  Rng split() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipf(s, n) sampler over {0, .., n-1} using precomputed CDF inversion.
+/// Used for clustered receiver selection (Fig. 4 recurrence structure).
+class ZipfSampler {
+ public:
+  /// n: support size (> 0); s: exponent (>= 0; s=0 degenerates to uniform).
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t operator()(Rng& rng) const noexcept;
+
+  std::size_t support() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // normalized cumulative weights
+};
+
+}  // namespace flash

@@ -1,0 +1,96 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace flash {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  s.n = values.size();
+  s.min = values[0];
+  s.max = values[0];
+  for (double v : values) {
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    s.sum += v;
+  }
+  s.mean = s.sum / static_cast<double>(s.n);
+  double m2 = 0.0;
+  for (double v : values) m2 += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(m2 / static_cast<double>(s.n));
+  return s;
+}
+
+double percentile(std::vector<double> values, double p) {
+  assert(!values.empty());
+  assert(p >= 0.0 && p <= 100.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  const double rank = (p / 100.0) * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> values,
+                                    std::size_t max_points) {
+  assert(!values.empty());
+  assert(max_points >= 2);
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  std::vector<CdfPoint> out;
+  const std::size_t points = std::min(max_points, n);
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    // Evenly spaced ranks including first and last order statistic.
+    const std::size_t rank =
+        (points == 1) ? n - 1 : i * (n - 1) / (points - 1);
+    out.push_back({values[rank],
+                   static_cast<double>(rank + 1) / static_cast<double>(n)});
+  }
+  return out;
+}
+
+double top_fraction_share(std::vector<double> values, double top_fraction) {
+  assert(!values.empty());
+  assert(top_fraction > 0.0 && top_fraction <= 1.0);
+  std::sort(values.begin(), values.end(), std::greater<>());
+  const double total = std::accumulate(values.begin(), values.end(), 0.0);
+  if (total <= 0.0) return 0.0;
+  auto top_n = static_cast<std::size_t>(
+      std::ceil(top_fraction * static_cast<double>(values.size())));
+  top_n = std::max<std::size_t>(1, std::min(top_n, values.size()));
+  const double top_sum =
+      std::accumulate(values.begin(), values.begin() + top_n, 0.0);
+  return top_sum / total;
+}
+
+void RunningStat::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace flash

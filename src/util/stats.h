@@ -1,0 +1,69 @@
+// Small descriptive-statistics helpers used by metrics and benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace flash {
+
+/// Summary of a sample: n, min, max, mean, stddev (population), sum.
+struct Summary {
+  std::size_t n = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double sum = 0.0;
+};
+
+/// Computes a Summary over the values. Empty input yields all zeros.
+Summary summarize(std::span<const double> values);
+
+/// p-th percentile (p in [0,100]) using linear interpolation between order
+/// statistics. Precondition: values non-empty.
+double percentile(std::vector<double> values, double p);
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const double> values);
+
+/// One (x, F(x)) point of an empirical CDF.
+struct CdfPoint {
+  double x = 0.0;
+  double f = 0.0;  // fraction of samples <= x
+};
+
+/// Empirical CDF reduced to at most max_points points (uniformly spaced in
+/// rank), always including min and max. Precondition: values non-empty.
+std::vector<CdfPoint> empirical_cdf(std::vector<double> values,
+                                    std::size_t max_points = 64);
+
+/// Fraction of total sum contributed by the top `top_fraction` of values
+/// (e.g. top_fraction = 0.10 asks how much of the volume the largest 10 % of
+/// payments carry). Precondition: values non-empty, top_fraction in (0,1].
+double top_fraction_share(std::vector<double> values, double top_fraction);
+
+/// Running accumulator when samples arrive one by one.
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  /// Population variance/stddev (Welford).
+  double variance() const noexcept { return n_ ? m2_ / n_ : 0.0; }
+  double stddev() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace flash

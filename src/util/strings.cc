@@ -1,0 +1,72 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace flash {
+
+std::vector<std::string_view> split(std::string_view s, char delim) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::optional<double> parse_double(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  // std::from_chars<double> is available in libstdc++ 11+.
+  double value = 0.0;
+  const auto* first = s.data();
+  const auto* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return value;
+}
+
+std::optional<std::int64_t> parse_int(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  std::int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> parse_uint(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace flash

@@ -1,0 +1,28 @@
+// String parsing helpers shared by trace and topology I/O.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flash {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Strict full-string parses; nullopt on any trailing garbage or overflow.
+std::optional<double> parse_double(std::string_view s);
+std::optional<std::int64_t> parse_int(std::string_view s);
+std::optional<std::uint64_t> parse_uint(std::string_view s);
+
+/// True if s starts with the given prefix.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Lower-cases ASCII.
+std::string to_lower(std::string_view s);
+
+}  // namespace flash

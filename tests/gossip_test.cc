@@ -1,0 +1,155 @@
+// Tests for the topology-gossip substrate (the §3.1 prerequisite).
+#include <gtest/gtest.h>
+
+#include "gossip/gossip.h"
+#include "graph/bfs.h"
+#include "graph/topology.h"
+#include "testutil.h"
+
+namespace flash::gossip {
+namespace {
+
+using flash::testing::make_graph;
+
+TEST(NodeView, AppliesAndDetectsStale) {
+  NodeView view;
+  Announcement open;
+  open.type = AnnouncementType::kChannelOpen;
+  open.u = 3;
+  open.v = 1;
+  open.seq = 2;
+  EXPECT_TRUE(view.apply(open));
+  EXPECT_TRUE(view.knows_channel(1, 3));
+  EXPECT_TRUE(view.knows_channel(3, 1));  // unordered
+  EXPECT_EQ(view.seq_of(1, 3), 2u);
+  // Same or older seq: rejected.
+  EXPECT_FALSE(view.apply(open));
+  open.seq = 1;
+  EXPECT_FALSE(view.apply(open));
+  // Newer close wins.
+  Announcement close = open;
+  close.type = AnnouncementType::kChannelClose;
+  close.seq = 3;
+  EXPECT_TRUE(view.apply(close));
+  EXPECT_FALSE(view.knows_channel(1, 3));
+}
+
+TEST(NodeView, ToGraphMaterializesOpenChannels) {
+  NodeView view;
+  view.apply({AnnouncementType::kChannelOpen, 0, 1, 1});
+  view.apply({AnnouncementType::kChannelOpen, 1, 2, 1});
+  view.apply({AnnouncementType::kChannelClose, 1, 2, 2});
+  const Graph g = view.to_graph(3);
+  EXPECT_EQ(g.num_channels(), 1u);
+  EXPECT_EQ(view.open_channels(), 1u);
+}
+
+TEST(NodeView, AgreementIsSymmetricOnOpenSets) {
+  NodeView a, b;
+  a.apply({AnnouncementType::kChannelOpen, 0, 1, 1});
+  EXPECT_FALSE(a.agrees_with(b));
+  EXPECT_FALSE(b.agrees_with(a));
+  b.apply({AnnouncementType::kChannelOpen, 0, 1, 5});
+  EXPECT_TRUE(a.agrees_with(b));
+  // A channel b believes closed and a never heard of: still agreement.
+  b.apply({AnnouncementType::kChannelOpen, 2, 3, 1});
+  b.apply({AnnouncementType::kChannelClose, 2, 3, 2});
+  EXPECT_TRUE(a.agrees_with(b));
+}
+
+TEST(Gossip, FullTopologyConvergesEverywhere) {
+  Rng rng(1);
+  Graph g = watts_strogatz(40, 6, 0.3, rng);
+  GossipNetwork gossip(g);
+  gossip.announce_full_topology();
+  const auto [rounds, messages] = gossip.run_to_quiescence();
+  EXPECT_TRUE(gossip.converged());
+  EXPECT_GT(rounds, 0u);
+  EXPECT_GT(messages, 0u);
+  // Every node's materialized view matches the physical channel count.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(gossip.view(v).open_channels(), g.num_channels());
+  }
+}
+
+TEST(Gossip, PropagationBoundedByDiameter) {
+  // On a line of n nodes an announcement at one end needs ~n rounds.
+  Graph g = line_graph(10);
+  GossipNetwork gossip(g);
+  gossip.announce_channel_open(0, 1);  // channel between nodes 0 and 1
+  const auto [rounds, messages] = gossip.run_to_quiescence();
+  EXPECT_TRUE(gossip.converged());
+  EXPECT_LE(rounds, 10u);
+  EXPECT_GE(rounds, 8u);  // must walk the whole line
+}
+
+TEST(Gossip, DuplicateSuppressionBoundsMessages) {
+  Rng rng(2);
+  Graph g = watts_strogatz(30, 6, 0.2, rng);
+  GossipNetwork gossip(g);
+  gossip.announce_channel_open(0, 1);
+  const auto [rounds, messages] = gossip.run_to_quiescence();
+  // One announcement floods each directed edge at most once per adopting
+  // node: messages <= sum of degrees of adopting nodes = 2|E| per
+  // announcement, plus the duplicate deliveries that get suppressed.
+  EXPECT_LE(messages, 4 * g.num_edges());
+}
+
+TEST(Gossip, CloseOvertakesOpen) {
+  Graph g = make_graph(4, {{0, 1}, {1, 2}, {2, 3}});
+  GossipNetwork gossip(g);
+  gossip.announce_full_topology();
+  gossip.run_to_quiescence();
+  gossip.announce_channel_close(1, /*seq=*/2);  // channel 1-2 closes
+  gossip.run_to_quiescence();
+  EXPECT_TRUE(gossip.converged());
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_FALSE(gossip.view(v).knows_channel(1, 2));
+    EXPECT_TRUE(gossip.view(v).knows_channel(0, 1));
+  }
+}
+
+TEST(Gossip, StaleOpenCannotResurrectClosedChannel) {
+  Graph g = make_graph(3, {{0, 1}, {1, 2}});
+  GossipNetwork gossip(g);
+  gossip.announce_channel_close(0, /*seq=*/5);
+  gossip.run_to_quiescence();
+  // A late (stale) open with a lower sequence must be ignored.
+  gossip.announce_channel_open(0, /*seq=*/3);
+  gossip.run_to_quiescence();
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_FALSE(gossip.view(v).knows_channel(0, 1));
+  }
+}
+
+TEST(Gossip, PartitionedNetworkDoesNotConverge) {
+  Graph g(4);
+  g.add_channel(0, 1);
+  g.add_channel(2, 3);  // disconnected component
+  GossipNetwork gossip(g);
+  gossip.announce_channel_open(0, 1);  // only component {0,1} learns
+  gossip.run_to_quiescence();
+  EXPECT_TRUE(gossip.view(0).knows_channel(0, 1));
+  EXPECT_FALSE(gossip.view(2).knows_channel(0, 1));
+  EXPECT_FALSE(gossip.converged());
+}
+
+TEST(Gossip, ViewDrivesRouterTopology) {
+  // End-to-end: a node's gossip view materializes the graph its router
+  // uses; after a close + refresh, the router routes around the gap.
+  Graph physical = make_graph(4, {{0, 1}, {1, 3}, {0, 2}, {2, 3}});
+  GossipNetwork gossip(physical);
+  gossip.announce_full_topology();
+  gossip.run_to_quiescence();
+  const Graph local = gossip.view(0).to_graph(4);
+  EXPECT_EQ(local.num_channels(), 4u);
+  // Close channel 0 (0-1); a fresh view graph drops it.
+  gossip.announce_channel_close(0, 2);
+  gossip.run_to_quiescence();
+  const Graph updated = gossip.view(0).to_graph(4);
+  EXPECT_EQ(updated.num_channels(), 3u);
+  EXPECT_TRUE(reachable(updated, 0, 3));  // still reachable via 2
+}
+
+}  // namespace
+}  // namespace flash::gossip

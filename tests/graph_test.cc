@@ -1,0 +1,100 @@
+// Tests for the core Graph structure: channels, reverse pairing, paths.
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "testutil.h"
+
+namespace flash {
+namespace {
+
+using testing::make_graph;
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.num_channels(), 0u);
+}
+
+TEST(Graph, AddNodeGrows) {
+  Graph g;
+  EXPECT_EQ(g.add_node(), 0u);
+  EXPECT_EQ(g.add_node(), 1u);
+  EXPECT_EQ(g.num_nodes(), 2u);
+}
+
+TEST(Graph, ChannelCreatesPairedEdges) {
+  Graph g(3);
+  const EdgeId e = g.add_channel(0, 2);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.num_channels(), 1u);
+  EXPECT_EQ(g.from(e), 0u);
+  EXPECT_EQ(g.to(e), 2u);
+  const EdgeId r = g.reverse(e);
+  EXPECT_EQ(g.from(r), 2u);
+  EXPECT_EQ(g.to(r), 0u);
+  EXPECT_EQ(g.reverse(r), e);
+  EXPECT_EQ(g.channel_of(e), g.channel_of(r));
+}
+
+TEST(Graph, ChannelForwardEdgeRoundTrip) {
+  Graph g = make_graph(4, {{0, 1}, {1, 2}, {2, 3}});
+  for (std::size_t c = 0; c < g.num_channels(); ++c) {
+    EXPECT_EQ(g.channel_of(g.channel_forward_edge(c)), c);
+  }
+}
+
+TEST(Graph, OutEdgesBothEndpoints) {
+  Graph g = make_graph(3, {{0, 1}, {0, 2}});
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.out_degree(1), 1u);
+  EXPECT_EQ(g.out_degree(2), 1u);
+  for (EdgeId e : g.out_edges(0)) EXPECT_EQ(g.from(e), 0u);
+}
+
+TEST(Graph, ParallelChannelsAllowed) {
+  Graph g(2);
+  g.add_channel(0, 1);
+  g.add_channel(0, 1);
+  EXPECT_EQ(g.num_channels(), 2u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+}
+
+TEST(Graph, SelfChannelRejected) {
+  Graph g(2);
+  EXPECT_THROW(g.add_channel(1, 1), std::invalid_argument);
+}
+
+TEST(Graph, OutOfRangeNodeRejected) {
+  Graph g(2);
+  EXPECT_THROW(g.add_channel(0, 5), std::out_of_range);
+}
+
+TEST(Graph, PathValidation) {
+  Graph g = make_graph(4, {{0, 1}, {1, 2}, {2, 3}});
+  const Path good{0, 2, 4};  // forward edges of the three channels
+  EXPECT_TRUE(g.is_valid_path(good, 0));
+  EXPECT_FALSE(g.is_valid_path(good, 1));         // wrong start
+  EXPECT_FALSE(g.is_valid_path({2, 0}, 1));       // disconnected sequence
+  EXPECT_FALSE(g.is_valid_path({99}, 0));         // bad edge id
+  EXPECT_TRUE(g.is_valid_path({}, 3));            // empty path anywhere valid
+}
+
+TEST(Graph, PathNodes) {
+  Graph g = make_graph(4, {{0, 1}, {1, 2}, {2, 3}});
+  const std::vector<NodeId> nodes = g.path_nodes({0, 2, 4}, 0);
+  const std::vector<NodeId> expect{0, 1, 2, 3};
+  EXPECT_EQ(nodes, expect);
+}
+
+TEST(Graph, FormatPath) {
+  Graph g = make_graph(3, {{0, 1}, {1, 2}});
+  EXPECT_EQ(g.format_path({0, 2}, 0), "0 -> 1 -> 2");
+  EXPECT_EQ(g.format_path({}, 2), "2");
+}
+
+}  // namespace
+}  // namespace flash

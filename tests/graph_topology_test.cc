@@ -1,0 +1,183 @@
+// Tests for topology generators and edge-list I/O.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "graph/graph_io.h"
+#include "graph/topology.h"
+
+namespace flash {
+namespace {
+
+/// No self loops, no duplicate undirected channels.
+void expect_simple(const Graph& g) {
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (std::size_t c = 0; c < g.num_channels(); ++c) {
+    const EdgeId e = g.channel_forward_edge(c);
+    NodeId u = g.from(e), v = g.to(e);
+    EXPECT_NE(u, v);
+    if (u > v) std::swap(u, v);
+    EXPECT_TRUE(seen.emplace(u, v).second) << "duplicate channel";
+  }
+}
+
+TEST(WattsStrogatz, CountsAndSimplicity) {
+  Rng rng(1);
+  Graph g = watts_strogatz(50, 8, 0.3, rng);
+  EXPECT_EQ(g.num_nodes(), 50u);
+  // Ring lattice places n*k/2 candidate channels; a few may be dropped on
+  // rewire collisions.
+  EXPECT_GE(g.num_channels(), 180u);
+  EXPECT_LE(g.num_channels(), 200u);
+  expect_simple(g);
+}
+
+TEST(WattsStrogatz, ZeroBetaIsRingLattice) {
+  Rng rng(2);
+  Graph g = watts_strogatz(20, 4, 0.0, rng);
+  EXPECT_EQ(g.num_channels(), 40u);
+  // Every node connects to its two clockwise neighbours.
+  for (NodeId v = 0; v < 20; ++v) EXPECT_EQ(g.out_degree(v), 4u);
+}
+
+TEST(WattsStrogatz, ConnectedAtModerateBeta) {
+  Rng rng(3);
+  EXPECT_TRUE(is_connected(watts_strogatz(100, 6, 0.3, rng)));
+}
+
+TEST(WattsStrogatz, RejectsBadParams) {
+  Rng rng(4);
+  EXPECT_THROW(watts_strogatz(4, 4, 0.1, rng), std::invalid_argument);
+  EXPECT_THROW(watts_strogatz(10, 1, 0.1, rng), std::invalid_argument);
+}
+
+TEST(BarabasiAlbert, CountsAndHubs) {
+  Rng rng(5);
+  Graph g = barabasi_albert(200, 3, rng);
+  EXPECT_EQ(g.num_nodes(), 200u);
+  expect_simple(g);
+  // Preferential attachment produces hubs: max degree well above average.
+  std::size_t max_deg = 0;
+  for (NodeId v = 0; v < 200; ++v) max_deg = std::max(max_deg, g.out_degree(v));
+  const double avg = 2.0 * g.num_channels() / 200.0;
+  EXPECT_GT(static_cast<double>(max_deg), 3 * avg);
+}
+
+TEST(BarabasiAlbert, Connected) {
+  Rng rng(6);
+  EXPECT_TRUE(is_connected(barabasi_albert(100, 2, rng)));
+}
+
+TEST(ErdosRenyi, ExactChannelCount) {
+  Rng rng(7);
+  Graph g = erdos_renyi(30, 100, rng);
+  EXPECT_EQ(g.num_channels(), 100u);
+  expect_simple(g);
+}
+
+TEST(ErdosRenyi, RejectsTooMany) {
+  Rng rng(8);
+  EXPECT_THROW(erdos_renyi(5, 11, rng), std::invalid_argument);
+}
+
+TEST(ScaleFree, ExactChannelCount) {
+  Rng rng(9);
+  Graph g = scale_free(100, 450, rng);
+  EXPECT_EQ(g.num_nodes(), 100u);
+  EXPECT_EQ(g.num_channels(), 450u);
+  expect_simple(g);
+}
+
+TEST(ScaleFree, RippleLikeMatchesPaperCounts) {
+  Rng rng(10);
+  Graph g = ripple_like(rng);
+  EXPECT_EQ(g.num_nodes(), 1870u);
+  // 17,416 directed edges in the paper's processed Ripple topology.
+  EXPECT_EQ(g.num_edges(), 17416u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(ScaleFree, DeterministicPerSeed) {
+  Rng a(11), b(11), c(12);
+  Graph g1 = scale_free(50, 120, a);
+  Graph g2 = scale_free(50, 120, b);
+  Graph g3 = scale_free(50, 120, c);
+  ASSERT_EQ(g1.num_edges(), g2.num_edges());
+  bool same12 = true, same13 = g1.num_edges() == g3.num_edges();
+  for (EdgeId e = 0; e < g1.num_edges(); ++e) {
+    same12 = same12 && g1.from(e) == g2.from(e) && g1.to(e) == g2.to(e);
+    if (same13 && e < g3.num_edges()) {
+      same13 = g1.from(e) == g3.from(e) && g1.to(e) == g3.to(e);
+    }
+  }
+  EXPECT_TRUE(same12);
+  EXPECT_FALSE(same13);
+}
+
+TEST(SimpleShapes, RingLineStarComplete) {
+  EXPECT_EQ(ring_graph(5).num_channels(), 5u);
+  EXPECT_EQ(line_graph(5).num_channels(), 4u);
+  EXPECT_EQ(star_graph(6).num_channels(), 6u);
+  EXPECT_EQ(complete_graph(5).num_channels(), 10u);
+  EXPECT_TRUE(is_connected(complete_graph(4)));
+}
+
+TEST(PruneLowDegree, RemovesLeavesIteratively) {
+  // Line 0-1-2-3-4: pruning min_degree=2 should dissolve the whole line
+  // (endpoints peel off repeatedly).
+  Graph g = line_graph(5);
+  const Graph pruned = prune_low_degree(g, 2);
+  EXPECT_EQ(pruned.num_nodes(), 0u);
+}
+
+TEST(PruneLowDegree, KeepsCore) {
+  // Triangle with a pendant leaf: leaf removed, triangle kept.
+  Graph g(4);
+  g.add_channel(0, 1);
+  g.add_channel(1, 2);
+  g.add_channel(2, 0);
+  g.add_channel(2, 3);
+  std::vector<NodeId> mapping;
+  const Graph pruned = prune_low_degree(g, 2, &mapping);
+  EXPECT_EQ(pruned.num_nodes(), 3u);
+  EXPECT_EQ(pruned.num_channels(), 3u);
+  EXPECT_EQ(mapping[3], kInvalidNode);
+  EXPECT_NE(mapping[0], kInvalidNode);
+}
+
+TEST(GraphIo, RoundTrip) {
+  Rng rng(13);
+  Graph g = watts_strogatz(20, 4, 0.2, rng);
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const Graph h = read_edge_list(ss);
+  ASSERT_EQ(h.num_nodes(), g.num_nodes());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(h.from(e), g.from(e));
+    EXPECT_EQ(h.to(e), g.to(e));
+  }
+}
+
+TEST(GraphIo, CommentsAndHeader) {
+  std::istringstream is("# comment\nnodes,5\n0,1\n3,4\n");
+  const Graph g = read_edge_list(is);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_channels(), 2u);
+}
+
+TEST(GraphIo, InfersNodeCount) {
+  std::istringstream is("0,7\n");
+  EXPECT_EQ(read_edge_list(is).num_nodes(), 8u);
+}
+
+TEST(GraphIo, MalformedThrows) {
+  std::istringstream a("0\n");
+  EXPECT_THROW(read_edge_list(a), std::runtime_error);
+  std::istringstream b("x,y\n");
+  EXPECT_THROW(read_edge_list(b), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace flash

@@ -1,0 +1,349 @@
+// Tests for the channel-balance ledger: initialization, probing, holds,
+// the channel conservation invariant, and AMP atomicity.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "ledger/fee_policy.h"
+#include "ledger/htlc.h"
+#include "ledger/network_state.h"
+#include "testutil.h"
+
+namespace flash {
+namespace {
+
+using testing::bwd;
+using testing::fwd;
+using testing::make_graph;
+using testing::set_channel;
+
+// --- Fee policy ---------------------------------------------------------------
+
+TEST(FeePolicy, LinearFee) {
+  const FeePolicy p{2.0, 0.01};
+  EXPECT_DOUBLE_EQ(p.fee(100), 3.0);
+  EXPECT_DOUBLE_EQ(p.fee(0), 2.0);
+}
+
+TEST(FeeSchedule, PaperDefaultRatesInRange) {
+  Graph g = make_graph(3, {{0, 1}, {1, 2}});
+  Rng rng(1);
+  // Draw many schedules to check both tiers appear and stay in range.
+  int low = 0, high = 0;
+  for (int i = 0; i < 200; ++i) {
+    const FeeSchedule s = FeeSchedule::paper_default(g, rng);
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const double r = s.policy(e).rate;
+      EXPECT_GE(r, 0.001);
+      EXPECT_LE(r, 0.10);
+      (r <= 0.01 ? low : high) += 1;
+    }
+  }
+  EXPECT_GT(low, high);  // 90% of channels draw the low tier
+  EXPECT_GT(high, 0);
+}
+
+TEST(FeeSchedule, BothDirectionsShareRate) {
+  Graph g = make_graph(2, {{0, 1}});
+  Rng rng(2);
+  const FeeSchedule s = FeeSchedule::paper_default(g, rng);
+  EXPECT_DOUBLE_EQ(s.policy(0).rate, s.policy(1).rate);
+}
+
+TEST(FeeSchedule, PathFeeSumsEdges) {
+  Graph g = make_graph(3, {{0, 1}, {1, 2}});
+  FeeSchedule s(g);
+  s.set_policy(fwd(g, 0), {1.0, 0.01});
+  s.set_policy(fwd(g, 1), {0.5, 0.02});
+  const Path p{fwd(g, 0), fwd(g, 1)};
+  EXPECT_DOUBLE_EQ(s.path_fee(p, 100), 1.0 + 1.0 + 0.5 + 2.0);
+  EXPECT_DOUBLE_EQ(s.path_rate(p), 0.03);
+}
+
+// --- NetworkState: init -----------------------------------------------------
+
+TEST(NetworkState, StartsEmpty) {
+  Graph g = make_graph(2, {{0, 1}});
+  NetworkState s(g);
+  EXPECT_DOUBLE_EQ(s.balance(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.total_balance(), 0.0);
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST(NetworkState, UniformSplitIsEven) {
+  Graph g = make_graph(3, {{0, 1}, {1, 2}});
+  NetworkState s(g);
+  Rng rng(3);
+  s.assign_uniform_split(100, 200, rng);
+  for (std::size_t c = 0; c < g.num_channels(); ++c) {
+    EXPECT_DOUBLE_EQ(s.balance(fwd(g, c)), s.balance(bwd(g, c)));
+    const Amount cap = s.channel_deposit(fwd(g, c));
+    EXPECT_GE(cap, 100);
+    EXPECT_LT(cap, 200);
+  }
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST(NetworkState, SkewedSplitConservesCapacity) {
+  Graph g = make_graph(3, {{0, 1}, {1, 2}});
+  NetworkState s(g);
+  Rng rng(4);
+  s.assign_uniform_skewed(100, 200, 0.1, 0.9, rng);
+  for (std::size_t c = 0; c < g.num_channels(); ++c) {
+    const Amount sum = s.balance(fwd(g, c)) + s.balance(bwd(g, c));
+    EXPECT_GE(sum, 100);
+    EXPECT_LT(sum, 200);
+  }
+}
+
+TEST(NetworkState, LognormalSplitPositive) {
+  Graph g = make_graph(3, {{0, 1}, {1, 2}});
+  NetworkState s(g);
+  Rng rng(5);
+  s.assign_lognormal_split(250, 1.0, rng);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) EXPECT_GT(s.balance(e), 0);
+}
+
+TEST(NetworkState, ScaleAllMultiplies) {
+  Graph g = make_graph(2, {{0, 1}});
+  NetworkState s(g);
+  set_channel(s, g, 0, 10, 20);
+  s.scale_all(3.0);
+  EXPECT_DOUBLE_EQ(s.balance(fwd(g, 0)), 30);
+  EXPECT_DOUBLE_EQ(s.balance(bwd(g, 0)), 60);
+  EXPECT_TRUE(s.check_invariants());
+  EXPECT_THROW(s.scale_all(0.0), std::invalid_argument);
+}
+
+TEST(NetworkState, NegativeBalanceRejected) {
+  Graph g = make_graph(2, {{0, 1}});
+  NetworkState s(g);
+  EXPECT_THROW(s.set_balance(0, -1), std::invalid_argument);
+}
+
+// --- Probing ------------------------------------------------------------------
+
+TEST(NetworkState, ProbeReturnsBalancesAndChargesMessages) {
+  Graph g = make_graph(3, {{0, 1}, {1, 2}});
+  NetworkState s(g);
+  set_channel(s, g, 0, 10, 0);
+  set_channel(s, g, 1, 7, 0);
+  const Path p{fwd(g, 0), fwd(g, 1)};
+  EXPECT_EQ(s.probe_messages(), 0u);
+  const auto b = s.probe_path(p);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_DOUBLE_EQ(b[0], 10);
+  EXPECT_DOUBLE_EQ(b[1], 7);
+  EXPECT_EQ(s.probe_messages(), 4u);  // PROBE + PROBE_ACK over 2 hops
+  s.charge_messages(3);
+  EXPECT_EQ(s.probe_messages(), 7u);
+}
+
+TEST(NetworkState, PathBottleneckAndCanCarry) {
+  Graph g = make_graph(3, {{0, 1}, {1, 2}});
+  NetworkState s(g);
+  set_channel(s, g, 0, 10, 0);
+  set_channel(s, g, 1, 4, 0);
+  const Path p{fwd(g, 0), fwd(g, 1)};
+  EXPECT_DOUBLE_EQ(s.path_bottleneck(p), 4);
+  EXPECT_TRUE(s.path_can_carry(p, 4));
+  EXPECT_FALSE(s.path_can_carry(p, 5));
+  EXPECT_DOUBLE_EQ(s.path_bottleneck({}), 0);
+}
+
+// --- Holds ---------------------------------------------------------------------
+
+TEST(NetworkState, HoldCommitMovesFunds) {
+  Graph g = make_graph(3, {{0, 1}, {1, 2}});
+  NetworkState s(g);
+  set_channel(s, g, 0, 10, 1);
+  set_channel(s, g, 1, 8, 2);
+  const Path p{fwd(g, 0), fwd(g, 1)};
+  const auto id = s.hold(p, 5);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_DOUBLE_EQ(s.balance(fwd(g, 0)), 5);
+  EXPECT_DOUBLE_EQ(s.balance(bwd(g, 0)), 1);  // reverse untouched until commit
+  EXPECT_EQ(s.active_holds(), 1u);
+  EXPECT_TRUE(s.check_invariants());
+  s.commit(*id);
+  EXPECT_DOUBLE_EQ(s.balance(bwd(g, 0)), 6);
+  EXPECT_DOUBLE_EQ(s.balance(bwd(g, 1)), 7);
+  EXPECT_EQ(s.active_holds(), 0u);
+  EXPECT_TRUE(s.check_invariants());
+  // Total funds conserved.
+  EXPECT_DOUBLE_EQ(s.total_balance(), 10 + 1 + 8 + 2);
+}
+
+TEST(NetworkState, HoldAbortRestores) {
+  Graph g = make_graph(2, {{0, 1}});
+  NetworkState s(g);
+  set_channel(s, g, 0, 10, 0);
+  const auto id = s.hold(Path{fwd(g, 0)}, 4);
+  ASSERT_TRUE(id);
+  EXPECT_DOUBLE_EQ(s.balance(fwd(g, 0)), 6);
+  s.abort(*id);
+  EXPECT_DOUBLE_EQ(s.balance(fwd(g, 0)), 10);
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST(NetworkState, HoldFailsAtomicallyOnInsufficientBalance) {
+  Graph g = make_graph(3, {{0, 1}, {1, 2}});
+  NetworkState s(g);
+  set_channel(s, g, 0, 10, 0);
+  set_channel(s, g, 1, 3, 0);  // bottleneck
+  const Path p{fwd(g, 0), fwd(g, 1)};
+  EXPECT_FALSE(s.hold(p, 5).has_value());
+  EXPECT_DOUBLE_EQ(s.balance(fwd(g, 0)), 10);  // nothing deducted
+  EXPECT_EQ(s.active_holds(), 0u);
+}
+
+TEST(NetworkState, HoldFlowAggregatesDuplicateEdges) {
+  Graph g = make_graph(2, {{0, 1}});
+  NetworkState s(g);
+  set_channel(s, g, 0, 10, 0);
+  // Two entries on the same edge totalling 11 > 10 must fail atomically.
+  const std::vector<EdgeAmount> parts{{fwd(g, 0), 6}, {fwd(g, 0), 5}};
+  EXPECT_FALSE(s.hold_flow(parts).has_value());
+  const std::vector<EdgeAmount> ok{{fwd(g, 0), 6}, {fwd(g, 0), 4}};
+  const auto id = s.hold_flow(ok);
+  ASSERT_TRUE(id);
+  EXPECT_DOUBLE_EQ(s.balance(fwd(g, 0)), 0);
+  s.commit(*id);
+  EXPECT_DOUBLE_EQ(s.balance(bwd(g, 0)), 10);
+}
+
+TEST(NetworkState, HoldFlowIgnoresNonPositive) {
+  Graph g = make_graph(2, {{0, 1}});
+  NetworkState s(g);
+  set_channel(s, g, 0, 10, 0);
+  const std::vector<EdgeAmount> parts{{fwd(g, 0), -3}, {fwd(g, 0), 0}};
+  EXPECT_FALSE(s.hold_flow(parts).has_value());  // nothing left to hold
+  EXPECT_DOUBLE_EQ(s.balance(fwd(g, 0)), 10);
+}
+
+TEST(NetworkState, DoubleCommitThrows) {
+  Graph g = make_graph(2, {{0, 1}});
+  NetworkState s(g);
+  set_channel(s, g, 0, 10, 0);
+  const auto id = s.hold(Path{fwd(g, 0)}, 1);
+  s.commit(*id);
+  EXPECT_THROW(s.commit(*id), std::logic_error);
+  EXPECT_THROW(s.abort(*id), std::logic_error);
+}
+
+TEST(NetworkState, HoldValidatesArguments) {
+  Graph g = make_graph(2, {{0, 1}});
+  NetworkState s(g);
+  set_channel(s, g, 0, 10, 0);
+  EXPECT_THROW(s.hold(Path{fwd(g, 0)}, 0), std::invalid_argument);
+  EXPECT_THROW(s.hold(Path{}, 1), std::invalid_argument);
+}
+
+TEST(NetworkState, TotalHeldTracksActiveHolds) {
+  Graph g = make_graph(3, {{0, 1}, {1, 2}});
+  NetworkState s(g);
+  set_channel(s, g, 0, 10, 0);
+  set_channel(s, g, 1, 10, 0);
+  const auto id = s.hold(Path{fwd(g, 0), fwd(g, 1)}, 3);
+  EXPECT_DOUBLE_EQ(s.total_held(), 6);  // 3 on each of 2 edges
+  s.abort(*id);
+  EXPECT_DOUBLE_EQ(s.total_held(), 0);
+}
+
+// --- Snapshot ------------------------------------------------------------------
+
+TEST(NetworkState, SnapshotRestore) {
+  Graph g = make_graph(2, {{0, 1}});
+  NetworkState s(g);
+  set_channel(s, g, 0, 10, 5);
+  const auto snap = s.snapshot();
+  const auto id = s.hold(Path{fwd(g, 0)}, 4);
+  s.commit(*id);
+  EXPECT_DOUBLE_EQ(s.balance(fwd(g, 0)), 6);
+  s.restore(snap);
+  EXPECT_DOUBLE_EQ(s.balance(fwd(g, 0)), 10);
+  EXPECT_DOUBLE_EQ(s.balance(bwd(g, 0)), 5);
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST(NetworkState, SnapshotWithHoldsThrows) {
+  Graph g = make_graph(2, {{0, 1}});
+  NetworkState s(g);
+  set_channel(s, g, 0, 10, 0);
+  const auto id = s.hold(Path{fwd(g, 0)}, 1);
+  EXPECT_THROW((void)s.snapshot(), std::logic_error);
+  s.abort(*id);
+}
+
+// --- AtomicPayment (AMP) -------------------------------------------------------
+
+TEST(AtomicPayment, CommitsAllParts) {
+  Graph g = make_graph(4, {{0, 1}, {1, 3}, {0, 2}, {2, 3}});
+  NetworkState s(g);
+  for (std::size_t c = 0; c < 4; ++c) set_channel(s, g, c, 10, 0);
+  AtomicPayment payment(s);
+  EXPECT_TRUE(payment.add_part(Path{fwd(g, 0), fwd(g, 1)}, 6));
+  EXPECT_TRUE(payment.add_part(Path{fwd(g, 2), fwd(g, 3)}, 4));
+  EXPECT_DOUBLE_EQ(payment.held_amount(), 10);
+  EXPECT_EQ(payment.parts(), 2u);
+  payment.commit();
+  EXPECT_DOUBLE_EQ(s.balance(bwd(g, 1)), 6);
+  EXPECT_DOUBLE_EQ(s.balance(bwd(g, 3)), 4);
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST(AtomicPayment, DestructorAbortsUncommitted) {
+  Graph g = make_graph(2, {{0, 1}});
+  NetworkState s(g);
+  set_channel(s, g, 0, 10, 0);
+  {
+    AtomicPayment payment(s);
+    EXPECT_TRUE(payment.add_part(Path{fwd(g, 0)}, 7));
+    EXPECT_DOUBLE_EQ(s.balance(fwd(g, 0)), 3);
+    // no commit: destructor must roll back
+  }
+  EXPECT_DOUBLE_EQ(s.balance(fwd(g, 0)), 10);
+  EXPECT_EQ(s.active_holds(), 0u);
+}
+
+TEST(AtomicPayment, FailedPartLeavesOthersHeldUntilAbort) {
+  Graph g = make_graph(4, {{0, 1}, {1, 3}, {0, 2}, {2, 3}});
+  NetworkState s(g);
+  set_channel(s, g, 0, 10, 0);
+  set_channel(s, g, 1, 10, 0);
+  set_channel(s, g, 2, 2, 0);  // second path too thin
+  set_channel(s, g, 3, 10, 0);
+  AtomicPayment payment(s);
+  EXPECT_TRUE(payment.add_part(Path{fwd(g, 0), fwd(g, 1)}, 5));
+  EXPECT_FALSE(payment.add_part(Path{fwd(g, 2), fwd(g, 3)}, 5));
+  payment.abort();
+  EXPECT_DOUBLE_EQ(s.balance(fwd(g, 0)), 10);
+  EXPECT_DOUBLE_EQ(s.balance(fwd(g, 2)), 2);
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST(AtomicPayment, UseAfterSettleThrows) {
+  Graph g = make_graph(2, {{0, 1}});
+  NetworkState s(g);
+  set_channel(s, g, 0, 10, 0);
+  AtomicPayment payment(s);
+  EXPECT_TRUE(payment.add_part(Path{fwd(g, 0)}, 1));
+  payment.commit();
+  EXPECT_THROW(payment.add_part(Path{fwd(g, 0)}, 1), std::logic_error);
+  EXPECT_THROW(payment.commit(), std::logic_error);
+}
+
+TEST(AtomicPayment, AddFlowNetsOffsets) {
+  Graph g = make_graph(2, {{0, 1}});
+  NetworkState s(g);
+  set_channel(s, g, 0, 5, 5);
+  AtomicPayment payment(s);
+  const std::vector<EdgeAmount> flow{{fwd(g, 0), 4}};
+  EXPECT_TRUE(payment.add_flow(flow, 4));
+  payment.commit();
+  EXPECT_DOUBLE_EQ(s.balance(fwd(g, 0)), 1);
+  EXPECT_DOUBLE_EQ(s.balance(bwd(g, 0)), 9);
+}
+
+}  // namespace
+}  // namespace flash

@@ -1,0 +1,260 @@
+// Tests for the simplex LP solver and the fee-minimization program (1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/fee_min.h"
+#include "lp/simplex.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace flash {
+namespace {
+
+using testing::fwd;
+using testing::make_graph;
+
+// --- Simplex -------------------------------------------------------------------
+
+TEST(Simplex, SimpleMinimization) {
+  // min x + 2y s.t. x + y >= 4, x <= 3, y <= 5 -> x=3, y=1, obj=5.
+  LpProblem lp;
+  lp.objective = {1, 2};
+  lp.constraints.push_back({{1, 1}, Relation::kGreaterEq, 4});
+  lp.constraints.push_back({{1, 0}, Relation::kLessEq, 3});
+  lp.constraints.push_back({{0, 1}, Relation::kLessEq, 5});
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 3, 1e-7);
+  EXPECT_NEAR(sol.x[1], 1, 1e-7);
+  EXPECT_NEAR(sol.objective_value, 5, 1e-7);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min 3x + y s.t. x + y = 10, x >= 0, y >= 0 -> x=0, y=10.
+  LpProblem lp;
+  lp.objective = {3, 1};
+  lp.constraints.push_back({{1, 1}, Relation::kEq, 10});
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 0, 1e-7);
+  EXPECT_NEAR(sol.x[1], 10, 1e-7);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  // x <= 1 and x >= 2 simultaneously.
+  LpProblem lp;
+  lp.objective = {1};
+  lp.constraints.push_back({{1}, Relation::kLessEq, 1});
+  lp.constraints.push_back({{1}, Relation::kGreaterEq, 2});
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  // min -x with no upper bound on x.
+  LpProblem lp;
+  lp.objective = {-1};
+  lp.constraints.push_back({{1}, Relation::kGreaterEq, 0});
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalized) {
+  // x - y <= -2 with min x + y -> y >= x + 2, best x=0 y=2.
+  LpProblem lp;
+  lp.objective = {1, 1};
+  lp.constraints.push_back({{1, -1}, Relation::kLessEq, -2});
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective_value, 2, 1e-7);
+}
+
+TEST(Simplex, DegenerateTiesTerminate) {
+  // Multiple constraints active at the optimum; Bland's rule must not cycle.
+  LpProblem lp;
+  lp.objective = {-1, -1};
+  lp.constraints.push_back({{1, 0}, Relation::kLessEq, 1});
+  lp.constraints.push_back({{1, 0}, Relation::kLessEq, 1});
+  lp.constraints.push_back({{0, 1}, Relation::kLessEq, 1});
+  lp.constraints.push_back({{1, 1}, Relation::kLessEq, 2});
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective_value, -2, 1e-7);
+}
+
+TEST(Simplex, ZeroObjectiveFeasibility) {
+  LpProblem lp;
+  lp.objective = {0, 0};
+  lp.constraints.push_back({{1, 1}, Relation::kEq, 5});
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0] + sol.x[1], 5, 1e-7);
+}
+
+TEST(Simplex, RandomProblemsSolutionsFeasible) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    LpProblem lp;
+    const std::size_t n = 2 + rng.next_below(4);
+    const std::size_t m = 1 + rng.next_below(5);
+    lp.objective.resize(n);
+    for (auto& c : lp.objective) c = rng.uniform(0.0, 2.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      LpConstraint con;
+      con.coeffs.resize(n);
+      for (auto& a : con.coeffs) a = rng.uniform(0.0, 1.0);
+      con.rel = Relation::kLessEq;
+      con.rhs = rng.uniform(0.5, 5.0);
+      lp.constraints.push_back(std::move(con));
+    }
+    // Nonnegative objective over <= constraints with positive rhs: x = 0 is
+    // feasible and optimal (objective 0).
+    const LpSolution sol = solve_lp(lp);
+    ASSERT_EQ(sol.status, LpStatus::kOptimal);
+    EXPECT_NEAR(sol.objective_value, 0.0, 1e-7);
+  }
+}
+
+TEST(Simplex, RandomDemandProblemsRespectConstraints) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 2 + rng.next_below(4);
+    LpProblem lp;
+    lp.objective.resize(n);
+    for (auto& c : lp.objective) c = rng.uniform(0.1, 1.0);
+    LpConstraint demand;
+    demand.coeffs.assign(n, 1.0);
+    demand.rel = Relation::kEq;
+    demand.rhs = 1.0;
+    lp.constraints.push_back(demand);
+    std::vector<double> caps(n);
+    double total = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      caps[j] = rng.uniform(0.1, 1.0);
+      total += caps[j];
+      LpConstraint cap;
+      cap.coeffs.assign(n, 0.0);
+      cap.coeffs[j] = 1.0;
+      cap.rel = Relation::kLessEq;
+      cap.rhs = caps[j];
+      lp.constraints.push_back(std::move(cap));
+    }
+    const LpSolution sol = solve_lp(lp);
+    if (total < 1.0) {
+      EXPECT_EQ(sol.status, LpStatus::kInfeasible);
+      continue;
+    }
+    ASSERT_EQ(sol.status, LpStatus::kOptimal);
+    double sum = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_LE(sol.x[j], caps[j] + 1e-7);
+      EXPECT_GE(sol.x[j], -1e-9);
+      sum += sol.x[j];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+}
+
+// --- Fee minimization ------------------------------------------------------------
+
+/// Two-path setup: cheap path (rate 0.01/hop) and expensive (0.05/hop).
+struct TwoPathFixture {
+  Graph g = make_graph(4, {{0, 1}, {1, 3}, {0, 2}, {2, 3}});
+  FeeSchedule fees{g};
+  std::vector<Path> paths;
+  CapacityMap cap;
+
+  TwoPathFixture() {
+    fees.set_policy(fwd(g, 0), {0, 0.01});
+    fees.set_policy(fwd(g, 1), {0, 0.01});
+    fees.set_policy(fwd(g, 2), {0, 0.05});
+    fees.set_policy(fwd(g, 3), {0, 0.05});
+    paths = {{fwd(g, 0), fwd(g, 1)}, {fwd(g, 2), fwd(g, 3)}};
+    cap = {{fwd(g, 0), 60}, {fwd(g, 1), 60}, {fwd(g, 2), 60}, {fwd(g, 3), 60}};
+  }
+};
+
+TEST(FeeMin, PrefersCheapPath) {
+  TwoPathFixture f;
+  const SplitResult r = optimize_fee_split(f.g, f.paths, 50, f.cap, f.fees);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.amounts[0], 50, 1e-6);  // everything on the cheap path
+  EXPECT_NEAR(r.amounts[1], 0, 1e-6);
+  EXPECT_NEAR(r.total_fee, 50 * 0.02, 1e-6);
+}
+
+TEST(FeeMin, SpillsToExpensiveWhenCheapIsFull) {
+  TwoPathFixture f;
+  const SplitResult r = optimize_fee_split(f.g, f.paths, 100, f.cap, f.fees);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.amounts[0], 60, 1e-6);
+  EXPECT_NEAR(r.amounts[1], 40, 1e-6);
+}
+
+TEST(FeeMin, InfeasibleWhenDemandExceedsCapacity) {
+  TwoPathFixture f;
+  const SplitResult r = optimize_fee_split(f.g, f.paths, 1000, f.cap, f.fees);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(FeeMin, LpNeverWorseThanSequential) {
+  Rng rng(13);
+  for (int trial = 0; trial < 30; ++trial) {
+    TwoPathFixture f;
+    // Random capacities and rates.
+    for (auto& [e, c] : f.cap) c = rng.uniform(10.0, 80.0);
+    for (std::size_t ch = 0; ch < f.g.num_channels(); ++ch) {
+      const double rate = rng.uniform(0.001, 0.05);
+      f.fees.set_policy(fwd(f.g, ch), {0, rate});
+    }
+    const Amount demand = rng.uniform(5.0, 60.0);
+    const SplitResult lp =
+        optimize_fee_split(f.g, f.paths, demand, f.cap, f.fees);
+    const SplitResult seq =
+        sequential_split(f.g, f.paths, demand, f.cap, f.fees);
+    if (seq.feasible) {
+      ASSERT_TRUE(lp.feasible) << "LP must be feasible when sequential is";
+      EXPECT_LE(lp.total_fee, seq.total_fee + 1e-6);
+    }
+  }
+}
+
+TEST(FeeMin, SequentialFillsInDiscoveryOrder) {
+  TwoPathFixture f;
+  const SplitResult r = sequential_split(f.g, f.paths, 80, f.cap, f.fees);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.amounts[0], 60, 1e-9);  // first path to its bottleneck
+  EXPECT_NEAR(r.amounts[1], 20, 1e-9);
+}
+
+TEST(FeeMin, SharedEdgeConstraintBindsAcrossPaths) {
+  // Both paths share edge 0->1 (the Fig. 5a shape): joint use is capped.
+  Graph g = make_graph(4, {{0, 1}, {1, 2}, {2, 3}, {1, 3}});
+  FeeSchedule fees(g);
+  const Path p1{fwd(g, 0), fwd(g, 1), fwd(g, 2)};  // 0-1-2-3
+  const Path p2{fwd(g, 0), fwd(g, 3)};             // 0-1-3
+  CapacityMap cap{{fwd(g, 0), 30},
+                  {fwd(g, 1), 25},
+                  {fwd(g, 2), 25},
+                  {fwd(g, 3), 25}};
+  const SplitResult ok = optimize_fee_split(g, {p1, p2}, 30, cap, fees);
+  ASSERT_TRUE(ok.feasible);
+  EXPECT_NEAR(ok.amounts[0] + ok.amounts[1], 30, 1e-6);
+  const SplitResult no = optimize_fee_split(g, {p1, p2}, 31, cap, fees);
+  EXPECT_FALSE(no.feasible);  // shared edge caps the joint flow at 30
+}
+
+TEST(FeeMin, EmptyPathsInfeasible) {
+  Graph g = make_graph(2, {{0, 1}});
+  FeeSchedule fees(g);
+  EXPECT_FALSE(optimize_fee_split(g, {}, 10, {}, fees).feasible);
+  EXPECT_FALSE(sequential_split(g, {}, 10, {}, fees).feasible);
+}
+
+TEST(FeeMin, SplitFeeMatchesSchedule) {
+  TwoPathFixture f;
+  const Amount fee = split_fee(f.fees, f.paths, {10, 20});
+  EXPECT_NEAR(fee, 10 * 0.02 + 20 * 0.10, 1e-9);
+}
+
+}  // namespace
+}  // namespace flash

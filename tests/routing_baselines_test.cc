@@ -1,0 +1,264 @@
+// Tests for the three baseline routers: SP, Spider, SpeedyMurmurs.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/topology.h"
+#include "routing/shortest_path.h"
+#include "routing/speedymurmurs.h"
+#include "routing/spider.h"
+#include "testutil.h"
+
+namespace flash {
+namespace {
+
+using testing::bwd;
+using testing::fwd;
+using testing::make_graph;
+using testing::set_channel;
+
+Transaction tx(NodeId s, NodeId t, Amount a) { return {s, t, a, 0}; }
+
+// --- Shortest Path -----------------------------------------------------------
+
+TEST(ShortestPath, DeliversWhenBalanceSuffices) {
+  Graph g = make_graph(3, {{0, 1}, {1, 2}});
+  FeeSchedule fees(g);
+  NetworkState s(g);
+  set_channel(s, g, 0, 10, 0);
+  set_channel(s, g, 1, 10, 0);
+  ShortestPathRouter router(g, fees);
+  const RouteResult r = router.route(tx(0, 2, 5), s);
+  EXPECT_TRUE(r.success);
+  EXPECT_DOUBLE_EQ(r.delivered, 5);
+  EXPECT_EQ(r.probe_messages, 0u);  // static: never probes
+  EXPECT_EQ(r.paths_used, 1u);
+  EXPECT_DOUBLE_EQ(s.balance(fwd(g, 0)), 5);
+  EXPECT_DOUBLE_EQ(s.balance(bwd(g, 1)), 5);
+}
+
+TEST(ShortestPath, FailsWithoutTouchingState) {
+  Graph g = make_graph(3, {{0, 1}, {1, 2}});
+  FeeSchedule fees(g);
+  NetworkState s(g);
+  set_channel(s, g, 0, 10, 0);
+  set_channel(s, g, 1, 3, 0);
+  ShortestPathRouter router(g, fees);
+  const RouteResult r = router.route(tx(0, 2, 5), s);
+  EXPECT_FALSE(r.success);
+  EXPECT_DOUBLE_EQ(s.balance(fwd(g, 0)), 10);
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST(ShortestPath, UnreachableFails) {
+  Graph g(3);
+  g.add_channel(0, 1);
+  FeeSchedule fees(g);
+  NetworkState s(g);
+  ShortestPathRouter router(g, fees);
+  EXPECT_FALSE(router.route(tx(0, 2, 1), s).success);
+}
+
+TEST(ShortestPath, ReportsFees) {
+  Graph g = make_graph(3, {{0, 1}, {1, 2}});
+  FeeSchedule fees(g);
+  fees.set_policy(fwd(g, 0), {0, 0.01});
+  fees.set_policy(fwd(g, 1), {0, 0.02});
+  NetworkState s(g);
+  set_channel(s, g, 0, 100, 0);
+  set_channel(s, g, 1, 100, 0);
+  ShortestPathRouter router(g, fees);
+  const RouteResult r = router.route(tx(0, 2, 100), s);
+  EXPECT_DOUBLE_EQ(r.fee, 3.0);
+}
+
+TEST(ShortestPath, RejectsDegenerate) {
+  Graph g = make_graph(2, {{0, 1}});
+  FeeSchedule fees(g);
+  NetworkState s(g);
+  ShortestPathRouter router(g, fees);
+  EXPECT_FALSE(router.route(tx(0, 0, 5), s).success);
+  EXPECT_FALSE(router.route(tx(0, 1, 0), s).success);
+}
+
+// --- Spider waterfilling -------------------------------------------------------
+
+TEST(Waterfill, SingleCap) {
+  const auto a = SpiderRouter::waterfill({10}, 4);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_DOUBLE_EQ(a[0], 4);
+}
+
+TEST(Waterfill, PrefersLargestCapacity) {
+  const auto a = SpiderRouter::waterfill({10, 4}, 3);
+  EXPECT_DOUBLE_EQ(a[0], 3);
+  EXPECT_DOUBLE_EQ(a[1], 0);
+}
+
+TEST(Waterfill, LevelsAcrossPaths) {
+  // demand 8 over caps (10, 4): level L solves (10-L) + max(0,4-L) = 8
+  // -> L = 3 when both active? (10-3)+(4-3)=8. allocations (7,1).
+  const auto a = SpiderRouter::waterfill({10, 4}, 8);
+  EXPECT_DOUBLE_EQ(a[0], 7);
+  EXPECT_DOUBLE_EQ(a[1], 1);
+}
+
+TEST(Waterfill, TakesEverythingWhenDemandExceedsTotal) {
+  const auto a = SpiderRouter::waterfill({5, 3}, 100);
+  EXPECT_DOUBLE_EQ(a[0], 5);
+  EXPECT_DOUBLE_EQ(a[1], 3);
+}
+
+TEST(Waterfill, ExactTotal) {
+  const auto a = SpiderRouter::waterfill({5, 3}, 8);
+  EXPECT_DOUBLE_EQ(a[0] + a[1], 8);
+}
+
+TEST(Waterfill, ZeroDemandOrEmpty) {
+  EXPECT_TRUE(SpiderRouter::waterfill({}, 5).empty());
+  const auto a = SpiderRouter::waterfill({3, 3}, 0);
+  EXPECT_DOUBLE_EQ(a[0] + a[1], 0);
+}
+
+TEST(Waterfill, PropertySumAndCaps) {
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Amount> caps(1 + rng.next_below(6));
+    Amount total = 0;
+    for (auto& c : caps) {
+      c = rng.uniform(0.0, 20.0);
+      total += c;
+    }
+    const Amount demand = rng.uniform(0.0, 30.0);
+    const auto a = SpiderRouter::waterfill(caps, demand);
+    Amount sum = 0;
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      EXPECT_LE(a[i], caps[i] + 1e-9);
+      EXPECT_GE(a[i], -1e-9);
+      sum += a[i];
+    }
+    EXPECT_NEAR(sum, std::min(demand, total), 1e-6);
+  }
+}
+
+// --- Spider router ----------------------------------------------------------------
+
+TEST(Spider, SplitsAcrossDisjointPaths) {
+  Graph g = make_graph(4, {{0, 1}, {1, 3}, {0, 2}, {2, 3}});
+  FeeSchedule fees(g);
+  NetworkState s(g);
+  for (int c = 0; c < 4; ++c) set_channel(s, g, c, 6, 0);
+  SpiderRouter router(g, fees);
+  const RouteResult r = router.route(tx(0, 3, 10), s);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.paths_used, 2u);
+  EXPECT_GT(r.probe_messages, 0u);
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST(Spider, ProbesEveryPayment) {
+  Graph g = make_graph(4, {{0, 1}, {1, 3}, {0, 2}, {2, 3}});
+  FeeSchedule fees(g);
+  NetworkState s(g);
+  for (int c = 0; c < 4; ++c) set_channel(s, g, c, 100, 0);
+  SpiderRouter router(g, fees);
+  const RouteResult r1 = router.route(tx(0, 3, 1), s);
+  const RouteResult r2 = router.route(tx(0, 3, 1), s);
+  EXPECT_EQ(r1.probe_messages, r2.probe_messages);
+  EXPECT_GT(r2.probe_messages, 0u);  // probing repeats per payment
+}
+
+TEST(Spider, FailsWhenJointCapacityInsufficient) {
+  Graph g = make_graph(4, {{0, 1}, {1, 3}, {0, 2}, {2, 3}});
+  FeeSchedule fees(g);
+  NetworkState s(g);
+  for (int c = 0; c < 4; ++c) set_channel(s, g, c, 4, 0);
+  SpiderRouter router(g, fees);
+  const RouteResult r = router.route(tx(0, 3, 10), s);
+  EXPECT_FALSE(r.success);
+  EXPECT_DOUBLE_EQ(s.balance(fwd(g, 0)), 4);  // nothing committed
+}
+
+TEST(Spider, UsesAtMostConfiguredPaths) {
+  Rng rng(19);
+  Graph g = complete_graph(6);
+  FeeSchedule fees(g);
+  NetworkState s(g);
+  for (std::size_t c = 0; c < g.num_channels(); ++c) {
+    set_channel(s, g, c, 100, 100);
+  }
+  SpiderRouter router(g, fees, SpiderConfig{2});
+  const RouteResult r = router.route(tx(0, 5, 150), s);
+  EXPECT_TRUE(r.success);
+  EXPECT_LE(r.paths_used, 2u);
+}
+
+// --- SpeedyMurmurs -----------------------------------------------------------------
+
+TEST(SpeedyMurmurs, PicksHighDegreeLandmarks) {
+  Graph g = star_graph(6);  // node 0 is the hub
+  FeeSchedule fees(g);
+  SpeedyMurmursRouter router(g, fees, SpeedyMurmursConfig{1});
+  ASSERT_EQ(router.landmarks().size(), 1u);
+  EXPECT_EQ(router.landmarks()[0], 0u);
+}
+
+TEST(SpeedyMurmurs, TreeDistanceProperties) {
+  Graph g = make_graph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  FeeSchedule fees(g);
+  SpeedyMurmursRouter router(g, fees, SpeedyMurmursConfig{1});
+  // Distance to self is 0; symmetric; satisfies the path length on a line.
+  EXPECT_EQ(router.tree_distance(0, 2, 2), 0u);
+  EXPECT_EQ(router.tree_distance(0, 1, 3), router.tree_distance(0, 3, 1));
+  EXPECT_EQ(router.tree_distance(0, 0, 4), 4u);
+}
+
+TEST(SpeedyMurmurs, RoutesWithoutProbing) {
+  Rng rng(23);
+  Graph g = watts_strogatz(40, 6, 0.2, rng);
+  FeeSchedule fees(g);
+  NetworkState s(g);
+  s.assign_uniform_split(1000, 2000, rng);
+  SpeedyMurmursRouter router(g, fees);
+  int successes = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto a = static_cast<NodeId>(rng.next_below(40));
+    const auto b = static_cast<NodeId>(rng.next_below(40));
+    if (a == b) continue;
+    const RouteResult r = router.route(tx(a, b, 5), s);
+    EXPECT_EQ(r.probe_messages, 0u);
+    successes += r.success;
+    EXPECT_TRUE(s.check_invariants());
+  }
+  EXPECT_GT(successes, 30);  // plenty of liquidity: most should succeed
+}
+
+TEST(SpeedyMurmurs, SplitsAcrossLandmarkTrees) {
+  Rng rng(29);
+  Graph g = watts_strogatz(30, 6, 0.2, rng);
+  FeeSchedule fees(g);
+  NetworkState s(g);
+  s.assign_uniform_split(1000, 2000, rng);
+  SpeedyMurmursRouter router(g, fees, SpeedyMurmursConfig{3});
+  const RouteResult r = router.route(tx(1, 20, 9), s);
+  if (r.success) {
+    EXPECT_EQ(r.paths_used, 3u);  // one share per tree
+  }
+}
+
+TEST(SpeedyMurmurs, FailsAtomicallyWhenShareBlocked) {
+  // Line graph: all trees route the same way; drain the middle channel.
+  Graph g = make_graph(3, {{0, 1}, {1, 2}});
+  FeeSchedule fees(g);
+  NetworkState s(g);
+  set_channel(s, g, 0, 100, 0);
+  set_channel(s, g, 1, 1, 0);
+  SpeedyMurmursRouter router(g, fees);
+  const RouteResult r = router.route(tx(0, 2, 30), s);
+  EXPECT_FALSE(r.success);
+  EXPECT_DOUBLE_EQ(s.balance(fwd(g, 0)), 100);
+  EXPECT_TRUE(s.check_invariants());
+}
+
+}  // namespace
+}  // namespace flash

@@ -1,0 +1,409 @@
+// Tests for the message-level testbed: event queue, the protocol of §5.1
+// (probe / two-phase commit / reverse), sessions, and the runner.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/topology.h"
+#include "testbed/event_queue.h"
+#include "testbed/network.h"
+#include "testbed/runner.h"
+#include "testbed/sessions.h"
+#include "testutil.h"
+
+namespace flash::testbed {
+namespace {
+
+using flash::testing::make_graph;
+
+// --- EventQueue -----------------------------------------------------------------
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, PastSchedulingClampsToNow) {
+  EventQueue q;
+  double fired_at = -1;
+  q.schedule(5.0, [&] {
+    q.schedule(1.0, [&] { fired_at = q.now(); });  // in the past
+  });
+  q.run_until_idle();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) q.schedule_in(1.0, recurse);
+  };
+  q.schedule(0.0, recurse);
+  q.run_until_idle();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueue, BudgetGuardThrows) {
+  EventQueue q;
+  std::function<void()> forever = [&] { q.schedule_in(1.0, forever); };
+  q.schedule(0.0, forever);
+  EXPECT_THROW(q.run_until_idle(100), std::runtime_error);
+}
+
+// --- Network protocol ---------------------------------------------------------------
+
+struct NetFixture {
+  Graph g = make_graph(3, {{0, 1}, {1, 2}});
+  Network net{g};
+
+  NetFixture() {
+    net.set_balance(0, 10);  // 0->1
+    net.set_balance(1, 1);   // 1->0
+    net.set_balance(2, 8);   // 1->2
+    net.set_balance(3, 2);   // 2->1
+  }
+};
+
+TEST(Network, ProbeCollectsBothDirections) {
+  NetFixture f;
+  Message got;
+  bool done = false;
+  f.net.register_session(1, [&](const Message& m) {
+    got = m;
+    done = true;
+  });
+  Message probe;
+  probe.trans_id = 1;
+  probe.type = MsgType::kProbe;
+  probe.path = {0, 1, 2};
+  f.net.originate(std::move(probe));
+  f.net.queue().run_until_idle(10000);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(got.type, MsgType::kProbeAck);
+  ASSERT_EQ(got.capacity.size(), 2u);
+  EXPECT_DOUBLE_EQ(got.capacity[0], 10);  // 0->1
+  EXPECT_DOUBLE_EQ(got.capacity[1], 8);   // 1->2
+  // Reverse balances appended receiver-first: (2->1), then (1->0).
+  ASSERT_EQ(got.capacity_reverse.size(), 2u);
+  EXPECT_DOUBLE_EQ(got.capacity_reverse[0], 2);
+  EXPECT_DOUBLE_EQ(got.capacity_reverse[1], 1);
+}
+
+TEST(Network, CommitConfirmMovesFunds) {
+  NetFixture f;
+  bool acked = false, confirmed = false;
+  f.net.register_session(7, [&](const Message& m) {
+    if (m.type == MsgType::kCommitAck) {
+      acked = true;
+      Message confirm;
+      confirm.trans_id = 7;
+      confirm.type = MsgType::kConfirm;
+      confirm.path = {0, 1, 2};
+      confirm.commit = 5;
+      f.net.originate(std::move(confirm));
+    } else if (m.type == MsgType::kConfirmAck) {
+      confirmed = true;
+    }
+  });
+  Message commit;
+  commit.trans_id = 7;
+  commit.type = MsgType::kCommit;
+  commit.path = {0, 1, 2};
+  commit.commit = 5;
+  const Amount total0 = f.net.total_balance();
+  f.net.originate(std::move(commit));
+  f.net.queue().run_until_idle(10000);
+  EXPECT_TRUE(acked);
+  EXPECT_TRUE(confirmed);
+  EXPECT_DOUBLE_EQ(f.net.balance(0), 5);   // 0->1 decremented
+  EXPECT_DOUBLE_EQ(f.net.balance(1), 6);   // 1->0 credited
+  EXPECT_DOUBLE_EQ(f.net.balance(2), 3);   // 1->2 decremented
+  EXPECT_DOUBLE_EQ(f.net.balance(3), 7);   // 2->1 credited
+  EXPECT_DOUBLE_EQ(f.net.total_balance(), total0);
+  EXPECT_DOUBLE_EQ(f.net.total_pending(), 0);
+}
+
+TEST(Network, CommitNackAtInsufficientHop) {
+  NetFixture f;
+  Message nack;
+  bool got_nack = false;
+  f.net.register_session(9, [&](const Message& m) {
+    if (m.type == MsgType::kCommitNack) {
+      nack = m;
+      got_nack = true;
+    }
+  });
+  Message commit;
+  commit.trans_id = 9;
+  commit.type = MsgType::kCommit;
+  commit.path = {0, 1, 2};
+  commit.commit = 9;  // 0->1 has 10, but 1->2 has only 8
+  f.net.originate(std::move(commit));
+  f.net.queue().run_until_idle(10000);
+  ASSERT_TRUE(got_nack);
+  EXPECT_EQ(nack.fail_hop, 1u);
+  // Hop 0 decremented and is still holding; the funds are pending.
+  EXPECT_DOUBLE_EQ(f.net.balance(0), 1);
+  EXPECT_DOUBLE_EQ(f.net.total_pending(), 9);
+}
+
+TEST(Network, ReverseRestoresHeldFunds) {
+  NetFixture f;
+  bool reversed = false;
+  f.net.register_session(11, [&](const Message& m) {
+    if (m.type == MsgType::kCommitNack) {
+      Message rev;
+      rev.trans_id = 11;
+      rev.type = MsgType::kReverse;
+      rev.path = {0, 1, 2};
+      rev.fail_hop = m.fail_hop;
+      f.net.originate(std::move(rev));
+    } else if (m.type == MsgType::kReverseAck) {
+      reversed = true;
+    }
+  });
+  Message commit;
+  commit.trans_id = 11;
+  commit.type = MsgType::kCommit;
+  commit.path = {0, 1, 2};
+  commit.commit = 9;
+  f.net.originate(std::move(commit));
+  f.net.queue().run_until_idle(10000);
+  ASSERT_TRUE(reversed);
+  EXPECT_DOUBLE_EQ(f.net.balance(0), 10);  // restored
+  EXPECT_DOUBLE_EQ(f.net.total_pending(), 0);
+}
+
+TEST(Network, MessageCountersTrackTypes) {
+  NetFixture f;
+  f.net.register_session(13, [](const Message&) {});
+  Message probe;
+  probe.trans_id = 13;
+  probe.type = MsgType::kProbe;
+  probe.path = {0, 1, 2};
+  f.net.originate(std::move(probe));
+  f.net.queue().run_until_idle(10000);
+  EXPECT_EQ(f.net.messages_of(MsgType::kProbe), 3u);     // nodes 0,1,2
+  EXPECT_EQ(f.net.messages_of(MsgType::kProbeAck), 2u);  // nodes 1,0
+  EXPECT_EQ(f.net.messages_processed(), 5u);
+}
+
+TEST(Network, EdgeBetweenResolvesChannels) {
+  NetFixture f;
+  EXPECT_EQ(f.net.edge_between(0, 1), 0u);
+  EXPECT_EQ(f.net.edge_between(1, 0), 1u);
+  EXPECT_EQ(f.net.edge_between(0, 2), kInvalidEdge);
+}
+
+// --- Sessions --------------------------------------------------------------------------
+
+TEST(Sessions, SpSessionSucceeds) {
+  NetFixture f;
+  bool ok = false;
+  SpSession s(f.net, {0, 1, 2}, 5.0, [&](bool b) { ok = b; });
+  s.start();
+  f.net.queue().run_until_idle(10000);
+  EXPECT_TRUE(s.finished());
+  EXPECT_TRUE(ok);
+  EXPECT_DOUBLE_EQ(f.net.balance(0), 5);
+  EXPECT_DOUBLE_EQ(f.net.total_pending(), 0);
+}
+
+TEST(Sessions, SpSessionFailsAndRollsBack) {
+  NetFixture f;
+  bool ok = true;
+  SpSession s(f.net, {0, 1, 2}, 9.0, [&](bool b) { ok = b; });
+  s.start();
+  f.net.queue().run_until_idle(10000);
+  EXPECT_TRUE(s.finished());
+  EXPECT_FALSE(ok);
+  EXPECT_DOUBLE_EQ(f.net.balance(0), 10);  // rolled back
+  EXPECT_DOUBLE_EQ(f.net.total_pending(), 0);
+}
+
+TEST(Sessions, SpSessionNoPathFailsFast) {
+  Graph g(2);
+  g.add_channel(0, 1);
+  Network net(g);
+  bool ok = true;
+  SpSession s(net, {}, 5.0, [&](bool b) { ok = b; });
+  s.start();
+  EXPECT_TRUE(s.finished());
+  EXPECT_FALSE(ok);
+}
+
+TEST(Sessions, SpiderSessionWaterfills) {
+  // Diamond with two disjoint paths of capacity 6 each; demand 10.
+  Graph g = make_graph(4, {{0, 1}, {1, 3}, {0, 2}, {2, 3}});
+  Network net(g);
+  for (EdgeId e = 0; e < g.num_edges(); e += 2) net.set_balance(e, 6);
+  bool ok = false;
+  SpiderSession s(net, {{0, 1, 3}, {0, 2, 3}}, 10.0, [&](bool b) { ok = b; });
+  s.start();
+  net.queue().run_until_idle(100000);
+  EXPECT_TRUE(s.finished());
+  EXPECT_TRUE(ok);
+  EXPECT_DOUBLE_EQ(net.total_pending(), 0);
+  // Both first hops were used (waterfilled 5+5 or 6+4).
+  EXPECT_LT(net.balance(net.edge_between(0, 1)), 6);
+  EXPECT_LT(net.balance(net.edge_between(0, 2)), 6);
+}
+
+TEST(Sessions, SpiderSessionFailsWithoutCommitting) {
+  Graph g = make_graph(4, {{0, 1}, {1, 3}, {0, 2}, {2, 3}});
+  Network net(g);
+  for (EdgeId e = 0; e < g.num_edges(); e += 2) net.set_balance(e, 3);
+  bool ok = true;
+  SpiderSession s(net, {{0, 1, 3}, {0, 2, 3}}, 10.0, [&](bool b) { ok = b; });
+  s.start();
+  net.queue().run_until_idle(100000);
+  EXPECT_FALSE(ok);
+  EXPECT_DOUBLE_EQ(net.balance(net.edge_between(0, 1)), 3);  // untouched
+  EXPECT_DOUBLE_EQ(net.total_pending(), 0);
+}
+
+TEST(Sessions, FlashMicePartialCompletion) {
+  // The diamond scenario: 60-capacity and 50-capacity routes, demand 100.
+  Graph g = make_graph(4, {{0, 1}, {1, 3}, {0, 2}, {2, 3}});
+  Network net(g);
+  net.set_balance(net.edge_between(0, 1), 60);
+  net.set_balance(net.edge_between(1, 3), 60);
+  net.set_balance(net.edge_between(0, 2), 50);
+  net.set_balance(net.edge_between(2, 3), 50);
+  const Amount total0 = net.total_balance();
+  Rng rng(3);
+  bool ok = false;
+  FlashMiceSession s(net, {{0, 1, 3}, {0, 2, 3}}, 100.0, rng,
+                     [&](bool b) { ok = b; });
+  s.start();
+  net.queue().run_until_idle(100000);
+  EXPECT_TRUE(ok);
+  EXPECT_DOUBLE_EQ(net.total_balance(), total0);
+  EXPECT_DOUBLE_EQ(net.total_pending(), 0);
+  // Receiver-side directions gained exactly 100 in total.
+  EXPECT_DOUBLE_EQ(net.balance(net.edge_between(3, 1)) +
+                       net.balance(net.edge_between(3, 2)),
+                   100);
+}
+
+TEST(Sessions, FlashMiceFailureReversesEverything) {
+  Graph g = make_graph(4, {{0, 1}, {1, 3}, {0, 2}, {2, 3}});
+  Network net(g);
+  for (EdgeId e = 0; e < g.num_edges(); e += 2) net.set_balance(e, 10);
+  Rng rng(5);
+  bool ok = true;
+  FlashMiceSession s(net, {{0, 1, 3}, {0, 2, 3}}, 100.0, rng,
+                     [&](bool b) { ok = b; });
+  s.start();
+  net.queue().run_until_idle(100000);
+  EXPECT_FALSE(ok);
+  for (EdgeId e = 0; e < g.num_edges(); e += 2) {
+    EXPECT_DOUBLE_EQ(net.balance(e), 10);
+  }
+  EXPECT_DOUBLE_EQ(net.total_pending(), 0);
+}
+
+TEST(Sessions, FlashElephantProbesAndCommits) {
+  Graph g = make_graph(4, {{0, 1}, {1, 3}, {0, 2}, {2, 3}});
+  Network net(g);
+  for (EdgeId e = 0; e < g.num_edges(); e += 2) net.set_balance(e, 6);
+  FeeSchedule fees(g);
+  bool ok = false;
+  FlashElephantSession s(net, g, fees, 0, 3, 10.0, 20,
+                         [&](bool b) { ok = b; });
+  s.start();
+  net.queue().run_until_idle(100000);
+  EXPECT_TRUE(ok);
+  EXPECT_DOUBLE_EQ(net.total_pending(), 0);
+  EXPECT_GT(net.messages_of(MsgType::kProbe), 0u);
+  // 10 units left node 0.
+  EXPECT_DOUBLE_EQ(net.balance(net.edge_between(0, 1)) +
+                       net.balance(net.edge_between(0, 2)),
+                   2);
+}
+
+TEST(Sessions, FlashElephantInfeasibleFailsClean) {
+  Graph g = make_graph(3, {{0, 1}, {1, 2}});
+  Network net(g);
+  net.set_balance(0, 5);
+  net.set_balance(2, 5);
+  FeeSchedule fees(g);
+  bool ok = true;
+  FlashElephantSession s(net, g, fees, 0, 2, 50.0, 20,
+                         [&](bool b) { ok = b; });
+  s.start();
+  net.queue().run_until_idle(100000);
+  EXPECT_FALSE(ok);
+  EXPECT_DOUBLE_EQ(net.balance(0), 5);
+  EXPECT_DOUBLE_EQ(net.total_pending(), 0);
+}
+
+// --- Runner ---------------------------------------------------------------------------
+
+TEST(Runner, SmallRunConservesFundsAllSchemes) {
+  for (const auto scheme : {TestbedScheme::kFlash, TestbedScheme::kSpider,
+                            TestbedScheme::kShortestPath}) {
+    TestbedConfig config;
+    config.scheme = scheme;
+    config.nodes = 20;
+    config.num_transactions = 300;
+    config.seed = 5;
+    const TestbedResult r = run_testbed(config);  // throws on violation
+    EXPECT_EQ(r.transactions, 300u);
+    EXPECT_LE(r.successes, r.transactions);
+    EXPECT_GT(r.messages, 0u);
+    EXPECT_GT(r.avg_delay_ms(), 0.0);
+  }
+}
+
+TEST(Runner, DeterministicPerSeed) {
+  TestbedConfig config;
+  config.scheme = TestbedScheme::kFlash;
+  config.nodes = 20;
+  config.num_transactions = 200;
+  config.seed = 9;
+  const TestbedResult a = run_testbed(config);
+  const TestbedResult b = run_testbed(config);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_DOUBLE_EQ(a.volume_succeeded, b.volume_succeeded);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_DOUBLE_EQ(a.total_delay_ms, b.total_delay_ms);
+}
+
+TEST(Runner, MiceFasterThanOverallForFlash) {
+  TestbedConfig config;
+  config.scheme = TestbedScheme::kFlash;
+  config.nodes = 30;
+  config.num_transactions = 500;
+  config.seed = 11;
+  const TestbedResult r = run_testbed(config);
+  // Elephants pay sequential probing; mice must settle faster on average.
+  EXPECT_LT(r.avg_mice_delay_ms(), r.avg_delay_ms());
+}
+
+TEST(Runner, SchemeNames) {
+  EXPECT_EQ(testbed_scheme_name(TestbedScheme::kFlash), "Flash");
+  EXPECT_EQ(testbed_scheme_name(TestbedScheme::kSpider), "Spider");
+  EXPECT_EQ(testbed_scheme_name(TestbedScheme::kShortestPath), "SP");
+}
+
+}  // namespace
+}  // namespace flash::testbed

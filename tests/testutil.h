@@ -1,0 +1,39 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "ledger/network_state.h"
+
+namespace flash::testing {
+
+/// Builds a graph from an undirected channel list; node count inferred.
+inline Graph make_graph(std::size_t n,
+                        std::initializer_list<std::pair<NodeId, NodeId>> chans) {
+  Graph g(n);
+  for (auto [u, v] : chans) g.add_channel(u, v);
+  return g;
+}
+
+/// Sets both directions of channel c to the given balances.
+inline void set_channel(NetworkState& state, const Graph& g, std::size_t c,
+                        Amount fwd, Amount bwd) {
+  const EdgeId e = g.channel_forward_edge(c);
+  state.set_balance(e, fwd);
+  state.set_balance(g.reverse(e), bwd);
+}
+
+/// Edge id of the c-th channel's forward direction.
+inline EdgeId fwd(const Graph& g, std::size_t c) {
+  return g.channel_forward_edge(c);
+}
+
+/// Edge id of the c-th channel's backward direction.
+inline EdgeId bwd(const Graph& g, std::size_t c) {
+  return g.reverse(g.channel_forward_edge(c));
+}
+
+}  // namespace flash::testing

@@ -1,0 +1,283 @@
+// Tests for the workload substrate: calibrated size distributions (Fig. 3),
+// recurrence structure (Fig. 4), trace I/O, and workload builders.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "graph/bfs.h"
+#include "trace/pair_gen.h"
+#include "trace/size_dist.h"
+#include "trace/trace_io.h"
+#include "trace/workload.h"
+#include "util/stats.h"
+
+namespace flash {
+namespace {
+
+// --- Size distributions -----------------------------------------------------
+
+TEST(SizeDist, RippleMedianNearPaperValue) {
+  Rng rng(1);
+  const SizeDistribution d = SizeDistribution::ripple();
+  std::vector<double> xs(60001);
+  for (auto& x : xs) x = d.sample(rng);
+  const double med = percentile(xs, 50);
+  // Paper: median payment ~= $4.8. Calibration tolerance: factor ~1.6.
+  EXPECT_GT(med, 3.0);
+  EXPECT_LT(med, 8.0);
+}
+
+TEST(SizeDist, RippleTopDecileCarriesMostVolume) {
+  Rng rng(2);
+  const SizeDistribution d = SizeDistribution::ripple();
+  std::vector<double> xs(60000);
+  for (auto& x : xs) x = d.sample(rng);
+  // Paper: top 10% of payments carry ~94.5% of volume.
+  const double share = top_fraction_share(xs, 0.10);
+  EXPECT_GT(share, 0.85);
+  EXPECT_LE(share, 1.0);
+}
+
+TEST(SizeDist, BitcoinMedianNearPaperValue) {
+  Rng rng(3);
+  const SizeDistribution d = SizeDistribution::bitcoin();
+  std::vector<double> xs(60001);
+  for (auto& x : xs) x = d.sample(rng);
+  const double med = percentile(xs, 50);
+  // Paper: median 1.293e6 satoshi.
+  EXPECT_GT(med, 0.6e6);
+  EXPECT_LT(med, 2.6e6);
+}
+
+TEST(SizeDist, BitcoinTopDecileCarriesMostVolume) {
+  Rng rng(4);
+  const SizeDistribution d = SizeDistribution::bitcoin();
+  std::vector<double> xs(60000);
+  for (auto& x : xs) x = d.sample(rng);
+  const double share = top_fraction_share(xs, 0.10);
+  EXPECT_GT(share, 0.88);  // paper: 94.7%
+}
+
+TEST(SizeDist, TailStartsAtThreshold) {
+  Rng rng(5);
+  const SizeDistribution d = SizeDistribution::ripple();
+  // ~10% of samples should exceed the tail threshold ($1,740).
+  int above = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) above += (d.sample(rng) >= d.tail_threshold());
+  EXPECT_NEAR(static_cast<double>(above) / n, 0.10, 0.02);
+}
+
+TEST(SizeDist, AllSamplesPositive) {
+  Rng rng(6);
+  const SizeDistribution d = SizeDistribution::ripple();
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(d.sample(rng), 0);
+}
+
+TEST(SizeDist, RejectsBadParameters) {
+  EXPECT_THROW(SizeDistribution(-1, 1, 0.1, 10, 2), std::invalid_argument);
+  EXPECT_THROW(SizeDistribution(1, 0, 0.1, 10, 2), std::invalid_argument);
+  EXPECT_THROW(SizeDistribution(1, 1, 1.5, 10, 2), std::invalid_argument);
+  EXPECT_THROW(SizeDistribution(1, 1, 0.1, 10, 0.9), std::invalid_argument);
+}
+
+// --- Pair generation ----------------------------------------------------------
+
+TEST(PairGen, SenderNeverEqualsReceiver) {
+  Rng rng(7);
+  RecurrentPairGenerator gen(50, {}, rng);
+  for (int i = 0; i < 5000; ++i) {
+    const auto [s, r] = gen.next(rng);
+    EXPECT_NE(s, r);
+    EXPECT_LT(s, 50u);
+    EXPECT_LT(r, 50u);
+  }
+}
+
+TEST(PairGen, RecurrenceFractionNearConfig) {
+  // Measure the recurring fraction the way Fig. 4a does: a transaction is
+  // recurring if its (sender, receiver) pair appeared before within the
+  // window. With a long window the measured fraction approaches the
+  // configured recurrence (86%).
+  Rng rng(8);
+  PairGenConfig config;
+  RecurrentPairGenerator gen(200, config, rng);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  int recurring = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto pair = gen.next(rng);
+    if (!seen.insert(pair).second) ++recurring;
+  }
+  const double fraction = static_cast<double>(recurring) / n;
+  EXPECT_GT(fraction, 0.80);
+  EXPECT_LT(fraction, 0.99);
+}
+
+TEST(PairGen, TopFiveReceiversCarryMostRecurringVolume) {
+  // Fig. 4b: the top-5 recurring counterparties carry >70% of recurring
+  // transactions (transaction-weighted across senders), measured with the
+  // daily-concentration profile the figure describes.
+  Rng rng(9);
+  RecurrentPairGenerator gen(300, PairGenConfig::daily(), rng);
+  // Count only *recurring* transactions (pair seen before within the same
+  // 24h window), as Fig. 4b does: "percentage of top-5 recurring
+  // transactions among all recurring transactions in a 24-hour period".
+  std::size_t top5_total = 0, total_all = 0;
+  for (int day = 0; day < 30; ++day) {
+    std::set<std::pair<NodeId, NodeId>> seen;
+    std::map<NodeId, std::map<NodeId, int>> recurring;
+    for (int i = 0; i < 2000; ++i) {
+      const auto pair = gen.next(rng);
+      if (!seen.insert(pair).second) ++recurring[pair.first][pair.second];
+    }
+    for (const auto& [sender, receivers] : recurring) {
+      std::vector<int> per_receiver;
+      for (const auto& [r, c] : receivers) per_receiver.push_back(c);
+      std::sort(per_receiver.rbegin(), per_receiver.rend());
+      for (std::size_t i = 0; i < per_receiver.size(); ++i) {
+        total_all += static_cast<std::size_t>(per_receiver[i]);
+        if (i < 5) top5_total += static_cast<std::size_t>(per_receiver[i]);
+      }
+    }
+  }
+  ASSERT_GT(total_all, 0u);
+  const double share = static_cast<double>(top5_total) / total_all;
+  EXPECT_GT(share, 0.55);
+  EXPECT_LT(share, 0.95);
+}
+
+TEST(PairGen, HistoryGrowsWithNewReceivers) {
+  Rng rng(10);
+  RecurrentPairGenerator gen(40, {}, rng);
+  for (int i = 0; i < 1000; ++i) gen.next(rng);
+  // Some sender must have accumulated more than one counterparty.
+  bool some_history = false;
+  for (NodeId s = 0; s < 40; ++s) {
+    if (gen.receivers_of(s).size() > 1) some_history = true;
+  }
+  EXPECT_TRUE(some_history);
+}
+
+TEST(PairGen, RejectsTinyNetworks) {
+  Rng rng(11);
+  EXPECT_THROW(RecurrentPairGenerator(1, {}, rng), std::invalid_argument);
+}
+
+// --- Trace I/O -------------------------------------------------------------------
+
+TEST(TraceIo, RoundTrip) {
+  std::vector<Transaction> txs;
+  for (int i = 0; i < 5; ++i) {
+    txs.push_back({static_cast<NodeId>(i), static_cast<NodeId>(i + 1),
+                   1.5 * (i + 1), static_cast<double>(i)});
+  }
+  std::stringstream ss;
+  write_trace(ss, txs);
+  const auto back = read_trace(ss);
+  ASSERT_EQ(back.size(), txs.size());
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    EXPECT_EQ(back[i].sender, txs[i].sender);
+    EXPECT_EQ(back[i].receiver, txs[i].receiver);
+    EXPECT_DOUBLE_EQ(back[i].amount, txs[i].amount);
+    EXPECT_DOUBLE_EQ(back[i].timestamp, txs[i].timestamp);
+  }
+}
+
+TEST(TraceIo, TimestampDefaultsToIndex) {
+  std::istringstream is("0,1,5.0\n1,2,6.0\n");
+  const auto txs = read_trace(is);
+  ASSERT_EQ(txs.size(), 2u);
+  EXPECT_DOUBLE_EQ(txs[1].timestamp, 1.0);
+}
+
+TEST(TraceIo, ToleratesHeaderAndComments) {
+  std::istringstream is("sender,receiver,amount\n# note\n0,1,2.5\n");
+  const auto txs = read_trace(is);
+  ASSERT_EQ(txs.size(), 1u);
+  EXPECT_DOUBLE_EQ(txs[0].amount, 2.5);
+}
+
+TEST(TraceIo, MalformedBodyThrows) {
+  std::istringstream is("0,1,2.5\nbad,row,here\n");
+  EXPECT_THROW(read_trace(is), std::runtime_error);
+}
+
+// --- Workloads --------------------------------------------------------------------
+
+TEST(Workload, ToyWorkloadConsistent) {
+  const Workload w = make_toy_workload(30, 100, 5);
+  EXPECT_EQ(w.transactions().size(), 100u);
+  for (const auto& tx : w.transactions()) {
+    EXPECT_NE(tx.sender, tx.receiver);
+    EXPECT_GT(tx.amount, 0);
+    EXPECT_TRUE(reachable(w.graph(), tx.sender, tx.receiver));
+  }
+}
+
+TEST(Workload, MakeStateAppliesScale) {
+  const Workload w = make_toy_workload(20, 10, 6);
+  const NetworkState s1 = w.make_state(1.0);
+  const NetworkState s10 = w.make_state(10.0);
+  EXPECT_NEAR(s10.total_balance(), 10 * s1.total_balance(), 1e-6);
+  EXPECT_TRUE(s10.check_invariants());
+}
+
+TEST(Workload, StatesAreIndependent) {
+  const Workload w = make_toy_workload(20, 10, 7);
+  NetworkState a = w.make_state();
+  const NetworkState b = w.make_state();
+  const auto id = a.hold(Path{0}, a.balance(0) / 2);
+  ASSERT_TRUE(id);
+  EXPECT_NE(a.balance(0), b.balance(0));
+  a.abort(*id);
+}
+
+TEST(Workload, SizeQuantileMonotone) {
+  const Workload w = make_toy_workload(20, 500, 8);
+  EXPECT_LE(w.size_quantile(0.5), w.size_quantile(0.9));
+  EXPECT_LE(w.size_quantile(0.9), w.size_quantile(0.99));
+}
+
+TEST(Workload, TruncatedKeepsPrefix) {
+  const Workload w = make_toy_workload(20, 100, 9);
+  const Workload t = w.truncated(10);
+  ASSERT_EQ(t.transactions().size(), 10u);
+  EXPECT_EQ(t.transactions()[3].sender, w.transactions()[3].sender);
+  EXPECT_EQ(t.graph().num_edges(), w.graph().num_edges());
+}
+
+TEST(Workload, TestbedWorkloadShape) {
+  WorkloadConfig c;
+  c.num_transactions = 50;
+  c.seed = 3;
+  const Workload w = make_testbed_workload(50, 1000, 1500, c);
+  EXPECT_EQ(w.graph().num_nodes(), 50u);
+  EXPECT_EQ(w.transactions().size(), 50u);
+  const NetworkState s = w.make_state();
+  for (std::size_t ch = 0; ch < w.graph().num_channels(); ++ch) {
+    const EdgeId e = w.graph().channel_forward_edge(ch);
+    const Amount cap = s.balance(e) + s.balance(w.graph().reverse(e));
+    EXPECT_GE(cap, 1000 - 1e-6);
+    EXPECT_LT(cap, 1500);
+  }
+}
+
+TEST(Workload, DeterministicPerSeed) {
+  WorkloadConfig c;
+  c.num_transactions = 30;
+  c.seed = 11;
+  const Workload a = make_testbed_workload(30, 100, 200, c);
+  const Workload b = make_testbed_workload(30, 100, 200, c);
+  ASSERT_EQ(a.transactions().size(), b.transactions().size());
+  for (std::size_t i = 0; i < a.transactions().size(); ++i) {
+    EXPECT_EQ(a.transactions()[i].sender, b.transactions()[i].sender);
+    EXPECT_DOUBLE_EQ(a.transactions()[i].amount, b.transactions()[i].amount);
+  }
+}
+
+}  // namespace
+}  // namespace flash

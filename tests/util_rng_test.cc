@@ -1,0 +1,228 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace flash {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, SplitmixAdvancesState) {
+  std::uint64_t s = 7;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatesHalf) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(29);
+  const int n = 40000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(31);
+  const int n = 40000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(37);
+  const int n = 20001;
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.lognormal(std::log(5.0), 1.0);
+  std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+  EXPECT_NEAR(xs[n / 2], 5.0, 0.4);
+}
+
+TEST(Rng, ParetoBoundedBelowByScale) {
+  Rng rng(41);
+  for (int i = 0; i < 2000; ++i) EXPECT_GE(rng.pareto(3.0, 1.5), 3.0);
+}
+
+TEST(Rng, ParetoMedian) {
+  // Pareto median = xm * 2^(1/alpha).
+  Rng rng(43);
+  const int n = 20001;
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.pareto(1.0, 2.0);
+  std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+  EXPECT_NEAR(xs[n / 2], std::sqrt(2.0), 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(47);
+  const int n = 30000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(53);
+  const std::vector<double> w{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(59);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(61);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto orig = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+}
+
+TEST(Rng, PickReturnsMember) {
+  Rng rng(67);
+  const std::vector<int> v{5, 6, 7};
+  for (int i = 0; i < 100; ++i) {
+    const int x = rng.pick(v);
+    EXPECT_TRUE(x == 5 || x == 6 || x == 7);
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(71);
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 5);
+}
+
+TEST(Zipf, DegeneratesToUniformAtZero) {
+  Rng rng(73);
+  ZipfSampler zipf(4, 0.0);
+  int counts[4] = {};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[zipf(rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.25, 0.02);
+  }
+}
+
+TEST(Zipf, SkewsTowardLowRanks) {
+  Rng rng(79);
+  ZipfSampler zipf(100, 1.2);
+  int first = 0, rest = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (zipf(rng) == 0) {
+      ++first;
+    } else {
+      ++rest;
+    }
+  }
+  EXPECT_GT(first, 20000 / 10);  // rank 0 gets far more than 1/100
+  EXPECT_GT(rest, 0);
+}
+
+TEST(Zipf, SingleElementSupport) {
+  Rng rng(83);
+  ZipfSampler zipf(1, 1.5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(zipf(rng), 0u);
+}
+
+}  // namespace
+}  // namespace flash

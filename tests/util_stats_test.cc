@@ -1,0 +1,117 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace flash {
+namespace {
+
+TEST(Summarize, EmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.sum, 0.0);
+}
+
+TEST(Summarize, BasicMoments) {
+  const std::vector<double> v{1, 2, 3, 4};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 4);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.sum, 10);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 100), 7.0);
+}
+
+TEST(Percentile, EndpointsAndMedian) {
+  const std::vector<double> v{4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 2.5);  // interpolated
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 75), 7.5);
+}
+
+TEST(Mean, EmptyAndBasic) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  const std::vector<double> v{2, 4};
+  EXPECT_DOUBLE_EQ(mean(v), 3.0);
+}
+
+TEST(EmpiricalCdf, MonotoneAndEndsAtOne) {
+  std::vector<double> v;
+  for (int i = 100; i >= 1; --i) v.push_back(i);
+  const auto cdf = empirical_cdf(v, 16);
+  ASSERT_FALSE(cdf.empty());
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].x, cdf[i].x);
+    EXPECT_LE(cdf[i - 1].f, cdf[i].f);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().f, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().x, 100.0);
+  EXPECT_DOUBLE_EQ(cdf.front().x, 1.0);
+}
+
+TEST(EmpiricalCdf, SmallSampleKeepsAllPoints) {
+  const auto cdf = empirical_cdf({3.0, 1.0, 2.0}, 64);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].x, 1.0);
+  EXPECT_NEAR(cdf[0].f, 1.0 / 3, 1e-12);
+}
+
+TEST(TopFractionShare, UniformValues) {
+  // All equal: top 10% of 10 values = 1 value = 10% of the sum.
+  const std::vector<double> v(10, 5.0);
+  EXPECT_NEAR(top_fraction_share(v, 0.10), 0.10, 1e-12);
+}
+
+TEST(TopFractionShare, HeavyTail) {
+  std::vector<double> v(9, 1.0);
+  v.push_back(91.0);  // one elephant carries 91% of the volume
+  EXPECT_NEAR(top_fraction_share(v, 0.10), 0.91, 1e-12);
+}
+
+TEST(TopFractionShare, WholeIsOne) {
+  const std::vector<double> v{1, 2, 3};
+  EXPECT_DOUBLE_EQ(top_fraction_share(v, 1.0), 1.0);
+}
+
+TEST(TopFractionShare, ZeroSumIsZero) {
+  const std::vector<double> v{0, 0, 0};
+  EXPECT_DOUBLE_EQ(top_fraction_share(v, 0.5), 0.0);
+}
+
+TEST(RunningStat, MatchesBatchSummary) {
+  const std::vector<double> v{1.5, -2.0, 7.25, 0.0, 3.5};
+  RunningStat rs;
+  for (double x : v) rs.add(x);
+  const Summary s = summarize(v);
+  EXPECT_EQ(rs.count(), s.n);
+  EXPECT_NEAR(rs.mean(), s.mean, 1e-12);
+  EXPECT_NEAR(rs.stddev(), s.stddev, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), s.min);
+  EXPECT_DOUBLE_EQ(rs.max(), s.max);
+  EXPECT_NEAR(rs.sum(), s.sum, 1e-12);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  const RunningStat rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.stddev(), 0.0);
+}
+
+}  // namespace
+}  // namespace flash

@@ -1,0 +1,198 @@
+// flash_cli — command-line front end for the library.
+//
+// Subcommands:
+//   gen-topology --kind ripple|lightning|ws --nodes N --seed S --out FILE
+//       Generate a topology and write it as an edge list.
+//   gen-trace --workload ripple|lightning --tx N --seed S --out FILE
+//       Generate a synthetic transaction trace (CSV).
+//   simulate --workload ripple|lightning|testbed --tx N --seed S
+//            --scheme flash|spider|speedymurmurs|sp [--scale X] [--runs R]
+//       Run the simulator and print §4.2 metrics.
+//   testbed --scheme flash|spider|sp --nodes N --tx N --seed S
+//       Run the message-level testbed and print §5.3 metrics.
+//
+// All subcommands are deterministic given --seed.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/flash.h"
+#include "testbed/runner.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace flash;
+
+/// Minimal --key value parser; unknown keys are an error.
+class Args {
+ public:
+  Args(int argc, char** argv, int start) {
+    for (int i = start; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        throw std::invalid_argument(std::string("expected --flag, got ") +
+                                    argv[i]);
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  std::size_t get_size(const std::string& key, std::size_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end()
+               ? fallback
+               : static_cast<std::size_t>(std::stoull(it->second));
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int cmd_gen_topology(const Args& args) {
+  Rng rng(args.get_size("seed", 1));
+  const std::string kind = args.get("kind", "ws");
+  Graph g;
+  if (kind == "ripple") {
+    g = ripple_like(rng);
+  } else if (kind == "lightning") {
+    g = lightning_like(rng);
+  } else if (kind == "ws") {
+    g = watts_strogatz(args.get_size("nodes", 50), 8, 0.3, rng);
+  } else {
+    std::fprintf(stderr, "unknown --kind %s\n", kind.c_str());
+    return 2;
+  }
+  const std::string out = args.get("out", "topology.csv");
+  save_edge_list(out, g);
+  std::printf("wrote %s: %zu nodes, %zu channels\n", out.c_str(),
+              g.num_nodes(), g.num_channels());
+  return 0;
+}
+
+Workload build_workload(const Args& args) {
+  WorkloadConfig config;
+  config.num_transactions = args.get_size("tx", 2000);
+  config.seed = args.get_size("seed", 1);
+  const std::string kind = args.get("workload", "ripple");
+  if (kind == "ripple") return make_ripple_workload(config);
+  if (kind == "lightning") return make_lightning_workload(config);
+  if (kind == "testbed") {
+    return make_testbed_workload(args.get_size("nodes", 50), 1000, 1500,
+                                 config);
+  }
+  throw std::invalid_argument("unknown --workload " + kind);
+}
+
+int cmd_gen_trace(const Args& args) {
+  const Workload w = build_workload(args);
+  const std::string out = args.get("out", "trace.csv");
+  save_trace(out, w.transactions());
+  std::printf("wrote %s: %zu transactions on %zu-node %s topology\n",
+              out.c_str(), w.transactions().size(), w.graph().num_nodes(),
+              w.name().c_str());
+  return 0;
+}
+
+Scheme parse_scheme(const std::string& name) {
+  const std::string lower = to_lower(name);
+  if (lower == "flash") return Scheme::kFlash;
+  if (lower == "spider") return Scheme::kSpider;
+  if (lower == "speedymurmurs" || lower == "sm") return Scheme::kSpeedyMurmurs;
+  if (lower == "sp" || lower == "shortestpath") return Scheme::kShortestPath;
+  throw std::invalid_argument("unknown --scheme " + name);
+}
+
+int cmd_simulate(const Args& args) {
+  const Workload w = build_workload(args);
+  const Scheme scheme = parse_scheme(args.get("scheme", "flash"));
+  const std::size_t runs = args.get_size("runs", 1);
+  SimConfig sim;
+  sim.capacity_scale = args.get_double("scale", 10.0);
+
+  TextTable t;
+  t.header({"run", "succ ratio", "succ volume", "probe msgs", "fee/volume"});
+  for (std::size_t run = 0; run < runs; ++run) {
+    const auto router = make_router(scheme, w, {}, 1 + run);
+    const SimResult r = run_simulation(w, *router, sim);
+    t.row({std::to_string(run), fmt_pct(r.success_ratio()),
+           fmt_sci(r.volume_succeeded, 3), std::to_string(r.probe_messages),
+           fmt_pct(r.fee_ratio(), 2)});
+  }
+  std::printf("%s on %s (%zu tx, scale %.0f)\n", scheme_name(scheme).c_str(),
+              w.name().c_str(), w.transactions().size(), sim.capacity_scale);
+  std::fputs(t.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_testbed(const Args& args) {
+  testbed::TestbedConfig config;
+  const std::string scheme = to_lower(args.get("scheme", "flash"));
+  if (scheme == "flash") {
+    config.scheme = testbed::TestbedScheme::kFlash;
+  } else if (scheme == "spider") {
+    config.scheme = testbed::TestbedScheme::kSpider;
+  } else if (scheme == "sp") {
+    config.scheme = testbed::TestbedScheme::kShortestPath;
+  } else {
+    std::fprintf(stderr, "unknown --scheme %s\n", scheme.c_str());
+    return 2;
+  }
+  config.nodes = args.get_size("nodes", 50);
+  config.num_transactions = args.get_size("tx", 10000);
+  config.seed = args.get_size("seed", 1);
+  const auto r = testbed::run_testbed(config);
+  std::printf("%s testbed (%zu nodes, %zu tx): ratio %.1f%%, volume %.3e, "
+              "delay %.2f ms (mice %.2f ms), %llu messages\n",
+              testbed_scheme_name(config.scheme).c_str(), config.nodes,
+              config.num_transactions, 100 * r.success_ratio(),
+              r.volume_succeeded, r.avg_delay_ms(), r.avg_mice_delay_ms(),
+              static_cast<unsigned long long>(r.messages));
+  return 0;
+}
+
+void usage() {
+  std::fputs(
+      "usage: flash_cli <gen-topology|gen-trace|simulate|testbed> "
+      "[--key value ...]\n"
+      "  gen-topology --kind ripple|lightning|ws [--nodes N] [--seed S] "
+      "[--out FILE]\n"
+      "  gen-trace    --workload ripple|lightning|testbed [--tx N] "
+      "[--seed S] [--out FILE]\n"
+      "  simulate     --workload ... --scheme flash|spider|sm|sp "
+      "[--tx N] [--scale X] [--runs R] [--seed S]\n"
+      "  testbed      --scheme flash|spider|sp [--nodes N] [--tx N] "
+      "[--seed S]\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  try {
+    const std::string cmd = argv[1];
+    const Args args(argc, argv, 2);
+    if (cmd == "gen-topology") return cmd_gen_topology(args);
+    if (cmd == "gen-trace") return cmd_gen_trace(args);
+    if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "testbed") return cmd_testbed(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
