@@ -1,0 +1,24 @@
+# Project-wide warning configuration, attached to targets via the
+# flash::warnings interface library (usage requirement only — nothing is
+# compiled here).
+
+option(FLASH_WERROR "Treat warnings as errors" ON)
+
+add_library(flash_warnings INTERFACE)
+add_library(flash::warnings ALIAS flash_warnings)
+
+target_compile_options(flash_warnings INTERFACE
+  -Wall
+  -Wextra
+  -Wpedantic
+  -Wshadow
+  -Wdouble-promotion
+  -Wnon-virtual-dtor
+  -Woverloaded-virtual
+  -Wcast-qual
+  -Wformat=2
+  -Wimplicit-fallthrough)
+
+if(FLASH_WERROR)
+  target_compile_options(flash_warnings INTERFACE -Werror)
+endif()

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 #include <numbers>
+#include <stdexcept>
 
 namespace flash {
 
@@ -94,8 +95,15 @@ double Rng::lognormal(double mu, double sigma) noexcept {
   return std::exp(normal(mu, sigma));
 }
 
-double Rng::pareto(double x_m, double alpha) noexcept {
-  assert(x_m > 0 && alpha > 0);
+double Rng::pareto(double x_m, double alpha) {
+  // Validated with throws (not assert) so Release builds reject bad
+  // parameters instead of silently sampling garbage.
+  if (!(x_m > 0.0)) {
+    throw std::invalid_argument("Rng::pareto: x_m must be > 0");
+  }
+  if (!(alpha > 0.0)) {
+    throw std::invalid_argument("Rng::pareto: alpha must be > 0");
+  }
   double u = 0.0;
   do {
     u = uniform();
@@ -103,8 +111,10 @@ double Rng::pareto(double x_m, double alpha) noexcept {
   return x_m / std::pow(u, 1.0 / alpha);
 }
 
-double Rng::exponential(double lambda) noexcept {
-  assert(lambda > 0);
+double Rng::exponential(double lambda) {
+  if (!(lambda > 0.0)) {
+    throw std::invalid_argument("Rng::exponential: lambda must be > 0");
+  }
   double u = 0.0;
   do {
     u = uniform();

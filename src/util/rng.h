@@ -60,10 +60,12 @@ class Rng {
   double lognormal(double mu, double sigma) noexcept;
 
   /// Pareto with scale x_m > 0 and shape alpha > 0.
-  double pareto(double x_m, double alpha) noexcept;
+  /// Throws std::invalid_argument on invalid parameters (Release too).
+  double pareto(double x_m, double alpha);
 
   /// Exponential with the given rate lambda > 0.
-  double exponential(double lambda) noexcept;
+  /// Throws std::invalid_argument on invalid parameters (Release too).
+  double exponential(double lambda);
 
   /// Index in [0, weights.size()) drawn proportionally to weights.
   /// Precondition: weights non-empty, all >= 0, sum > 0.

@@ -1,9 +1,9 @@
 #include "util/stats.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
 
 namespace flash {
 
@@ -26,8 +26,14 @@ Summary summarize(std::span<const double> values) {
 }
 
 double percentile(std::vector<double> values, double p) {
-  assert(!values.empty());
-  assert(p >= 0.0 && p <= 100.0);
+  // assert() vanishes under NDEBUG and would leave out-of-bounds UB in
+  // Release builds, so these preconditions must throw.
+  if (values.empty()) {
+    throw std::invalid_argument("percentile: empty input");
+  }
+  if (!(p >= 0.0 && p <= 100.0)) {
+    throw std::invalid_argument("percentile: p must be in [0, 100]");
+  }
   std::sort(values.begin(), values.end());
   if (values.size() == 1) return values[0];
   const double rank = (p / 100.0) * static_cast<double>(values.size() - 1);
@@ -45,8 +51,12 @@ double mean(std::span<const double> values) {
 
 std::vector<CdfPoint> empirical_cdf(std::vector<double> values,
                                     std::size_t max_points) {
-  assert(!values.empty());
-  assert(max_points >= 2);
+  if (values.empty()) {
+    throw std::invalid_argument("empirical_cdf: empty input");
+  }
+  if (max_points < 2) {
+    throw std::invalid_argument("empirical_cdf: max_points must be >= 2");
+  }
   std::sort(values.begin(), values.end());
   const std::size_t n = values.size();
   std::vector<CdfPoint> out;
@@ -63,8 +73,13 @@ std::vector<CdfPoint> empirical_cdf(std::vector<double> values,
 }
 
 double top_fraction_share(std::vector<double> values, double top_fraction) {
-  assert(!values.empty());
-  assert(top_fraction > 0.0 && top_fraction <= 1.0);
+  if (values.empty()) {
+    throw std::invalid_argument("top_fraction_share: empty input");
+  }
+  if (!(top_fraction > 0.0 && top_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "top_fraction_share: top_fraction must be in (0, 1]");
+  }
   std::sort(values.begin(), values.end(), std::greater<>());
   const double total = std::accumulate(values.begin(), values.end(), 0.0);
   if (total <= 0.0) return 0.0;

@@ -22,7 +22,8 @@ struct Summary {
 Summary summarize(std::span<const double> values);
 
 /// p-th percentile (p in [0,100]) using linear interpolation between order
-/// statistics. Precondition: values non-empty.
+/// statistics. Throws std::invalid_argument on empty input or p outside
+/// [0, 100] (enforced in Release builds too).
 double percentile(std::vector<double> values, double p);
 
 /// Arithmetic mean; 0 for empty input.
@@ -35,13 +36,15 @@ struct CdfPoint {
 };
 
 /// Empirical CDF reduced to at most max_points points (uniformly spaced in
-/// rank), always including min and max. Precondition: values non-empty.
+/// rank), always including min and max. Throws std::invalid_argument on
+/// empty input or max_points < 2.
 std::vector<CdfPoint> empirical_cdf(std::vector<double> values,
                                     std::size_t max_points = 64);
 
 /// Fraction of total sum contributed by the top `top_fraction` of values
 /// (e.g. top_fraction = 0.10 asks how much of the volume the largest 10 % of
-/// payments carry). Precondition: values non-empty, top_fraction in (0,1].
+/// payments carry). Throws std::invalid_argument on empty input or
+/// top_fraction outside (0, 1].
 double top_fraction_share(std::vector<double> values, double top_fraction);
 
 /// Running accumulator when samples arrive one by one.

@@ -109,9 +109,9 @@ INSTANTIATE_TEST_SUITE_P(
                                          Scheme::kSpeedyMurmurs,
                                          Scheme::kShortestPath),
                        ::testing::Values(21, 22, 23)),
-    [](const auto& info) {
-      return scheme_name(std::get<0>(info.param)) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& suite_info) {
+      return scheme_name(std::get<0>(suite_info.param)) + "_seed" +
+             std::to_string(std::get<1>(suite_info.param));
     });
 
 // --- Atomicity: delivered amount is all-or-nothing ----------------------------------
@@ -137,8 +137,8 @@ INSTANTIATE_TEST_SUITE_P(AllSchemes, Atomicity,
                          ::testing::Values(Scheme::kFlash, Scheme::kSpider,
                                            Scheme::kSpeedyMurmurs,
                                            Scheme::kShortestPath),
-                         [](const auto& info) {
-                           return scheme_name(info.param);
+                         [](const auto& suite_info) {
+                           return scheme_name(suite_info.param);
                          });
 
 // --- Static schemes never probe ------------------------------------------------------
@@ -155,8 +155,8 @@ TEST_P(StaticSchemes, NoProbingEver) {
 INSTANTIATE_TEST_SUITE_P(Static, StaticSchemes,
                          ::testing::Values(Scheme::kSpeedyMurmurs,
                                            Scheme::kShortestPath),
-                         [](const auto& info) {
-                           return scheme_name(info.param);
+                         [](const auto& suite_info) {
+                           return scheme_name(suite_info.param);
                          });
 
 // --- Flash parameter sweeps (the Fig. 10/11 axes as properties) ---------------------

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 namespace flash {
@@ -222,6 +223,34 @@ TEST(Zipf, SingleElementSupport) {
   Rng rng(83);
   ZipfSampler zipf(1, 1.5);
   for (int i = 0; i < 50; ++i) EXPECT_EQ(zipf(rng), 0u);
+}
+
+// Parameter validation must hold in Release builds too (NDEBUG strips
+// assert, which previously let bad parameters sample garbage silently).
+TEST(ReleaseGuards, ParetoBadParamsThrow) {
+  Rng rng(91);
+  EXPECT_THROW(rng.pareto(0.0, 1.5), std::invalid_argument);
+  EXPECT_THROW(rng.pareto(-1.0, 1.5), std::invalid_argument);
+  EXPECT_THROW(rng.pareto(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(rng.pareto(1.0, -2.0), std::invalid_argument);
+  const double nan = std::nan("");
+  EXPECT_THROW(rng.pareto(nan, 1.5), std::invalid_argument);
+  EXPECT_THROW(rng.pareto(1.0, nan), std::invalid_argument);
+}
+
+TEST(ReleaseGuards, ExponentialBadParamsThrow) {
+  Rng rng(92);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-0.5), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(std::nan("")), std::invalid_argument);
+}
+
+TEST(ReleaseGuards, ValidParamsStillSample) {
+  Rng rng(93);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+    EXPECT_GT(rng.exponential(0.25), 0.0);
+  }
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 namespace flash {
@@ -111,6 +112,30 @@ TEST(RunningStat, EmptyIsZero) {
   EXPECT_EQ(rs.count(), 0u);
   EXPECT_EQ(rs.mean(), 0.0);
   EXPECT_EQ(rs.stddev(), 0.0);
+}
+
+// Precondition violations must throw in Release builds too (NDEBUG strips
+// assert, which previously left out-of-bounds UB).
+TEST(ReleaseGuards, PercentileEmptyInputThrows) {
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+}
+
+TEST(ReleaseGuards, PercentileOutOfRangePThrows) {
+  EXPECT_THROW(percentile({1.0, 2.0}, -0.5), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0, 2.0}, 100.5), std::invalid_argument);
+  const double nan = std::nan("");
+  EXPECT_THROW(percentile({1.0, 2.0}, nan), std::invalid_argument);
+}
+
+TEST(ReleaseGuards, EmpiricalCdfBadInputThrows) {
+  EXPECT_THROW(empirical_cdf({}), std::invalid_argument);
+  EXPECT_THROW(empirical_cdf({1.0, 2.0}, 1), std::invalid_argument);
+}
+
+TEST(ReleaseGuards, TopFractionShareBadInputThrows) {
+  EXPECT_THROW(top_fraction_share({}, 0.1), std::invalid_argument);
+  EXPECT_THROW(top_fraction_share({1.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(top_fraction_share({1.0}, 1.5), std::invalid_argument);
 }
 
 }  // namespace

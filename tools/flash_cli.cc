@@ -160,7 +160,7 @@ int cmd_testbed(const Args& args) {
   return 0;
 }
 
-void usage() {
+void usage(std::FILE* out = stderr) {
   std::fputs(
       "usage: flash_cli <gen-topology|gen-trace|simulate|testbed> "
       "[--key value ...]\n"
@@ -172,7 +172,7 @@ void usage() {
       "[--tx N] [--scale X] [--runs R] [--seed S]\n"
       "  testbed      --scheme flash|spider|sp [--nodes N] [--tx N] "
       "[--seed S]\n",
-      stderr);
+      out);
 }
 
 }  // namespace
@@ -184,6 +184,10 @@ int main(int argc, char** argv) {
   }
   try {
     const std::string cmd = argv[1];
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+      usage(stdout);
+      return 0;
+    }
     const Args args(argc, argv, 2);
     if (cmd == "gen-topology") return cmd_gen_topology(args);
     if (cmd == "gen-trace") return cmd_gen_trace(args);

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Runs the benchmark suite and records results.
+#
+#   tools/run_benches.sh [build-dir] [out-dir]
+#
+# - Google Benchmark micro benches emit machine-readable JSON
+#   (BENCH_micro.json), seeding the perf trajectory tracked across PRs.
+# - fig*/ablation_* paper-figure benches run in FLASH_BENCH_FAST mode and
+#   their paper-vs-measured tables are captured to one log per figure.
+#
+# Builds the bench_all target first if the build directory exists but the
+# binaries do not.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench-results}"
+
+if [[ ! -d "${BUILD_DIR}" ]]; then
+  echo "error: build dir '${BUILD_DIR}' not found." >&2
+  echo "run: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
+cmake --build "${BUILD_DIR}" --target bench_all -j "$(nproc)"
+
+mkdir -p "${OUT_DIR}"
+
+echo "== micro benches (Google Benchmark) =="
+"${BUILD_DIR}/bench/micro_algorithms" \
+  --benchmark_out="${OUT_DIR}/BENCH_micro_algorithms.json" \
+  --benchmark_out_format=json
+"${BUILD_DIR}/bench/micro_routing" \
+  --benchmark_out="${OUT_DIR}/BENCH_micro_routing.json" \
+  --benchmark_out_format=json
+
+# Merge the two JSON reports into the canonical BENCH_micro.json at the repo
+# root (the committed perf-trajectory snapshot). family_index values are
+# per-binary, so the second report's are rebased to stay unique.
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+python3 - "${OUT_DIR}" "${REPO_ROOT}/BENCH_micro.json" <<'EOF'
+import json, sys, pathlib
+out = pathlib.Path(sys.argv[1])
+dest = pathlib.Path(sys.argv[2])
+merged = None
+for name in ("BENCH_micro_algorithms.json", "BENCH_micro_routing.json"):
+    with open(out / name) as f:
+        report = json.load(f)
+    if merged is None:
+        merged = report
+    else:
+        base = 1 + max(
+            (b.get("family_index", -1) for b in merged["benchmarks"]),
+            default=-1)
+        for b in report["benchmarks"]:
+            if "family_index" in b:
+                b["family_index"] += base
+        merged["benchmarks"].extend(report["benchmarks"])
+with open(dest, "w") as f:
+    json.dump(merged, f, indent=1)
+    f.write("\n")
+print(f"wrote {dest} ({len(merged['benchmarks'])} benchmarks)")
+EOF
+
+echo
+echo "== figure benches (FLASH_BENCH_FAST smoke sweeps) =="
+export FLASH_BENCH_FAST=1
+for bin in "${BUILD_DIR}"/bench/fig* "${BUILD_DIR}"/bench/ablation_*; do
+  name="$(basename "${bin}")"
+  [[ -x "${bin}" ]] || continue
+  echo "-- ${name}"
+  "${bin}" >"${OUT_DIR}/${name}.log"
+done
+
+echo
+echo "results in ${OUT_DIR}/"
