@@ -6,10 +6,12 @@
 // while probing overhead keeps climbing, justifying k = 20. It also
 // compares against an omniscient upper bound (classical Edmonds-Karp with
 // free capacity knowledge, k unbounded).
+//
+// The k grid runs as one parallel sweep.
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
-#include "sim/experiment.h"
 #include "trace/workload.h"
 
 using namespace flash;
@@ -19,27 +21,33 @@ int main() {
   print_header("Ablation", "elephant path budget k (not a paper figure)");
   const std::size_t tx = bench_tx();
   const std::size_t runs = bench_runs();
-  const WorkloadFactory factory = [tx](std::uint64_t seed) {
-    WorkloadConfig c;
-    c.num_transactions = tx;
-    c.seed = seed;
-    return make_ripple_workload(c);
-  };
+  const WorkloadFactory factory = ripple_factory(tx);
 
   const std::vector<std::size_t> ks =
       fast_mode() ? std::vector<std::size_t>{2, 20}
                   : std::vector<std::size_t>{1, 2, 5, 10, 20, 30, 40};
 
+  std::vector<SweepCell> grid;
+  for (const std::size_t k : ks) {
+    SweepCell cell;
+    cell.label = "Ripple/k=" + std::to_string(k);
+    cell.factory = factory;
+    cell.scheme = Scheme::kFlash;
+    cell.flash.k_elephant_paths = k;
+    cell.sim.capacity_scale = 10.0;
+    cell.runs = runs;
+    grid.push_back(std::move(cell));
+  }
+
+  const SweepResult result = run_sweep(grid, sweep_options());
+
   TextTable t;
   t.header({"k", "succ ratio", "succ volume", "probe msgs"});
   double volume_at_20 = 0, volume_at_max = 0;
-  for (const std::size_t k : ks) {
-    FlashOptions opts;
-    opts.k_elephant_paths = k;
-    SimConfig sim;
-    sim.capacity_scale = 10.0;
-    const RunSeries series =
-        run_series(factory, Scheme::kFlash, opts, sim, runs);
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    const std::size_t k = ks[i];
+    const RunSeries& series =
+        expect_cell(result, grid, i, "Ripple/k=" + std::to_string(k));
     const double volume = series.success_volume().mean;
     t.row({std::to_string(k), fmt_pct(series.success_ratio().mean),
            fmt_sci(volume, 3), fmt(series.probe_messages().mean, 0)});
@@ -53,5 +61,7 @@ int main() {
             ? fmt_pct(volume_at_20 / volume_at_max, 0) + " of k=" +
                   std::to_string(ks.back())
             : "n/a");
+
+  report_sweep("ablation_k_paths", grid, result);
   return 0;
 }

@@ -7,30 +7,18 @@
 // versus the paper's trial-and-error. Expected tradeoff: the waterfilling
 // variant recovers a success-ratio point or two at the cost of Spider-like
 // probing overhead for mice.
+//
+// Both variants run as cells of one parallel sweep.
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "bench_common.h"
-#include "util/stats.h"
 #include "routing/flash/flash_router.h"
-#include "sim/experiment.h"
 #include "trace/workload.h"
 
 using namespace flash;
 using namespace flash::bench;
-
-namespace {
-
-SimResult run_variant(const Workload& w, MiceSelection selection,
-                      std::uint64_t seed) {
-  FlashConfig config;
-  config.elephant_threshold = w.size_quantile(0.9);
-  config.seed = seed * 0x9e3779b9ULL + 7;
-  config.mice_selection = selection;
-  FlashRouter router(w.graph(), w.fees(), config);
-  SimConfig sim;
-  sim.capacity_scale = 10.0;
-  return run_simulation(w, router, sim);
-}
-
-}  // namespace
 
 int main() {
   print_header("Ablation",
@@ -38,34 +26,49 @@ int main() {
                "(paper §6 future work)");
   const std::size_t tx = bench_tx();
   const std::size_t runs = bench_runs();
+  const WorkloadFactory factory = ripple_factory(tx);
+
+  const std::vector<std::pair<const char*, MiceSelection>> variants = {
+      {"trial-and-error", MiceSelection::kTrialAndError},
+      {"waterfill", MiceSelection::kWaterfill}};
+
+  std::vector<SweepCell> grid;
+  for (const auto& [name, selection] : variants) {
+    SweepCell cell;
+    cell.label = std::string("Ripple/") + name;
+    cell.factory = factory;
+    cell.scheme = Scheme::kFlash;
+    cell.flash.mice_selection = selection;
+    cell.sim.capacity_scale = 10.0;
+    cell.runs = runs;
+    grid.push_back(std::move(cell));
+  }
+
+  const SweepResult result = run_sweep(grid, sweep_options());
 
   TextTable t;
   t.header({"variant", "succ ratio", "mice ratio", "succ volume",
             "probe msgs"});
   double te_ratio = 0, wf_ratio = 0, te_probes = 0, wf_probes = 0;
-  for (const auto& [name, selection] :
-       {std::pair{"trial-and-error", MiceSelection::kTrialAndError},
-        std::pair{"waterfill", MiceSelection::kWaterfill}}) {
-    RunningStat ratio, mice_ratio, volume, probes;
-    for (std::size_t run = 0; run < runs; ++run) {
-      WorkloadConfig wc;
-      wc.num_transactions = tx;
-      wc.seed = 1 + run;
-      const Workload w = make_ripple_workload(wc);
-      const SimResult r = run_variant(w, selection, 1 + run);
-      ratio.add(r.success_ratio());
-      mice_ratio.add(r.mice_success_ratio());
-      volume.add(r.volume_succeeded);
-      probes.add(static_cast<double>(r.probe_messages));
-    }
-    t.row({name, fmt_pct(ratio.mean()), fmt_pct(mice_ratio.mean()),
-           fmt_sci(volume.mean(), 3), fmt(probes.mean(), 0)});
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const auto& [name, selection] = variants[i];
+    const RunSeries& series =
+        expect_cell(result, grid, i, std::string("Ripple/") + name);
+    const double ratio = series.success_ratio().mean;
+    const double mice_ratio =
+        series
+            .aggregate([](const SimResult& r) { return r.mice_success_ratio(); })
+            .mean;
+    const double volume = series.success_volume().mean;
+    const double probes = series.probe_messages().mean;
+    t.row({name, fmt_pct(ratio), fmt_pct(mice_ratio), fmt_sci(volume, 3),
+           fmt(probes, 0)});
     if (selection == MiceSelection::kTrialAndError) {
-      te_ratio = ratio.mean();
-      te_probes = probes.mean();
+      te_ratio = ratio;
+      te_probes = probes;
     } else {
-      wf_ratio = ratio.mean();
-      wf_probes = probes.mean();
+      wf_ratio = ratio;
+      wf_probes = probes;
     }
   }
   std::printf("[Ripple] mice selection ablation (%zu tx, scale 10, %zu "
@@ -77,5 +80,7 @@ int main() {
   claim("waterfilling mice: probing cost", "(extension; no paper value)",
         fmt_ratio(te_probes > 0 ? wf_probes / te_probes : 0, 1) +
             " of trial-and-error");
+
+  report_sweep("ablation_mice_selection", grid, result);
   return 0;
 }

@@ -3,15 +3,24 @@
 // Every fig* binary regenerates one table/figure of the paper's evaluation
 // and prints (a) the measured rows and (b) a paper-vs-measured comparison
 // of the headline claim. Environment knobs:
-//   FLASH_BENCH_RUNS  seeds per configuration (default 3; paper uses 5)
-//   FLASH_BENCH_TX    transactions per run where applicable (default 2000)
-//   FLASH_BENCH_FAST  if set (non-empty), shrink sweeps for smoke runs
+//   FLASH_BENCH_RUNS     seeds per configuration (default 3; paper uses 5)
+//   FLASH_BENCH_TX       transactions per run where applicable (default 2000)
+//   FLASH_BENCH_FAST     if set (non-empty), shrink sweeps for smoke runs
+//   FLASH_BENCH_THREADS  sweep-engine worker threads (default: one per
+//                        hardware thread; 1 forces the sequential path)
+//   FLASH_BENCH_JSON     if set, sweep benches write their structured JSON
+//                        report (cells + wall clock + threads) to this path
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "sim/sweep.h"
+#include "trace/workload.h"
 #include "util/table.h"
 
 namespace flash::bench {
@@ -31,6 +40,52 @@ inline bool fast_mode() {
 inline std::size_t bench_runs() { return env_size("FLASH_BENCH_RUNS", 3); }
 inline std::size_t bench_tx() { return env_size("FLASH_BENCH_TX", 2000); }
 
+/// Sweep-engine thread count; 0 = one worker per hardware thread.
+inline std::size_t bench_threads() {
+  return env_size("FLASH_BENCH_THREADS", 0);
+}
+
+/// Engine options honoring FLASH_BENCH_THREADS.
+inline SweepOptions sweep_options() {
+  SweepOptions opts;
+  opts.threads = bench_threads();
+  return opts;
+}
+
+/// Workload factory for the paper's Ripple-like topology at `tx`
+/// transactions per run.
+inline WorkloadFactory ripple_factory(std::size_t tx) {
+  return [tx](std::uint64_t seed) {
+    WorkloadConfig c;
+    c.num_transactions = tx;
+    c.seed = seed;
+    return make_ripple_workload(c);
+  };
+}
+
+/// Workload factory for the paper's Lightning-like topology at `tx`
+/// transactions per run.
+inline WorkloadFactory lightning_factory(std::size_t tx) {
+  return [tx](std::uint64_t seed) {
+    WorkloadConfig c;
+    c.num_transactions = tx;
+    c.seed = seed;
+    return make_lightning_workload(c);
+  };
+}
+
+/// One evaluation topology: legend name + tx-parameterized factory maker.
+struct BenchTopo {
+  const char* name;
+  WorkloadFactory (*make_factory)(std::size_t tx);
+};
+
+/// The two simulation topologies of the paper's evaluation, in figure
+/// order. Call topo.make_factory(tx) per grid cell.
+inline std::vector<BenchTopo> standard_topos() {
+  return {{"Ripple", &ripple_factory}, {"Lightning", &lightning_factory}};
+}
+
 inline void print_header(const std::string& fig, const std::string& what) {
   std::printf("==============================================================\n");
   std::printf("%s - %s\n", fig.c_str(), what.c_str());
@@ -47,6 +102,42 @@ inline void claim(const std::string& what, const std::string& paper,
                   const std::string& measured) {
   std::printf("  %-52s paper: %-14s measured: %s\n", what.c_str(),
               paper.c_str(), measured.c_str());
+}
+
+/// Fetches grid cell `idx` from a sweep result, checking that the cell's
+/// label is the one the consumption loop expects. Guards the pairing of
+/// grid-construction and result-walk loops: reordering or filtering one
+/// side fails loudly instead of silently misattributing every later cell.
+inline const RunSeries& expect_cell(const SweepResult& result,
+                                    const std::vector<SweepCell>& grid,
+                                    std::size_t idx,
+                                    const std::string& label) {
+  if (idx >= grid.size() || idx >= result.cells.size() ||
+      grid[idx].label != label) {
+    throw std::logic_error(
+        "bench grid walk mismatch at cell " + std::to_string(idx) +
+        ": expected \"" + label + "\", grid has \"" +
+        (idx < grid.size() ? grid[idx].label : "<out of range>") + "\"");
+  }
+  return result.cells[idx];
+}
+
+/// Prints the engine stats line and, when FLASH_BENCH_JSON is set, writes
+/// the structured report run_benches.sh collects for the perf trajectory.
+inline void report_sweep(const std::string& bench,
+                         const std::vector<SweepCell>& grid,
+                         const SweepResult& result) {
+  std::printf("sweep engine: %zu cells, %zu threads, %.2fs wall\n",
+              grid.size(), result.threads_used, result.wall_seconds);
+  const char* path = std::getenv("FLASH_BENCH_JSON");
+  if (!path || !*path) return;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write FLASH_BENCH_JSON=%s\n", path);
+    return;
+  }
+  write_sweep_json(out, bench, grid, result);
+  std::printf("json report: %s\n", path);
 }
 
 }  // namespace flash::bench

@@ -5,98 +5,109 @@
 // Paper claims reproduced here: Flash ~20% better success ratio than
 // SpeedyMurmurs/SP, comparable ratio to Spider, and up to 2.3x Spider's
 // success volume (4.5x SP, 5x SpeedyMurmurs).
-#include <functional>
+//
+// The whole (topology x scale x scheme) grid runs as one parallel sweep;
+// results are bit-identical to the old sequential loops for any
+// FLASH_BENCH_THREADS value.
 #include <map>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
-#include "sim/experiment.h"
 #include "trace/workload.h"
 
 using namespace flash;
 using namespace flash::bench;
 
-namespace {
-
-void sweep(const char* topo_name, const WorkloadFactory& factory) {
-  const std::vector<double> scales =
-      fast_mode() ? std::vector<double>{1, 10, 30}
-                  : std::vector<double>{1, 10, 20, 30, 40, 50, 60};
-  const std::size_t runs = bench_runs();
-
-  TextTable ratio_table, volume_table;
-  std::vector<std::string> header{"scale"};
-  for (Scheme s : all_schemes()) header.push_back(scheme_name(s));
-  ratio_table.header(header);
-  volume_table.header(header);
-
-  double best_volume_gain_vs_spider = 0;
-  double best_volume_gain_vs_sp = 0;
-  double best_volume_gain_vs_sm = 0;
-
-  for (const double scale : scales) {
-    std::vector<std::string> ratio_row{fmt(scale, 0)};
-    std::vector<std::string> volume_row{fmt(scale, 0)};
-    std::map<Scheme, double> volume;
-    for (Scheme scheme : all_schemes()) {
-      SimConfig sim;
-      sim.capacity_scale = scale;
-      const RunSeries series = run_series(factory, scheme, {}, sim, runs);
-      ratio_row.push_back(fmt_pct(series.success_ratio().mean));
-      volume_row.push_back(fmt_sci(series.success_volume().mean, 3));
-      volume[scheme] = series.success_volume().mean;
-    }
-    ratio_table.row(std::move(ratio_row));
-    volume_table.row(std::move(volume_row));
-    if (volume[Scheme::kSpider] > 0) {
-      best_volume_gain_vs_spider =
-          std::max(best_volume_gain_vs_spider,
-                   volume[Scheme::kFlash] / volume[Scheme::kSpider]);
-    }
-    if (volume[Scheme::kShortestPath] > 0) {
-      best_volume_gain_vs_sp =
-          std::max(best_volume_gain_vs_sp,
-                   volume[Scheme::kFlash] / volume[Scheme::kShortestPath]);
-    }
-    if (volume[Scheme::kSpeedyMurmurs] > 0) {
-      best_volume_gain_vs_sm =
-          std::max(best_volume_gain_vs_sm,
-                   volume[Scheme::kFlash] / volume[Scheme::kSpeedyMurmurs]);
-    }
-  }
-
-  std::printf("[%s] success ratio vs capacity scale (%zu tx, %zu runs)\n",
-              topo_name, bench_tx(), runs);
-  print_table(ratio_table);
-  std::printf("[%s] success volume vs capacity scale\n", topo_name);
-  print_table(volume_table);
-
-  claim(std::string(topo_name) + ": peak Flash/Spider volume gain",
-        "up to 2.3x", fmt_ratio(best_volume_gain_vs_spider));
-  claim(std::string(topo_name) + ": peak Flash/SP volume gain", "up to 4.5x",
-        fmt_ratio(best_volume_gain_vs_sp));
-  claim(std::string(topo_name) + ": peak Flash/SpeedyMurmurs volume gain",
-        "up to 5x", fmt_ratio(best_volume_gain_vs_sm));
-  std::printf("\n");
-}
-
-}  // namespace
-
 int main() {
   print_header("Figure 6",
                "success ratio & volume vs capacity scale factor");
   const std::size_t tx = bench_tx();
-  sweep("Ripple", [tx](std::uint64_t seed) {
-    WorkloadConfig c;
-    c.num_transactions = tx;
-    c.seed = seed;
-    return make_ripple_workload(c);
-  });
-  sweep("Lightning", [tx](std::uint64_t seed) {
-    WorkloadConfig c;
-    c.num_transactions = tx;
-    c.seed = seed;
-    return make_lightning_workload(c);
-  });
+  const std::size_t runs = bench_runs();
+  const std::vector<double> scales =
+      fast_mode() ? std::vector<double>{1, 10, 30}
+                  : std::vector<double>{1, 10, 20, 30, 40, 50, 60};
+
+  const std::vector<BenchTopo> topos = standard_topos();
+
+  std::vector<SweepCell> grid;
+  for (const BenchTopo& topo : topos) {
+    for (const double scale : scales) {
+      for (const Scheme scheme : all_schemes()) {
+        SweepCell cell;
+        cell.label = std::string(topo.name) + "/scale=" + fmt(scale, 0) +
+                     "/" + scheme_name(scheme);
+        cell.factory = topo.make_factory(tx);
+        cell.scheme = scheme;
+        cell.sim.capacity_scale = scale;
+        cell.runs = runs;
+        grid.push_back(std::move(cell));
+      }
+    }
+  }
+
+  const SweepResult result = run_sweep(grid, sweep_options());
+
+  // Walk the cells in grid order (topology-major, then scale, then scheme).
+  std::size_t idx = 0;
+  for (const BenchTopo& topo : topos) {
+    TextTable ratio_table, volume_table;
+    std::vector<std::string> header{"scale"};
+    for (Scheme s : all_schemes()) header.push_back(scheme_name(s));
+    ratio_table.header(header);
+    volume_table.header(header);
+
+    double best_volume_gain_vs_spider = 0;
+    double best_volume_gain_vs_sp = 0;
+    double best_volume_gain_vs_sm = 0;
+
+    for (const double scale : scales) {
+      std::vector<std::string> ratio_row{fmt(scale, 0)};
+      std::vector<std::string> volume_row{fmt(scale, 0)};
+      std::map<Scheme, double> volume;
+      for (const Scheme scheme : all_schemes()) {
+        const RunSeries& series =
+            expect_cell(result, grid, idx++,
+                        std::string(topo.name) + "/scale=" + fmt(scale, 0) +
+                            "/" + scheme_name(scheme));
+        ratio_row.push_back(fmt_pct(series.success_ratio().mean));
+        volume_row.push_back(fmt_sci(series.success_volume().mean, 3));
+        volume[scheme] = series.success_volume().mean;
+      }
+      ratio_table.row(std::move(ratio_row));
+      volume_table.row(std::move(volume_row));
+      if (volume[Scheme::kSpider] > 0) {
+        best_volume_gain_vs_spider =
+            std::max(best_volume_gain_vs_spider,
+                     volume[Scheme::kFlash] / volume[Scheme::kSpider]);
+      }
+      if (volume[Scheme::kShortestPath] > 0) {
+        best_volume_gain_vs_sp =
+            std::max(best_volume_gain_vs_sp,
+                     volume[Scheme::kFlash] / volume[Scheme::kShortestPath]);
+      }
+      if (volume[Scheme::kSpeedyMurmurs] > 0) {
+        best_volume_gain_vs_sm =
+            std::max(best_volume_gain_vs_sm,
+                     volume[Scheme::kFlash] / volume[Scheme::kSpeedyMurmurs]);
+      }
+    }
+
+    std::printf("[%s] success ratio vs capacity scale (%zu tx, %zu runs)\n",
+                topo.name, tx, runs);
+    print_table(ratio_table);
+    std::printf("[%s] success volume vs capacity scale\n", topo.name);
+    print_table(volume_table);
+
+    claim(std::string(topo.name) + ": peak Flash/Spider volume gain",
+          "up to 2.3x", fmt_ratio(best_volume_gain_vs_spider));
+    claim(std::string(topo.name) + ": peak Flash/SP volume gain",
+          "up to 4.5x", fmt_ratio(best_volume_gain_vs_sp));
+    claim(std::string(topo.name) + ": peak Flash/SpeedyMurmurs volume gain",
+          "up to 5x", fmt_ratio(best_volume_gain_vs_sm));
+    std::printf("\n");
+  }
+
+  report_sweep("fig06_capacity_sweep", grid, result);
   return 0;
 }

@@ -5,101 +5,109 @@
 // Paper claims: ratios degrade with load for every scheme; Flash's volume
 // gain over Spider/SpeedyMurmurs/SP reaches 2.6x / 6.6x / 4.7x and grows
 // with load.
+//
+// The whole (topology x load x scheme) grid runs as one parallel sweep.
 #include <map>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
-#include "sim/experiment.h"
 #include "trace/workload.h"
 
 using namespace flash;
 using namespace flash::bench;
 
-namespace {
-
-void sweep(const char* topo_name,
-           const std::function<Workload(std::size_t, std::uint64_t)>& make) {
+int main() {
+  print_header("Figure 7", "success ratio & volume vs number of transactions");
   const std::vector<std::size_t> loads =
       fast_mode() ? std::vector<std::size_t>{1000, 3000}
                   : std::vector<std::size_t>{1000, 2000, 3000, 4000, 5000,
                                              6000};
   const std::size_t runs = bench_runs();
 
-  TextTable ratio_table, volume_table;
-  std::vector<std::string> header{"#tx"};
-  for (Scheme s : all_schemes()) header.push_back(scheme_name(s));
-  ratio_table.header(header);
-  volume_table.header(header);
+  const std::vector<BenchTopo> topos = standard_topos();
 
-  double peak_vs_spider = 0, peak_vs_sm = 0, peak_vs_sp = 0;
-  double first_gain = 0, last_gain = 0;
-
-  for (const std::size_t load : loads) {
-    const WorkloadFactory factory = [&](std::uint64_t seed) {
-      return make(load, seed);
-    };
-    std::vector<std::string> ratio_row{std::to_string(load)};
-    std::vector<std::string> volume_row{std::to_string(load)};
-    std::map<Scheme, double> volume;
-    for (Scheme scheme : all_schemes()) {
-      SimConfig sim;
-      sim.capacity_scale = 10.0;
-      const RunSeries series = run_series(factory, scheme, {}, sim, runs);
-      ratio_row.push_back(fmt_pct(series.success_ratio().mean));
-      volume_row.push_back(fmt_sci(series.success_volume().mean, 3));
-      volume[scheme] = series.success_volume().mean;
+  std::vector<SweepCell> grid;
+  for (const BenchTopo& topo : topos) {
+    for (const std::size_t load : loads) {
+      for (const Scheme scheme : all_schemes()) {
+        SweepCell cell;
+        cell.label = std::string(topo.name) + "/tx=" + std::to_string(load) +
+                     "/" + scheme_name(scheme);
+        cell.factory = topo.make_factory(load);
+        cell.scheme = scheme;
+        cell.sim.capacity_scale = 10.0;
+        cell.runs = runs;
+        grid.push_back(std::move(cell));
+      }
     }
-    ratio_table.row(std::move(ratio_row));
-    volume_table.row(std::move(volume_row));
-    const double gain = volume[Scheme::kSpider] > 0
-                            ? volume[Scheme::kFlash] / volume[Scheme::kSpider]
-                            : 0;
-    peak_vs_spider = std::max(peak_vs_spider, gain);
-    if (volume[Scheme::kSpeedyMurmurs] > 0) {
-      peak_vs_sm = std::max(
-          peak_vs_sm, volume[Scheme::kFlash] / volume[Scheme::kSpeedyMurmurs]);
-    }
-    if (volume[Scheme::kShortestPath] > 0) {
-      peak_vs_sp = std::max(
-          peak_vs_sp, volume[Scheme::kFlash] / volume[Scheme::kShortestPath]);
-    }
-    if (load == loads.front()) first_gain = gain;
-    if (load == loads.back()) last_gain = gain;
   }
 
-  std::printf("[%s] success ratio vs #transactions (scale 10, %zu runs)\n",
-              topo_name, runs);
-  print_table(ratio_table);
-  std::printf("[%s] success volume vs #transactions\n", topo_name);
-  print_table(volume_table);
+  const SweepResult result = run_sweep(grid, sweep_options());
 
-  claim(std::string(topo_name) + ": peak Flash/Spider volume gain",
-        "up to 2.6x", fmt_ratio(peak_vs_spider));
-  claim(std::string(topo_name) + ": peak Flash/SpeedyMurmurs volume gain",
-        "up to 6.6x", fmt_ratio(peak_vs_sm));
-  claim(std::string(topo_name) + ": peak Flash/SP volume gain", "up to 4.7x",
-        fmt_ratio(peak_vs_sp));
-  claim(std::string(topo_name) + ": Flash/Spider gain grows with load",
-        "increasing",
-        first_gain <= last_gain + 0.2 ? "non-decreasing" : "decreasing");
-  std::printf("\n");
-}
+  std::size_t idx = 0;
+  for (const BenchTopo& topo : topos) {
+    TextTable ratio_table, volume_table;
+    std::vector<std::string> header{"#tx"};
+    for (Scheme s : all_schemes()) header.push_back(scheme_name(s));
+    ratio_table.header(header);
+    volume_table.header(header);
 
-}  // namespace
+    double peak_vs_spider = 0, peak_vs_sm = 0, peak_vs_sp = 0;
+    double first_gain = 0, last_gain = 0;
 
-int main() {
-  print_header("Figure 7", "success ratio & volume vs number of transactions");
-  sweep("Ripple", [](std::size_t load, std::uint64_t seed) {
-    WorkloadConfig c;
-    c.num_transactions = load;
-    c.seed = seed;
-    return make_ripple_workload(c);
-  });
-  sweep("Lightning", [](std::size_t load, std::uint64_t seed) {
-    WorkloadConfig c;
-    c.num_transactions = load;
-    c.seed = seed;
-    return make_lightning_workload(c);
-  });
+    for (const std::size_t load : loads) {
+      std::vector<std::string> ratio_row{std::to_string(load)};
+      std::vector<std::string> volume_row{std::to_string(load)};
+      std::map<Scheme, double> volume;
+      for (const Scheme scheme : all_schemes()) {
+        const RunSeries& series =
+            expect_cell(result, grid, idx++,
+                        std::string(topo.name) + "/tx=" +
+                            std::to_string(load) + "/" + scheme_name(scheme));
+        ratio_row.push_back(fmt_pct(series.success_ratio().mean));
+        volume_row.push_back(fmt_sci(series.success_volume().mean, 3));
+        volume[scheme] = series.success_volume().mean;
+      }
+      ratio_table.row(std::move(ratio_row));
+      volume_table.row(std::move(volume_row));
+      const double gain =
+          volume[Scheme::kSpider] > 0
+              ? volume[Scheme::kFlash] / volume[Scheme::kSpider]
+              : 0;
+      peak_vs_spider = std::max(peak_vs_spider, gain);
+      if (volume[Scheme::kSpeedyMurmurs] > 0) {
+        peak_vs_sm =
+            std::max(peak_vs_sm,
+                     volume[Scheme::kFlash] / volume[Scheme::kSpeedyMurmurs]);
+      }
+      if (volume[Scheme::kShortestPath] > 0) {
+        peak_vs_sp =
+            std::max(peak_vs_sp,
+                     volume[Scheme::kFlash] / volume[Scheme::kShortestPath]);
+      }
+      if (load == loads.front()) first_gain = gain;
+      if (load == loads.back()) last_gain = gain;
+    }
+
+    std::printf("[%s] success ratio vs #transactions (scale 10, %zu runs)\n",
+                topo.name, runs);
+    print_table(ratio_table);
+    std::printf("[%s] success volume vs #transactions\n", topo.name);
+    print_table(volume_table);
+
+    claim(std::string(topo.name) + ": peak Flash/Spider volume gain",
+          "up to 2.6x", fmt_ratio(peak_vs_spider));
+    claim(std::string(topo.name) + ": peak Flash/SpeedyMurmurs volume gain",
+          "up to 6.6x", fmt_ratio(peak_vs_sm));
+    claim(std::string(topo.name) + ": peak Flash/SP volume gain",
+          "up to 4.7x", fmt_ratio(peak_vs_sp));
+    claim(std::string(topo.name) + ": Flash/Spider gain grows with load",
+          "increasing",
+          first_gain <= last_gain + 0.2 ? "non-decreasing" : "decreasing");
+    std::printf("\n");
+  }
+
+  report_sweep("fig07_load_sweep", grid, result);
   return 0;
 }

@@ -5,78 +5,81 @@
 // volume stays roughly stable until ~80-90% of payments are mice, while
 // probing overhead shrinks as the mice fraction grows — justifying the
 // default 90% setting.
+//
+// The (topology x fraction) grid runs as one parallel sweep.
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
-#include "sim/experiment.h"
 #include "trace/workload.h"
 
 using namespace flash;
 using namespace flash::bench;
 
-namespace {
-
-void sweep(const char* topo_name, const WorkloadFactory& factory) {
+int main() {
+  print_header("Figure 10", "impact of the elephant/mice threshold");
+  const std::size_t tx = bench_tx();
+  const std::size_t runs = bench_runs();
   const std::vector<double> fractions =
       fast_mode() ? std::vector<double>{0.0, 0.5, 0.9, 1.0}
                   : std::vector<double>{0.0, 0.1, 0.2, 0.3, 0.4, 0.5,
                                         0.6, 0.7, 0.8, 0.9, 1.0};
-  const std::size_t runs = bench_runs();
 
-  TextTable t;
-  t.header({"% mice", "succ volume", "probe msgs"});
-  double volume_at_0 = 0, volume_at_90 = 0;
-  double probes_at_0 = 0, probes_at_90 = 0;
-  for (const double mice : fractions) {
-    FlashOptions opts;
-    opts.mice_quantile = mice;
-    SimConfig sim;
-    sim.capacity_scale = 10.0;
-    const RunSeries series =
-        run_series(factory, Scheme::kFlash, opts, sim, runs);
-    const double volume = series.success_volume().mean;
-    const double probes = series.probe_messages().mean;
-    t.row({fmt_pct(mice, 0), fmt_sci(volume, 3), fmt(probes, 0)});
-    if (mice == 0.0) {
-      volume_at_0 = volume;
-      probes_at_0 = probes;
-    }
-    if (mice == 0.9) {
-      volume_at_90 = volume;
-      probes_at_90 = probes;
+  const std::vector<BenchTopo> topos = standard_topos();
+
+  std::vector<SweepCell> grid;
+  for (const BenchTopo& topo : topos) {
+    for (const double mice : fractions) {
+      SweepCell cell;
+      cell.label = std::string(topo.name) + "/mice=" + fmt_pct(mice, 0);
+      cell.factory = topo.make_factory(tx);
+      cell.scheme = Scheme::kFlash;
+      cell.flash.mice_quantile = mice;
+      cell.sim.capacity_scale = 10.0;
+      cell.runs = runs;
+      grid.push_back(std::move(cell));
     }
   }
-  std::printf("[%s] threshold sweep (%zu tx, scale 10, %zu runs)\n",
-              topo_name, bench_tx(), runs);
-  print_table(t);
 
-  claim(std::string(topo_name) + ": volume at 90% mice vs all-elephant",
-        "marginally smaller",
-        fmt_pct(volume_at_0 > 0 ? volume_at_90 / volume_at_0 : 0, 0) +
-            " of all-elephant");
-  claim(std::string(topo_name) + ": probing at 90% mice vs all-elephant",
-        "sharply reduced",
-        fmt_pct(probes_at_0 > 0 ? 1 - probes_at_90 / probes_at_0 : 0) +
-            " fewer messages");
-  std::printf("\n");
-}
+  const SweepResult result = run_sweep(grid, sweep_options());
 
-}  // namespace
+  std::size_t idx = 0;
+  for (const BenchTopo& topo : topos) {
+    TextTable t;
+    t.header({"% mice", "succ volume", "probe msgs"});
+    double volume_at_0 = 0, volume_at_90 = 0;
+    double probes_at_0 = 0, probes_at_90 = 0;
+    for (const double mice : fractions) {
+      const RunSeries& series =
+          expect_cell(result, grid, idx++,
+                      std::string(topo.name) + "/mice=" + fmt_pct(mice, 0));
+      const double volume = series.success_volume().mean;
+      const double probes = series.probe_messages().mean;
+      t.row({fmt_pct(mice, 0), fmt_sci(volume, 3), fmt(probes, 0)});
+      if (mice == 0.0) {
+        volume_at_0 = volume;
+        probes_at_0 = probes;
+      }
+      if (mice == 0.9) {
+        volume_at_90 = volume;
+        probes_at_90 = probes;
+      }
+    }
+    std::printf("[%s] threshold sweep (%zu tx, scale 10, %zu runs)\n",
+                topo.name, tx, runs);
+    print_table(t);
 
-int main() {
-  print_header("Figure 10", "impact of the elephant/mice threshold");
-  const std::size_t tx = bench_tx();
-  sweep("Ripple", [tx](std::uint64_t seed) {
-    WorkloadConfig c;
-    c.num_transactions = tx;
-    c.seed = seed;
-    return make_ripple_workload(c);
-  });
-  sweep("Lightning", [tx](std::uint64_t seed) {
-    WorkloadConfig c;
-    c.num_transactions = tx;
-    c.seed = seed;
-    return make_lightning_workload(c);
-  });
+    claim(std::string(topo.name) + ": volume at 90% mice vs all-elephant",
+          "marginally smaller",
+          fmt_pct(volume_at_0 > 0 ? volume_at_90 / volume_at_0 : 0, 0) +
+              " of all-elephant");
+    claim(std::string(topo.name) + ": probing at 90% mice vs all-elephant",
+          "sharply reduced",
+          fmt_pct(probes_at_0 > 0 ? 1 - probes_at_90 / probes_at_0 : 0) +
+              " fewer messages");
+    std::printf("\n");
+  }
+
+  report_sweep("fig10_threshold_sweep", grid, result);
   return 0;
 }

@@ -4,10 +4,12 @@
 // with maximal probing. Paper claims (Ripple trace): m = 6 comes within
 // 15% of the upper bound's success volume, and a small m costs >= ~12x
 // less probing than routing mice as elephants.
+//
+// The m grid runs as one parallel sweep.
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
-#include "sim/experiment.h"
 #include "trace/workload.h"
 
 using namespace flash;
@@ -17,31 +19,40 @@ int main() {
   print_header("Figure 11", "paths per receiver (m) for mice routing");
   const std::size_t tx = bench_tx();
   const std::size_t runs = bench_runs();
-  const WorkloadFactory factory = [tx](std::uint64_t seed) {
-    WorkloadConfig c;
-    c.num_transactions = tx;
-    c.seed = seed;
-    return make_ripple_workload(c);
-  };
+  const WorkloadFactory factory = ripple_factory(tx);
 
   const std::vector<std::size_t> ms =
       fast_mode() ? std::vector<std::size_t>{0, 4}
                   : std::vector<std::size_t>{0, 2, 4, 6, 8};
 
+  std::vector<SweepCell> grid;
+  for (const std::size_t m : ms) {
+    SweepCell cell;
+    cell.label = "Ripple/m=" + std::to_string(m);
+    cell.factory = factory;
+    cell.scheme = Scheme::kFlash;
+    cell.flash.m_mice_paths = m;
+    cell.sim.capacity_scale = 10.0;
+    cell.runs = runs;
+    grid.push_back(std::move(cell));
+  }
+
+  const SweepResult result = run_sweep(grid, sweep_options());
+
   TextTable t;
   t.header({"m", "mice succ volume", "probe msgs"});
   double upper_volume = 0, upper_probes = 0;
   double m6_volume = 0, m4_probes = 0;
-  for (const std::size_t m : ms) {
-    FlashOptions opts;
-    opts.m_mice_paths = m;
-    SimConfig sim;
-    sim.capacity_scale = 10.0;
-    const RunSeries series =
-        run_series(factory, Scheme::kFlash, opts, sim, runs);
-    const double mice_volume = series.aggregate([](const SimResult& r) {
-      return static_cast<double>(r.mice_volume_succeeded);
-    }).mean;
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    const std::size_t m = ms[i];
+    const RunSeries& series =
+        expect_cell(result, grid, i, "Ripple/m=" + std::to_string(m));
+    const double mice_volume =
+        series
+            .aggregate([](const SimResult& r) {
+              return static_cast<double>(r.mice_volume_succeeded);
+            })
+            .mean;
     const double probes = series.probe_messages().mean;
     t.row({std::to_string(m), fmt_sci(mice_volume, 3), fmt(probes, 0)});
     if (m == 0) {
@@ -64,5 +75,7 @@ int main() {
     claim("probing reduction at m=4 vs mice-as-elephants", ">= ~12x",
           fmt_ratio(upper_probes / m4_probes, 1));
   }
+
+  report_sweep("fig11_mice_paths_sweep", grid, result);
   return 0;
 }

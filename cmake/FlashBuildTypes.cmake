@@ -5,9 +5,11 @@
 #                  plain `cmake -B build -S .` still exercises every assert.
 #   Asan           AddressSanitizer + UndefinedBehaviorSanitizer, used by the
 #                  sanitizer CI job over the test suite.
+#   Tsan           ThreadSanitizer, used by the CI job that races the sweep
+#                  engine (sim/sweep.h) and thread pool tests.
 
 set(FLASH_KNOWN_BUILD_TYPES Debug Release RelWithDebInfo MinSizeRel
-    RelWithAssert Asan)
+    RelWithAssert Asan Tsan)
 
 get_property(_flash_multi_config GLOBAL PROPERTY GENERATOR_IS_MULTI_CONFIG)
 if(NOT _flash_multi_config)
@@ -40,10 +42,21 @@ set(CMAKE_EXE_LINKER_FLAGS_ASAN "-fsanitize=address,undefined"
 set(CMAKE_SHARED_LINKER_FLAGS_ASAN "-fsanitize=address,undefined"
     CACHE STRING "Shared linker flags for Asan builds")
 
+# ThreadSanitizer build: data-race detection for the parallel sweep engine.
+set(CMAKE_CXX_FLAGS_TSAN "-O1 -g -fsanitize=thread -fno-omit-frame-pointer"
+    CACHE STRING "C++ flags for Tsan builds")
+set(CMAKE_EXE_LINKER_FLAGS_TSAN "-fsanitize=thread"
+    CACHE STRING "Linker flags for Tsan builds")
+set(CMAKE_SHARED_LINKER_FLAGS_TSAN "-fsanitize=thread"
+    CACHE STRING "Shared linker flags for Tsan builds")
+
 mark_as_advanced(
   CMAKE_CXX_FLAGS_RELWITHASSERT
   CMAKE_EXE_LINKER_FLAGS_RELWITHASSERT
   CMAKE_SHARED_LINKER_FLAGS_RELWITHASSERT
   CMAKE_CXX_FLAGS_ASAN
   CMAKE_EXE_LINKER_FLAGS_ASAN
-  CMAKE_SHARED_LINKER_FLAGS_ASAN)
+  CMAKE_SHARED_LINKER_FLAGS_ASAN
+  CMAKE_CXX_FLAGS_TSAN
+  CMAKE_EXE_LINKER_FLAGS_TSAN
+  CMAKE_SHARED_LINKER_FLAGS_TSAN)

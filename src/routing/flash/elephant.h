@@ -21,6 +21,7 @@
 
 namespace flash {
 
+/// Tuning knobs for the elephant pipeline. Plain value type.
 struct ElephantConfig {
   /// Maximum number of paths to find and probe (the paper's k; default 20,
   /// with 20-30 recommended for realistic topologies, §3.2/§4.1).
@@ -41,12 +42,15 @@ struct ElephantProbeResult {
 };
 
 /// Algorithm 1: modified Edmonds-Karp with probing against `state`.
+/// Mutates only `state` (probe metering); safe to call concurrently on
+/// distinct NetworkStates.
 ElephantProbeResult elephant_find_paths(const Graph& g, NodeId s, NodeId t,
                                         Amount demand, std::size_t max_paths,
                                         NetworkState& state);
 
 /// Full elephant pipeline: find paths, split (LP or sequential), execute
-/// atomically against the ledger.
+/// atomically against the ledger. Mutates only `state`; safe to call
+/// concurrently on distinct NetworkStates.
 RouteResult route_elephant(const Graph& g, const Transaction& tx,
                            NetworkState& state, const FeeSchedule& fees,
                            const ElephantConfig& config);

@@ -27,6 +27,7 @@ enum class MiceSelection {
   kWaterfill,
 };
 
+/// Tuning knobs for FlashRouter. Plain value type.
 struct FlashConfig {
   /// Payments with amount >= threshold are elephants. The paper sets the
   /// threshold at the workload's 90th size percentile so 90 % of payments
@@ -51,19 +52,29 @@ struct FlashConfig {
   MiceSelection mice_selection = MiceSelection::kTrialAndError;
 };
 
+/// The paper's router. NOT thread-safe: route() mutates the routing table
+/// and the RNG, so concurrent simulations must each own a FlashRouter (the
+/// sweep engine builds one per (cell, run) via make_router). `graph` and
+/// `fees` are borrowed and must outlive the router.
 class FlashRouter : public Router {
  public:
   FlashRouter(const Graph& graph, const FeeSchedule& fees, FlashConfig config);
 
+  /// Routes one payment: elephants through probing + LP split, mice through
+  /// the routing table (see is_elephant for the classification).
   RouteResult route(const Transaction& tx, NetworkState& state) override;
   std::string name() const override { return "Flash"; }
+  /// Drops all cached routing-table paths (recomputed on next lookup).
   void on_topology_update() override { table_.clear(); }
 
+  /// Classification rule: amount >= elephant_threshold is an elephant.
   bool is_elephant(Amount amount) const noexcept {
     return amount >= config_.elephant_threshold;
   }
 
+  /// The configuration the router was built with.
   const FlashConfig& config() const noexcept { return config_; }
+  /// Read access to the mice routing table (e.g. for overhead metrics).
   const MiceRoutingTable& routing_table() const noexcept { return table_; }
 
  private:

@@ -20,7 +20,9 @@
 namespace flash {
 
 /// Routes one mice payment. `table` is the sender-side routing table,
-/// `rng` drives the random path order.
+/// `rng` drives the random path order. Mutates `state`, `table` and `rng`:
+/// concurrent calls must not share any of the three (one router — and so
+/// one table/rng — per concurrent simulation).
 RouteResult route_mice(const Graph& g, const Transaction& tx,
                        NetworkState& state, const FeeSchedule& fees,
                        MiceRoutingTable& table, Rng& rng);
@@ -30,6 +32,7 @@ RouteResult route_mice(const Graph& g, const Transaction& tx,
 /// like Spider does — paying probing overhead on every mice payment in
 /// exchange for balance-aware path use. Exposed for the ablation bench
 /// that quantifies this tradeoff against the paper's trial-and-error.
+/// Same sharing rules as route_mice (minus the rng).
 RouteResult route_mice_waterfill(const Graph& g, const Transaction& tx,
                                  NetworkState& state, const FeeSchedule& fees,
                                  MiceRoutingTable& table);

@@ -17,6 +17,7 @@
 
 namespace flash {
 
+/// Tuning knobs for MiceRoutingTable. Plain value type.
 struct RoutingTableConfig {
   /// Paths kept per receiver (the paper's m; default 4, §4.1).
   std::size_t paths_per_receiver = 4;
@@ -28,6 +29,9 @@ struct RoutingTableConfig {
   std::uint64_t entry_timeout = 0;
 };
 
+/// NOT thread-safe: lookup() mutates the entry cache and the eviction
+/// clock. Each concurrently running FlashRouter owns its own table. The
+/// Graph is borrowed and must outlive the table.
 class MiceRoutingTable {
  public:
   MiceRoutingTable(const Graph& graph, RoutingTableConfig config);

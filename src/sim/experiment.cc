@@ -1,8 +1,10 @@
 #include "sim/experiment.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "routing/flash/flash_router.h"
+#include "sim/sweep.h"
 #include "routing/shortest_path.h"
 #include "routing/speedymurmurs.h"
 #include "routing/spider.h"
@@ -38,6 +40,7 @@ std::unique_ptr<Router> make_router(Scheme scheme, const Workload& workload,
       config.k_elephant_paths = opts.k_elephant_paths;
       config.m_mice_paths = opts.m_mice_paths;
       config.optimize_fees = opts.optimize_fees;
+      config.mice_selection = opts.mice_selection;
       config.seed = seed * 0x9e3779b9ULL + 7;
       return std::make_unique<FlashRouter>(workload.graph(), workload.fees(),
                                            config);
@@ -93,15 +96,20 @@ Aggregate RunSeries::fee_ratio() const {
 RunSeries run_series(const WorkloadFactory& make_workload, Scheme scheme,
                      const FlashOptions& opts, const SimConfig& sim,
                      std::size_t runs, std::uint64_t base_seed) {
-  RunSeries series;
-  series.runs.reserve(runs);
-  for (std::size_t i = 0; i < runs; ++i) {
-    const std::uint64_t seed = base_seed + i;
-    const Workload workload = make_workload(seed);
-    const auto router = make_router(scheme, workload, opts, seed);
-    series.runs.push_back(run_simulation(workload, *router, sim));
-  }
-  return series;
+  // Single-cell sequential sweep: the reference path the parallel engine is
+  // tested against (sim_sweep_test asserts bit-identical SimResults).
+  SweepCell cell;
+  cell.factory = make_workload;
+  cell.scheme = scheme;
+  cell.flash = opts;
+  cell.sim = sim;
+  cell.runs = runs;
+  cell.base_seed = base_seed;
+  SweepOptions seq;
+  seq.threads = 1;
+  std::vector<SweepCell> grid;
+  grid.push_back(std::move(cell));
+  return std::move(run_sweep(grid, seq).cells.front());
 }
 
 }  // namespace flash

@@ -13,9 +13,14 @@
 
 namespace flash {
 
+/// Defined in routing/flash/flash_router.h; forward-declared so this
+/// header stays independent of the router internals.
+enum class MiceSelection;
+
 /// The four schemes of the evaluation.
 enum class Scheme { kFlash, kSpider, kSpeedyMurmurs, kShortestPath };
 
+/// Scheme name as used in the paper's legends ("Flash", "Spider", ...).
 std::string scheme_name(Scheme s);
 
 /// All four, in the paper's legend order.
@@ -27,14 +32,20 @@ struct FlashOptions {
   std::size_t k_elephant_paths = 20;
   std::size_t m_mice_paths = 4;
   bool optimize_fees = true;
+  /// Mice path-selection strategy. Value-initialized to 0, which is
+  /// MiceSelection::kTrialAndError — the paper's design.
+  MiceSelection mice_selection{};
 };
 
-/// Builds a fresh router for a scheme against a workload.
+/// Builds a fresh router for a scheme against a workload. Thread-safe for
+/// concurrent calls (it only reads its arguments); the returned router is
+/// NOT thread-safe — give each concurrent simulation its own instance.
 std::unique_ptr<Router> make_router(Scheme scheme, const Workload& workload,
                                     const FlashOptions& opts,
                                     std::uint64_t seed);
 
 /// min / mean / max over runs of a scalar extracted from SimResult.
+/// Plain value type; thread-compatible.
 struct Aggregate {
   double min = 0;
   double mean = 0;
@@ -47,17 +58,27 @@ struct Aggregate {
 struct RunSeries {
   std::vector<SimResult> runs;
 
+  /// min/mean/max of f over all runs (all zeros when `runs` is empty).
   Aggregate aggregate(const std::function<double(const SimResult&)>& f) const;
+  /// Aggregate of SimResult::success_ratio().
   Aggregate success_ratio() const;
+  /// Aggregate of the delivered volume.
   Aggregate success_volume() const;
+  /// Aggregate of the probing-message count.
   Aggregate probe_messages() const;
+  /// Aggregate of SimResult::fee_ratio().
   Aggregate fee_ratio() const;
 };
 
 /// Workload factory: seed -> workload (e.g. bind make_ripple_workload).
+/// Must be thread-safe for concurrent calls with distinct seeds — the sweep
+/// engine (sim/sweep.h) invokes it from worker threads.
 using WorkloadFactory = std::function<Workload(std::uint64_t seed)>;
 
-/// Runs `scheme` for `runs` seeds starting at `base_seed`.
+/// Runs `scheme` for `runs` seeds starting at `base_seed`. Run i uses seed
+/// base_seed + i for both the workload and the router. Implemented as a
+/// single-cell sequential sweep (sim/sweep.h); the parallel engine is
+/// bit-identical to this path by construction.
 RunSeries run_series(const WorkloadFactory& make_workload, Scheme scheme,
                      const FlashOptions& opts, const SimConfig& sim,
                      std::size_t runs, std::uint64_t base_seed = 1);

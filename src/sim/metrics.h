@@ -12,6 +12,9 @@
 
 namespace flash {
 
+/// Plain value type: counters accumulated over one simulated run. Freely
+/// copyable/assignable across threads (the sweep engine writes each run's
+/// result into a pre-sized slot from a worker thread).
 struct SimResult {
   std::size_t transactions = 0;
   std::size_t successes = 0;
@@ -57,6 +60,8 @@ struct SimResult {
                                 : 0.0;
   }
 
+  /// Folds one routed payment into the counters; `counts_as_mouse` selects
+  /// the per-class bucket.
   void add(const Transaction& tx, const RouteResult& r, bool counts_as_mouse);
 };
 

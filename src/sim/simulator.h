@@ -25,10 +25,14 @@ struct SimConfig {
 
 /// Runs the whole workload through `router` on a fresh ledger.
 /// Throws std::logic_error if the ledger invariant breaks.
+/// Thread-compatible: concurrent calls are safe iff they share no arguments
+/// — the sweep engine (sim/sweep.h) gives every run its own workload and
+/// router. A single call mutates only `router` and its own ledger.
 SimResult run_simulation(const Workload& workload, Router& router,
                          const SimConfig& config = {});
 
 /// Progress-observing variant (cb(tx_index, result) after each payment).
+/// The observer runs on the calling thread, between payments.
 using SimObserver =
     std::function<void(std::size_t, const Transaction&, const RouteResult&)>;
 SimResult run_simulation(const Workload& workload, Router& router,

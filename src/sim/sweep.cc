@@ -1,0 +1,147 @@
+#include "sim/sweep.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <ostream>
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace flash {
+
+namespace {
+
+/// One schedulable unit: run `run` of grid cell `cell`.
+struct Unit {
+  std::size_t cell = 0;
+  std::size_t run = 0;
+};
+
+SimResult run_one(const SweepCell& cell, std::size_t run) {
+  const std::uint64_t seed = cell.base_seed + run;
+  const Workload workload = cell.factory(seed);
+  const auto router = make_router(cell.scheme, workload, cell.flash, seed);
+  return run_simulation(workload, *router, cell.sim);
+}
+
+void json_escape(std::ostream& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(c));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+void json_aggregate(std::ostream& out, const char* name, const Aggregate& a) {
+  out << '"' << name << "\": {\"min\": " << a.min << ", \"mean\": " << a.mean
+      << ", \"max\": " << a.max << '}';
+}
+
+}  // namespace
+
+SweepResult run_sweep(const std::vector<SweepCell>& grid,
+                      const SweepOptions& opts) {
+  const auto start = std::chrono::steady_clock::now();
+
+  SweepResult result;
+  result.cells.resize(grid.size());
+
+  // Flatten the grid into (cell, run) units; each is an independent
+  // simulation whose result lands in a pre-sized slot, so completion order
+  // cannot affect the output.
+  std::vector<Unit> units;
+  for (std::size_t c = 0; c < grid.size(); ++c) {
+    result.cells[c].runs.resize(grid[c].runs);
+    for (std::size_t r = 0; r < grid[c].runs; ++r) units.push_back({c, r});
+  }
+
+  // Cap the pool at the unit count: spawning workers that can never claim
+  // a unit would only skew the threads_used perf record.
+  const std::size_t requested =
+      opts.threads > 0 ? opts.threads : ThreadPool::hardware_threads();
+  const std::size_t threads =
+      std::min(requested, std::max<std::size_t>(units.size(), 1));
+  result.threads_used = threads;
+  if (threads == 1) {
+    // True sequential path: run on the calling thread, no pool. This is
+    // the reference the parallel path is tested to be bit-identical to.
+    // Same exception contract as parallel_for: remaining units still run,
+    // the first captured exception is rethrown at the end.
+    std::exception_ptr error;
+    for (const Unit& u : units) {
+      try {
+        result.cells[u.cell].runs[u.run] = run_one(grid[u.cell], u.run);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+  } else {
+    ThreadPool pool(threads);
+    parallel_for(pool, units.size(), [&](std::size_t i) {
+      const Unit u = units[i];
+      result.cells[u.cell].runs[u.run] = run_one(grid[u.cell], u.run);
+    });
+  }
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+void write_sweep_json(std::ostream& out, const std::string& bench,
+                      const std::vector<SweepCell>& grid,
+                      const SweepResult& result) {
+  const std::streamsize saved_precision = out.precision(12);
+  out << "{\n  \"bench\": \"";
+  json_escape(out, bench);
+  out << "\",\n  \"threads\": " << result.threads_used
+      << ",\n  \"wall_seconds\": " << result.wall_seconds
+      << ",\n  \"cells\": [";
+  const RunSeries empty;
+  for (std::size_t c = 0; c < grid.size(); ++c) {
+    const SweepCell& cell = grid[c];
+    const RunSeries& series =
+        c < result.cells.size() ? result.cells[c] : empty;
+    out << (c ? ",\n" : "\n") << "    {\"label\": \"";
+    json_escape(out, cell.label);
+    out << "\", \"scheme\": \"" << scheme_name(cell.scheme)
+        << "\", \"runs\": " << series.runs.size()
+        << ", \"base_seed\": " << cell.base_seed << ",\n     ";
+    json_aggregate(out, "success_ratio", series.success_ratio());
+    out << ", ";
+    json_aggregate(out, "success_volume", series.success_volume());
+    out << ",\n     ";
+    json_aggregate(out, "probe_messages", series.probe_messages());
+    out << ", ";
+    json_aggregate(out, "fee_ratio", series.fee_ratio());
+    out << '}';
+  }
+  out << "\n  ]\n}\n";
+  out.precision(saved_precision);
+}
+
+}  // namespace flash

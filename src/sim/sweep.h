@@ -1,0 +1,69 @@
+// Parallel experiment engine: declarative sweep grids over the simulator.
+//
+// A sweep is a flat vector of cells, one per (workload factory, scheme,
+// FlashOptions, SimConfig, runs, base_seed) grid point — the shape of every
+// figure sweep in the paper's evaluation (Figs. 6-11) and of the ablations.
+// run_sweep executes the individual (cell, run) simulations on a thread
+// pool. Each run derives everything stochastic from `base_seed + run index`
+// and owns its workload, router and ledger outright, so results are
+// bit-identical to the sequential path regardless of thread count or
+// completion order.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+
+namespace flash {
+
+/// One grid point of a sweep: a repeated experiment (`runs` seeds starting
+/// at `base_seed`), equivalent to one run_series call. The label is
+/// free-form ("Ripple/scale=10/Flash"), carried through to the JSON report.
+struct SweepCell {
+  std::string label;
+  WorkloadFactory factory;
+  Scheme scheme = Scheme::kFlash;
+  FlashOptions flash;
+  SimConfig sim;
+  std::size_t runs = 1;
+  std::uint64_t base_seed = 1;
+};
+
+/// Execution knobs for run_sweep.
+struct SweepOptions {
+  /// Worker threads. 0 = one per hardware thread; 1 = sequential.
+  std::size_t threads = 0;
+};
+
+/// Results of a sweep, cell-for-cell parallel to the input grid.
+struct SweepResult {
+  std::vector<RunSeries> cells;
+  /// Threads actually used: resolves SweepOptions::threads == 0 to the
+  /// hardware count and caps at the number of (cell, run) units.
+  std::size_t threads_used = 0;
+  /// Wall-clock time of the whole grid, for speedup tracking.
+  double wall_seconds = 0;
+};
+
+/// Runs every (cell, run) pair of the grid, in parallel across a thread
+/// pool. Deterministic: run j of cell i simulates workload
+/// cell.factory(cell.base_seed + j) against a router seeded with
+/// cell.base_seed + j, exactly as the sequential run_series does, so the
+/// SimResults are bit-identical for any thread count. Cell factories are
+/// invoked concurrently and must be thread-safe (see WorkloadFactory).
+/// Rethrows the first exception any run produced after all runs finish.
+SweepResult run_sweep(const std::vector<SweepCell>& grid,
+                      const SweepOptions& opts = {});
+
+/// Writes the sweep as a structured JSON report: bench name, thread count,
+/// wall-clock seconds, and per-cell aggregates (success ratio/volume,
+/// probing messages, fee ratio). Consumed by tools/run_benches.sh to track
+/// the perf trajectory. `grid` and `result.cells` must be parallel vectors.
+void write_sweep_json(std::ostream& out, const std::string& bench,
+                      const std::vector<SweepCell>& grid,
+                      const SweepResult& result);
+
+}  // namespace flash

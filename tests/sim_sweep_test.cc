@@ -1,0 +1,157 @@
+// Tests for the parallel sweep engine (sim/sweep.h): bit-identical
+// determinism against the sequential run_series path for several thread
+// counts, grid edge cases, JSON report shape, and error propagation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/experiment.h"
+#include "sim/sweep.h"
+#include "trace/workload.h"
+
+namespace flash {
+namespace {
+
+WorkloadFactory toy_factory(std::size_t nodes, std::size_t tx) {
+  return [nodes, tx](std::uint64_t seed) {
+    return make_toy_workload(nodes, tx, seed);
+  };
+}
+
+/// Exact (bit-identical) equality over every SimResult field.
+void expect_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.transactions, b.transactions);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.volume_attempted, b.volume_attempted);
+  EXPECT_EQ(a.volume_succeeded, b.volume_succeeded);
+  EXPECT_EQ(a.fees_paid, b.fees_paid);
+  EXPECT_EQ(a.probe_messages, b.probe_messages);
+  EXPECT_EQ(a.probes, b.probes);
+  EXPECT_EQ(a.mice_transactions, b.mice_transactions);
+  EXPECT_EQ(a.mice_successes, b.mice_successes);
+  EXPECT_EQ(a.mice_volume_succeeded, b.mice_volume_succeeded);
+  EXPECT_EQ(a.mice_probe_messages, b.mice_probe_messages);
+  EXPECT_EQ(a.elephant_transactions, b.elephant_transactions);
+  EXPECT_EQ(a.elephant_successes, b.elephant_successes);
+  EXPECT_EQ(a.elephant_volume_succeeded, b.elephant_volume_succeeded);
+  EXPECT_EQ(a.elephant_probe_messages, b.elephant_probe_messages);
+}
+
+/// A small but non-trivial grid: two schemes x two capacity scales, with a
+/// stochastic router (Flash) included so seeding bugs cannot hide.
+std::vector<SweepCell> test_grid(std::size_t runs) {
+  std::vector<SweepCell> grid;
+  for (const Scheme scheme : {Scheme::kFlash, Scheme::kShortestPath}) {
+    for (const double scale : {1.0, 10.0}) {
+      SweepCell cell;
+      cell.label = scheme_name(scheme) + "/scale";
+      cell.factory = toy_factory(30, 120);
+      cell.scheme = scheme;
+      cell.sim.capacity_scale = scale;
+      cell.runs = runs;
+      cell.base_seed = 7;
+      grid.push_back(std::move(cell));
+    }
+  }
+  return grid;
+}
+
+TEST(Sweep, MatchesSequentialRunSeriesForAnyThreadCount) {
+  const std::size_t runs = 3;
+  const std::vector<SweepCell> grid = test_grid(runs);
+
+  // Sequential reference, cell by cell, through run_series.
+  std::vector<RunSeries> reference;
+  for (const SweepCell& cell : grid) {
+    reference.push_back(run_series(cell.factory, cell.scheme, cell.flash,
+                                   cell.sim, cell.runs, cell.base_seed));
+  }
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    SweepOptions opts;
+    opts.threads = threads;
+    const SweepResult result = run_sweep(grid, opts);
+    EXPECT_EQ(result.threads_used, threads);
+    ASSERT_EQ(result.cells.size(), grid.size());
+    for (std::size_t c = 0; c < grid.size(); ++c) {
+      ASSERT_EQ(result.cells[c].runs.size(), runs) << "cell " << c;
+      for (std::size_t r = 0; r < runs; ++r) {
+        SCOPED_TRACE("threads=" + std::to_string(threads) + " cell=" +
+                     std::to_string(c) + " run=" + std::to_string(r));
+        expect_identical(result.cells[c].runs[r], reference[c].runs[r]);
+      }
+    }
+  }
+}
+
+TEST(Sweep, EmptyGrid) {
+  const SweepResult result = run_sweep({});
+  EXPECT_TRUE(result.cells.empty());
+  EXPECT_GE(result.threads_used, 1u);
+  EXPECT_GE(result.wall_seconds, 0.0);
+}
+
+TEST(Sweep, SingleCellMatchesRunSeries) {
+  SweepCell cell;
+  cell.factory = toy_factory(25, 80);
+  cell.scheme = Scheme::kSpeedyMurmurs;
+  cell.runs = 2;
+  cell.base_seed = 3;
+
+  const RunSeries reference = run_series(cell.factory, cell.scheme,
+                                         cell.flash, cell.sim, cell.runs,
+                                         cell.base_seed);
+  SweepOptions opts;
+  opts.threads = 2;
+  const SweepResult result = run_sweep({cell}, opts);
+  ASSERT_EQ(result.cells.size(), 1u);
+  ASSERT_EQ(result.cells[0].runs.size(), reference.runs.size());
+  for (std::size_t r = 0; r < reference.runs.size(); ++r) {
+    expect_identical(result.cells[0].runs[r], reference.runs[r]);
+  }
+}
+
+TEST(Sweep, CellWithZeroRunsYieldsEmptySeries) {
+  SweepCell cell;
+  cell.factory = toy_factory(20, 10);
+  cell.runs = 0;
+  const SweepResult result = run_sweep({cell});
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_TRUE(result.cells[0].runs.empty());
+}
+
+TEST(Sweep, PropagatesFactoryExceptions) {
+  SweepCell cell;
+  cell.factory = [](std::uint64_t) -> Workload {
+    throw std::runtime_error("factory failed");
+  };
+  cell.runs = 2;
+  SweepOptions opts;
+  opts.threads = 2;
+  EXPECT_THROW(run_sweep({cell}, opts), std::runtime_error);
+}
+
+TEST(Sweep, JsonReportContainsCellsAndTimings) {
+  SweepCell cell;
+  cell.label = "toy \"quoted\" label";
+  cell.factory = toy_factory(20, 40);
+  cell.scheme = Scheme::kShortestPath;
+  cell.runs = 2;
+  const std::vector<SweepCell> grid{cell};
+  const SweepResult result = run_sweep(grid);
+
+  std::ostringstream out;
+  write_sweep_json(out, "sweep_test", grid, result);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"bench\": \"sweep_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"threads\": "), std::string::npos);
+  EXPECT_NE(json.find("\"wall_seconds\": "), std::string::npos);
+  EXPECT_NE(json.find("toy \\\"quoted\\\" label"), std::string::npos);
+  EXPECT_NE(json.find("\"scheme\": \"SP\""), std::string::npos);
+  EXPECT_NE(json.find("\"success_ratio\""), std::string::npos);
+  EXPECT_NE(json.find("\"probe_messages\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flash

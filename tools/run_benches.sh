@@ -7,6 +7,13 @@
 #   (BENCH_micro.json), seeding the perf trajectory tracked across PRs.
 # - fig*/ablation_* paper-figure benches run in FLASH_BENCH_FAST mode and
 #   their paper-vs-measured tables are captured to one log per figure.
+#   Sweep-engine benches additionally write a structured JSON report
+#   (per-cell aggregates + wall clock + thread count) via FLASH_BENCH_JSON,
+#   and every figure bench's wall-clock seconds and the thread count are
+#   folded into BENCH_micro.json under "sweep_benches" so the parallel
+#   speedup is visible in the perf trajectory.
+# - FLASH_BENCH_THREADS caps the sweep-engine workers (default: all
+#   hardware threads).
 #
 # Builds the bench_all target first if the build directory exists but the
 # binaries do not.
@@ -33,14 +40,46 @@ echo "== micro benches (Google Benchmark) =="
   --benchmark_out="${OUT_DIR}/BENCH_micro_routing.json" \
   --benchmark_out_format=json
 
-# Merge the two JSON reports into the canonical BENCH_micro.json at the repo
-# root (the committed perf-trajectory snapshot). family_index values are
-# per-binary, so the second report's are rebased to stay unique.
+echo
+echo "== figure benches (FLASH_BENCH_FAST smoke sweeps) =="
+export FLASH_BENCH_FAST=1
+THREADS="${FLASH_BENCH_THREADS:-$(nproc)}"
+export FLASH_BENCH_THREADS="${THREADS}"
+TIMINGS="${OUT_DIR}/sweep_timings.txt"
+: >"${TIMINGS}"
+FIG_FAILURES=0
+for bin in "${BUILD_DIR}"/bench/fig* "${BUILD_DIR}"/bench/ablation_*; do
+  name="$(basename "${bin}")"
+  [[ -x "${bin}" ]] || continue
+  echo "-- ${name} (${THREADS} threads)"
+  # Drop any stale sweep report so a bench that fails to write a fresh one
+  # cannot leak a previous run's numbers into BENCH_micro.json.
+  rm -f "${OUT_DIR}/${name}.json"
+  start="$(date +%s.%N)"
+  # A failing figure bench must not abort the script before the canonical
+  # BENCH_micro.json merge below; record the failure and keep going.
+  if ! FLASH_BENCH_JSON="${OUT_DIR}/${name}.json" "${bin}" \
+      >"${OUT_DIR}/${name}.log" 2>&1; then
+    echo "warning: ${name} failed (see ${OUT_DIR}/${name}.log)" >&2
+    FIG_FAILURES=$((FIG_FAILURES + 1))
+    continue
+  fi
+  end="$(date +%s.%N)"
+  echo "${name} $(awk -v a="${start}" -v b="${end}" \
+    'BEGIN { printf "%.3f", b - a }')" >>"${TIMINGS}"
+done
+
+# Merge the two micro-bench JSON reports into the canonical BENCH_micro.json
+# at the repo root (the committed perf-trajectory snapshot). family_index
+# values are per-binary, so the second report's are rebased to stay unique.
+# The figure benches' wall-clock timings and the sweep thread count ride
+# along under "sweep_benches".
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-python3 - "${OUT_DIR}" "${REPO_ROOT}/BENCH_micro.json" <<'EOF'
+python3 - "${OUT_DIR}" "${REPO_ROOT}/BENCH_micro.json" "${THREADS}" <<'EOF'
 import json, sys, pathlib
 out = pathlib.Path(sys.argv[1])
 dest = pathlib.Path(sys.argv[2])
+threads = int(sys.argv[3])
 merged = None
 for name in ("BENCH_micro_algorithms.json", "BENCH_micro_routing.json"):
     with open(out / name) as f:
@@ -55,21 +94,38 @@ for name in ("BENCH_micro_algorithms.json", "BENCH_micro_routing.json"):
             if "family_index" in b:
                 b["family_index"] += base
         merged["benchmarks"].extend(report["benchmarks"])
+
+sweeps = []
+timings = out / "sweep_timings.txt"
+if timings.exists():
+    for line in timings.read_text().splitlines():
+        name, _, secs = line.partition(" ")
+        if not secs:
+            continue
+        entry = {"name": name, "wall_seconds": float(secs),
+                 "threads": threads}
+        # Engine-reported stats (cells, engine wall clock) when the bench
+        # emitted a structured sweep report.
+        report_path = out / f"{name}.json"
+        if report_path.exists():
+            with open(report_path) as f:
+                sweep = json.load(f)
+            entry["sweep_wall_seconds"] = sweep.get("wall_seconds")
+            entry["sweep_threads"] = sweep.get("threads")
+            entry["cells"] = len(sweep.get("cells", []))
+        sweeps.append(entry)
+merged["sweep_benches"] = sweeps
+
 with open(dest, "w") as f:
     json.dump(merged, f, indent=1)
     f.write("\n")
-print(f"wrote {dest} ({len(merged['benchmarks'])} benchmarks)")
+print(f"wrote {dest} ({len(merged['benchmarks'])} benchmarks, "
+      f"{len(sweeps)} figure benches)")
 EOF
 
 echo
-echo "== figure benches (FLASH_BENCH_FAST smoke sweeps) =="
-export FLASH_BENCH_FAST=1
-for bin in "${BUILD_DIR}"/bench/fig* "${BUILD_DIR}"/bench/ablation_*; do
-  name="$(basename "${bin}")"
-  [[ -x "${bin}" ]] || continue
-  echo "-- ${name}"
-  "${bin}" >"${OUT_DIR}/${name}.log"
-done
-
-echo
 echo "results in ${OUT_DIR}/"
+if [[ "${FIG_FAILURES}" -gt 0 ]]; then
+  echo "error: ${FIG_FAILURES} figure bench(es) failed" >&2
+  exit 1
+fi
