@@ -1,0 +1,140 @@
+// Microbenchmarks (google-benchmark) for the allocation-free graph core.
+//
+// Measures the scratch-based hot paths the routers actually run (PR 3):
+// dijkstra/bfs cores, Yen k-shortest-paths, the elephant probe loop and a
+// full mice routing-table fill, all on the fig-scale Ripple-like topology.
+// Results are folded into BENCH_micro.json under "graph_core" by
+// tools/run_benches.sh, establishing the perf trajectory for the graph
+// layer. Set FLASH_BENCH_SMOKE (non-empty) to run every benchmark for
+// exactly one iteration — the CI smoke mode.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+#include "graph/bfs.h"
+#include "graph/dijkstra.h"
+#include "graph/scratch.h"
+#include "graph/topology.h"
+#include "graph/yen.h"
+#include "ledger/fee_policy.h"
+#include "ledger/network_state.h"
+#include "routing/flash/elephant.h"
+#include "routing/flash/routing_table.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace flash {
+namespace {
+
+/// CI smoke mode: one iteration per benchmark, no min-time sampling.
+void apply_smoke(benchmark::internal::Benchmark* b) {
+  const char* v = std::getenv("FLASH_BENCH_SMOKE");
+  if (v && *v) b->Iterations(1);
+}
+
+/// Shared fixtures, built once (the paper's Ripple-scale topology).
+const Graph& ripple_graph() {
+  static const Graph g = [] {
+    Rng rng(1);
+    return ripple_like(rng);
+  }();
+  return g;
+}
+
+NetworkState make_loaded_state(const Graph& g) {
+  Rng rng(2);
+  NetworkState s(g);
+  s.assign_lognormal_split(250, 1.0, rng);
+  return s;
+}
+
+/// Same weight function the graph equivalence/allocation tests exercise.
+using FeeWeight = testing::DeterministicFeeWeight;
+
+void BM_GraphCore_BfsPath(benchmark::State& state) {
+  const Graph& g = ripple_graph();
+  GraphScratch scratch;
+  Path path;
+  Rng rng(3);
+  for (auto _ : state) {
+    const auto s = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto t = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    path.clear();
+    benchmark::DoNotOptimize(
+        bfs_path_core(g, s, t, scratch, AdmitAll{}, path));
+  }
+}
+BENCHMARK(BM_GraphCore_BfsPath)->Apply(apply_smoke);
+
+void BM_GraphCore_Dijkstra(benchmark::State& state) {
+  const Graph& g = ripple_graph();
+  GraphScratch scratch;
+  Path path;
+  Rng rng(4);
+  for (auto _ : state) {
+    const auto s = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto t = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    path.clear();
+    benchmark::DoNotOptimize(
+        dijkstra_core(g, s, t, scratch, FeeWeight{}, false, path));
+  }
+}
+BENCHMARK(BM_GraphCore_Dijkstra)->Apply(apply_smoke);
+
+void BM_GraphCore_YenK(benchmark::State& state) {
+  const Graph& g = ripple_graph();
+  GraphScratch scratch;
+  std::vector<Path> out;
+  Rng rng(5);
+  const auto k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto s = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto t = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    yen_core(g, s, t, k, scratch, UnitWeight{}, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_GraphCore_YenK)->Arg(4)->Arg(8)->Apply(apply_smoke);
+
+void BM_GraphCore_ElephantProbe(benchmark::State& state) {
+  const Graph& g = ripple_graph();
+  NetworkState s = make_loaded_state(g);
+  GraphScratch scratch;
+  ElephantProbeResult result;
+  Rng rng(6);
+  for (auto _ : state) {
+    const auto src = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto dst = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    elephant_find_paths_into(g, src, dst, 1e6, 20, s, scratch, result);
+    benchmark::DoNotOptimize(result.max_flow);
+  }
+}
+BENCHMARK(BM_GraphCore_ElephantProbe)->Apply(apply_smoke);
+
+void BM_GraphCore_MiceTableFill(benchmark::State& state) {
+  // Full warm-up fill of a sender's routing table: m + spares Yen paths for
+  // each of 64 receivers (the per-new-receiver cost Fig. 4's recurrence
+  // then amortizes away).
+  const Graph& g = ripple_graph();
+  GraphScratch scratch;
+  RoutingTableConfig config;  // paper defaults: 4 active + 4 spares
+  Rng rng(7);
+  const auto sender = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+  std::vector<NodeId> receivers;
+  for (int i = 0; i < 64; ++i) {
+    receivers.push_back(static_cast<NodeId>(rng.next_below(g.num_nodes())));
+  }
+  for (auto _ : state) {
+    MiceRoutingTable table(g, config);
+    for (const NodeId r : receivers) {
+      if (r == sender) continue;
+      benchmark::DoNotOptimize(table.lookup(sender, r, scratch).size());
+    }
+  }
+}
+BENCHMARK(BM_GraphCore_MiceTableFill)->Apply(apply_smoke);
+
+}  // namespace
+}  // namespace flash
+
+BENCHMARK_MAIN();

@@ -31,6 +31,7 @@
 #include "graph/graph.h"             // IWYU pragma: export
 #include "graph/graph_io.h"          // IWYU pragma: export
 #include "graph/maxflow.h"           // IWYU pragma: export
+#include "graph/scratch.h"           // IWYU pragma: export
 #include "graph/topology.h"          // IWYU pragma: export
 #include "graph/types.h"             // IWYU pragma: export
 #include "graph/yen.h"               // IWYU pragma: export

@@ -40,6 +40,7 @@ Graph NodeView::to_graph(std::size_t num_nodes) const {
       g.add_channel(key.first, key.second);
     }
   }
+  g.finalize();
   return g;
 }
 

@@ -1,84 +1,63 @@
 #include "graph/bfs.h"
 
-#include <algorithm>
-#include <deque>
-
 namespace flash {
 
-namespace {
-
-/// Runs BFS from src, recording the discovering edge of each node.
-/// Stops early when `stop_at` is discovered (pass kInvalidNode to explore
-/// the full reachable set).
-std::vector<EdgeId> bfs_parents(const Graph& g, NodeId src, NodeId stop_at,
-                                const EdgeFilter& admit) {
-  std::vector<EdgeId> parent(g.num_nodes(), kInvalidEdge);
-  std::vector<char> seen(g.num_nodes(), 0);
-  std::deque<NodeId> queue;
-  seen[src] = 1;
-  queue.push_back(src);
-  while (!queue.empty()) {
-    const NodeId u = queue.front();
-    queue.pop_front();
-    for (EdgeId e : g.out_edges(u)) {
-      const NodeId v = g.to(e);
-      if (seen[v]) continue;
-      if (admit && !admit(e)) continue;
-      seen[v] = 1;
-      parent[v] = e;
-      if (v == stop_at) return parent;
-      queue.push_back(v);
-    }
-  }
-  return parent;
-}
-
-}  // namespace
-
 Path bfs_path(const Graph& g, NodeId s, NodeId t, const EdgeFilter& admit) {
-  if (s == t) return {};
-  const auto parent = bfs_parents(g, s, t, admit);
-  if (parent[t] == kInvalidEdge) return {};
   Path path;
-  NodeId cur = t;
-  while (cur != s) {
-    const EdgeId e = parent[cur];
-    path.push_back(e);
-    cur = g.from(e);
+  LegacyScratchLease lease;
+  GraphScratch& scratch = lease.get();
+  if (admit) {
+    bfs_path_core(g, s, t, scratch, LegacyCallable<EdgeFilter>{&admit}, path);
+  } else {
+    bfs_path_core(g, s, t, scratch, AdmitAll{}, path);
   }
-  std::reverse(path.begin(), path.end());
   return path;
 }
 
 std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId src,
                                          const EdgeFilter& admit) {
+  LegacyScratchLease lease;
+  GraphScratch& scratch = lease.get();
+  if (admit) {
+    bfs_core<true>(g, src, kInvalidNode, scratch,
+                   LegacyCallable<EdgeFilter>{&admit});
+  } else {
+    bfs_core<true>(g, src, kInvalidNode, scratch, AdmitAll{});
+  }
   std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
-  std::deque<NodeId> queue;
-  dist[src] = 0;
-  queue.push_back(src);
-  while (!queue.empty()) {
-    const NodeId u = queue.front();
-    queue.pop_front();
-    for (EdgeId e : g.out_edges(u)) {
-      const NodeId v = g.to(e);
-      if (dist[v] != kUnreachable) continue;
-      if (admit && !admit(e)) continue;
-      dist[v] = dist[u] + 1;
-      queue.push_back(v);
-    }
+  for (std::size_t v = 0; v < dist.size(); ++v) {
+    dist[v] = scratch.hops.get_or(v, kUnreachable);
   }
   return dist;
 }
 
 std::vector<EdgeId> bfs_tree(const Graph& g, NodeId src,
                              const EdgeFilter& admit) {
-  return bfs_parents(g, src, kInvalidNode, admit);
+  LegacyScratchLease lease;
+  GraphScratch& scratch = lease.get();
+  if (admit) {
+    bfs_core(g, src, kInvalidNode, scratch, LegacyCallable<EdgeFilter>{&admit});
+  } else {
+    bfs_core(g, src, kInvalidNode, scratch, AdmitAll{});
+  }
+  std::vector<EdgeId> parent(g.num_nodes(), kInvalidEdge);
+  for (std::size_t v = 0; v < parent.size(); ++v) {
+    parent[v] = scratch.parent.get_or(v, kInvalidEdge);
+  }
+  return parent;
 }
 
 bool reachable(const Graph& g, NodeId s, NodeId t, const EdgeFilter& admit) {
+  if (s >= g.num_nodes() || t >= g.num_nodes()) return false;
   if (s == t) return true;
-  const auto parent = bfs_parents(g, s, t, admit);
-  return parent[t] != kInvalidEdge;
+  LegacyScratchLease lease;
+  GraphScratch& scratch = lease.get();
+  if (admit) {
+    bfs_core(g, s, t, scratch, LegacyCallable<EdgeFilter>{&admit});
+  } else {
+    bfs_core(g, s, t, scratch, AdmitAll{});
+  }
+  return scratch.parent.contains(t);
 }
 
 }  // namespace flash

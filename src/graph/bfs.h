@@ -3,18 +3,85 @@
 // BFS over admissible edges is the path-discovery core of the paper's
 // Algorithm 1 ("Breath-First-Search(G, C', s, t)"): Flash repeatedly finds a
 // fewest-hops path whose residual capacity is non-zero.
+//
+// Layered like dijkstra.h: templated allocation-free *_core functions run
+// in a caller-provided GraphScratch; the original std::function API remains
+// as thin wrappers over a thread-local scratch.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/scratch.h"
 #include "graph/types.h"
 
 namespace flash {
 
 /// Predicate deciding whether a directed edge may be traversed.
 using EdgeFilter = std::function<bool(EdgeId)>;
+
+/// Admit-everything filter — the default when no filter is given.
+struct AdmitAll {
+  bool operator()(EdgeId) const { return true; }
+};
+
+/// Core BFS from src over edges accepted by `admit`, recording the
+/// discovering edge of each reached node in scratch.parent (src itself is
+/// stamped with kInvalidEdge; scratch.parent.contains(v) == "v reached").
+/// Stops early once `stop_at` is discovered (kInvalidNode explores the full
+/// reachable set). Hop counts land in scratch.hops only when kRecordHops is
+/// set — path queries skip that store in the hottest loop (elephant
+/// probing). No-op for out-of-range src.
+template <bool kRecordHops = false, typename FilterFn>
+void bfs_core(const Graph& g, NodeId src, NodeId stop_at,
+              GraphScratch& scratch, FilterFn&& admit) {
+  const std::size_t n = g.num_nodes();
+  scratch.parent.reset(n);
+  if constexpr (kRecordHops) scratch.hops.reset(n);
+  if (src >= n) return;
+  auto& queue = scratch.bfs_queue;
+  queue.clear();
+  scratch.parent.set(src, kInvalidEdge);
+  if constexpr (kRecordHops) scratch.hops.set(src, 0);
+  queue.push_back(src);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    for (EdgeId e : g.out_edges(u)) {
+      const NodeId v = g.to(e);
+      if (scratch.parent.contains(v)) continue;
+      if (!admit(e)) continue;
+      scratch.parent.set(v, e);
+      if constexpr (kRecordHops) {
+        scratch.hops.set(v, scratch.hops.get(u) + 1);
+      }
+      if (v == stop_at) return;
+      queue.push_back(v);
+    }
+  }
+}
+
+/// Core fewest-hops path: appends the s->t edge sequence found by bfs_core
+/// to `path_out` (cleared by the caller if a fresh path is wanted). Returns
+/// true when t was reached (s == t counts: valid zero-length path).
+template <typename FilterFn>
+bool bfs_path_core(const Graph& g, NodeId s, NodeId t, GraphScratch& scratch,
+                   FilterFn&& admit, Path& path_out) {
+  if (s >= g.num_nodes() || t >= g.num_nodes()) return false;
+  if (s == t) return true;
+  bfs_core(g, s, t, scratch, std::forward<FilterFn>(admit));
+  if (!scratch.parent.contains(t)) return false;
+  const std::size_t first = path_out.size();
+  NodeId cur = t;
+  while (cur != s) {
+    const EdgeId e = scratch.parent.get(cur);
+    path_out.push_back(e);
+    cur = g.from(e);
+  }
+  std::reverse(path_out.begin() + static_cast<long>(first), path_out.end());
+  return true;
+}
 
 /// Fewest-hops path from s to t using only edges accepted by `admit`
 /// (all edges if `admit` is empty). Returns an empty path if t is

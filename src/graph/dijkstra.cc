@@ -1,91 +1,62 @@
 #include "graph/dijkstra.h"
 
 #include <algorithm>
-#include <queue>
 
 namespace flash {
 
 namespace {
 
-struct QueueEntry {
-  double dist;
-  NodeId node;
-  bool operator>(const QueueEntry& o) const { return dist > o.dist; }
-};
+template <typename WeightFn>
+DijkstraResult run_legacy(const Graph& g, NodeId s, NodeId t,
+                          WeightFn&& weight,
+                          const std::vector<char>& banned_nodes) {
+  LegacyScratchLease lease;
+  GraphScratch& scratch = lease.get();
+  const bool use_bans = !banned_nodes.empty();
+  if (use_bans) {
+    scratch.node_ban.reset(g.num_nodes());
+    scratch.edge_ban.reset(g.num_edges());
+    // The caller's vector may be sized for a different (larger) graph;
+    // marks beyond this graph's nodes are meaningless, so clamp.
+    const std::size_t n = std::min(banned_nodes.size(), g.num_nodes());
+    for (std::size_t v = 0; v < n; ++v) {
+      if (banned_nodes[v]) scratch.node_ban.set(v, 1);
+    }
+  }
+  DijkstraResult result;
+  const DijkstraCoreResult core = dijkstra_core(
+      g, s, t, scratch, std::forward<WeightFn>(weight), use_bans,
+      result.path);
+  result.distance = core.distance;
+  result.found = core.found;
+  return result;
+}
 
 }  // namespace
 
 DijkstraResult dijkstra(const Graph& g, NodeId s, NodeId t,
                         const EdgeWeight& weight,
                         const std::vector<char>& banned_nodes) {
-  DijkstraResult result;
-  if (!banned_nodes.empty() &&
-      (banned_nodes[s] || (t != kInvalidNode && banned_nodes[t]))) {
-    return result;
+  if (weight) {
+    return run_legacy(g, s, t, LegacyCallable<EdgeWeight>{&weight},
+                      banned_nodes);
   }
-  if (s == t) {
-    result.found = true;
-    result.distance = 0.0;
-    return result;
-  }
-  const double inf = std::numeric_limits<double>::infinity();
-  std::vector<double> dist(g.num_nodes(), inf);
-  std::vector<EdgeId> parent(g.num_nodes(), kInvalidEdge);
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
-  dist[s] = 0.0;
-  pq.push({0.0, s});
-  while (!pq.empty()) {
-    const auto [d, u] = pq.top();
-    pq.pop();
-    if (d > dist[u]) continue;  // stale entry
-    if (u == t) break;
-    for (EdgeId e : g.out_edges(u)) {
-      const NodeId v = g.to(e);
-      if (!banned_nodes.empty() && banned_nodes[v]) continue;
-      const double w = weight ? weight(e) : 1.0;
-      if (w == kEdgeBanned) continue;
-      const double nd = d + w;
-      if (nd < dist[v]) {
-        dist[v] = nd;
-        parent[v] = e;
-        pq.push({nd, v});
-      }
-    }
-  }
-  if (dist[t] == inf) return result;
-  result.found = true;
-  result.distance = dist[t];
-  NodeId cur = t;
-  while (cur != s) {
-    const EdgeId e = parent[cur];
-    result.path.push_back(e);
-    cur = g.from(e);
-  }
-  std::reverse(result.path.begin(), result.path.end());
-  return result;
+  return run_legacy(g, s, t, UnitWeight{}, banned_nodes);
 }
 
 std::vector<double> dijkstra_distances(const Graph& g, NodeId src,
                                        const EdgeWeight& weight) {
+  LegacyScratchLease lease;
+  GraphScratch& scratch = lease.get();
+  if (weight) {
+    dijkstra_distances_core(g, src, scratch, LegacyCallable<EdgeWeight>{&weight});
+  } else {
+    dijkstra_distances_core(g, src, scratch, UnitWeight{});
+  }
   const double inf = std::numeric_limits<double>::infinity();
   std::vector<double> dist(g.num_nodes(), inf);
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
-  dist[src] = 0.0;
-  pq.push({0.0, src});
-  while (!pq.empty()) {
-    const auto [d, u] = pq.top();
-    pq.pop();
-    if (d > dist[u]) continue;
-    for (EdgeId e : g.out_edges(u)) {
-      const NodeId v = g.to(e);
-      const double w = weight ? weight(e) : 1.0;
-      if (w == kEdgeBanned) continue;
-      const double nd = d + w;
-      if (nd < dist[v]) {
-        dist[v] = nd;
-        pq.push({nd, v});
-      }
-    }
+  for (std::size_t v = 0; v < dist.size(); ++v) {
+    dist[v] = scratch.dist.get_or(v, inf);
   }
   return dist;
 }

@@ -1,6 +1,13 @@
 // Weighted shortest path (Dijkstra) with pluggable edge weights.
 //
 // Used by Yen's k-shortest-paths and by routers that weight hops by fees.
+// Two layers:
+//  - dijkstra_core / dijkstra_distances_core: templated, allocation-free
+//    hot path running in a caller-provided GraphScratch. Edge weights and
+//    bans are compile-time callables, so the inner loop has no
+//    std::function dispatch.
+//  - dijkstra / dijkstra_distances: the original std::function API, kept as
+//    thin wrappers over a thread-local scratch so no caller breaks.
 #pragma once
 
 #include <functional>
@@ -8,6 +15,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/scratch.h"
 #include "graph/types.h"
 
 namespace flash {
@@ -18,6 +26,11 @@ using EdgeWeight = std::function<double(EdgeId)>;
 
 inline constexpr double kEdgeBanned = std::numeric_limits<double>::infinity();
 
+/// Unit edge weight (hop counting) — the default when no weight is given.
+struct UnitWeight {
+  double operator()(EdgeId) const { return 1.0; }
+};
+
 /// Result of a single-pair shortest path query.
 struct DijkstraResult {
   Path path;          // empty when t unreachable (or s == t)
@@ -25,6 +38,98 @@ struct DijkstraResult {
       std::numeric_limits<double>::infinity();
   bool found = false;
 };
+
+/// Core result without the path (the path is appended to a caller buffer).
+struct DijkstraCoreResult {
+  double distance = std::numeric_limits<double>::infinity();
+  bool found = false;
+};
+
+/// Core Dijkstra: shortest s->t path under `weight`, running entirely in
+/// `scratch` (allocation-free once the scratch is warm).
+///
+/// When `use_bans` is true, nodes marked in scratch.node_ban and edges
+/// marked in scratch.edge_ban are excluded; the marks are set by the caller
+/// before the call and survive it (they live on their own epochs), which is
+/// what Yen's spur loop needs. On success the s->t edge sequence is
+/// *appended* to `path_out` (existing content, e.g. Yen's root prefix, is
+/// kept). Out-of-range or invalid s/t yields found == false.
+///
+/// Passing t == kInvalidNode switches to all-targets mode: the full
+/// reachable set is settled (no early exit, no path reconstruction, found
+/// stays false) and the distances/shortest-path tree remain in
+/// scratch.dist/scratch.parent — see dijkstra_distances_core.
+template <typename WeightFn>
+DijkstraCoreResult dijkstra_core(const Graph& g, NodeId s, NodeId t,
+                                 GraphScratch& scratch, WeightFn&& weight,
+                                 bool use_bans, Path& path_out) {
+  DijkstraCoreResult result;
+  const std::size_t n = g.num_nodes();
+  const bool all_targets = t == kInvalidNode;
+  // Reset before the early returns (like bfs_core) so scratch.dist/parent
+  // never hold a previous query's state after this call.
+  scratch.dist.reset(n);
+  scratch.parent.reset(n);
+  if (s >= n || (!all_targets && t >= n)) return result;
+  if (use_bans && (scratch.node_ban.get_or(s, 0) ||
+                   (!all_targets && scratch.node_ban.get_or(t, 0)))) {
+    return result;
+  }
+  if (!all_targets && s == t) {
+    result.found = true;
+    result.distance = 0.0;
+    return result;
+  }
+  const double inf = std::numeric_limits<double>::infinity();
+  auto& heap = scratch.heap;
+  heap.clear();
+  scratch.dist.set(s, 0.0);
+  heap.push_back({0.0, s});  // no push_heap needed for a single element
+  while (!heap.empty()) {
+    const auto [d, u] = heap.front();
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+    heap.pop_back();
+    if (d > scratch.dist.get_or(u, inf)) continue;  // stale entry
+    if (u == t) break;  // never taken in all-targets mode
+    for (EdgeId e : g.out_edges(u)) {
+      const NodeId v = g.to(e);
+      if (use_bans && scratch.node_ban.get_or(v, 0)) continue;
+      if (use_bans && scratch.edge_ban.get_or(e, 0)) continue;
+      const double w = weight(e);
+      if (w == kEdgeBanned) continue;
+      const double nd = d + w;
+      if (nd < scratch.dist.get_or(v, inf)) {
+        scratch.dist.set(v, nd);
+        scratch.parent.set(v, e);
+        heap.push_back({nd, v});
+        std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+      }
+    }
+  }
+  if (all_targets || !scratch.dist.contains(t)) return result;
+  result.found = true;
+  result.distance = scratch.dist.get(t);
+  const std::size_t first = path_out.size();
+  NodeId cur = t;
+  while (cur != s) {
+    const EdgeId e = scratch.parent.get(cur);
+    path_out.push_back(e);
+    cur = g.from(e);
+  }
+  std::reverse(path_out.begin() + static_cast<long>(first), path_out.end());
+  return result;
+}
+
+/// Core all-targets Dijkstra: distances from src land in scratch.dist
+/// (scratch.dist.get_or(v, inf) after the call; scratch.parent holds the
+/// shortest-path tree). Out-of-range src leaves everything unreachable.
+template <typename WeightFn>
+void dijkstra_distances_core(const Graph& g, NodeId src, GraphScratch& scratch,
+                             WeightFn&& weight) {
+  Path unused;  // never written in all-targets mode
+  dijkstra_core(g, src, kInvalidNode, scratch,
+                std::forward<WeightFn>(weight), /*use_bans=*/false, unused);
+}
 
 /// Shortest s->t path under `weight` (unit weights if empty).
 /// Additional `banned_nodes[v] != 0` excludes v from interior use

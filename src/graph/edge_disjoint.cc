@@ -1,23 +1,13 @@
 #include "graph/edge_disjoint.h"
 
-#include <vector>
-
-#include "graph/bfs.h"
-
 namespace flash {
 
 std::vector<Path> edge_disjoint_shortest_paths(const Graph& g, NodeId s,
                                                NodeId t, std::size_t k) {
   std::vector<Path> paths;
-  if (s == t) return paths;
-  std::vector<char> used(g.num_edges(), 0);
-  const EdgeFilter admit = [&](EdgeId e) { return !used[e]; };
-  while (paths.size() < k) {
-    Path p = bfs_path(g, s, t, admit);
-    if (p.empty()) break;
-    for (EdgeId e : p) used[e] = 1;
-    paths.push_back(std::move(p));
-  }
+  LegacyScratchLease lease;
+  GraphScratch& scratch = lease.get();
+  edge_disjoint_core(g, s, t, k, scratch, paths);
   return paths;
 }
 

@@ -9,10 +9,37 @@
 
 #include <vector>
 
+#include "graph/bfs.h"
 #include "graph/graph.h"
+#include "graph/scratch.h"
 #include "graph/types.h"
 
 namespace flash {
+
+/// Core variant: writes up to k pairwise edge-disjoint fewest-hops s->t
+/// paths into `out` (slot-reused, then resized; see assign_path_slot).
+/// Used edges are tracked as scratch.edge_ban marks; allocation-free once
+/// the scratch is warm.
+inline void edge_disjoint_core(const Graph& g, NodeId s, NodeId t,
+                               std::size_t k, GraphScratch& scratch,
+                               std::vector<Path>& out) {
+  std::size_t found = 0;
+  if (s != t && s < g.num_nodes() && t < g.num_nodes()) {
+    scratch.edge_ban.reset(g.num_edges());
+    auto admit = [&scratch](EdgeId e) {
+      return !scratch.edge_ban.get_or(e, 0);
+    };
+    Path& p = scratch.pool.alloc();
+    while (found < k) {
+      p.clear();
+      if (!bfs_path_core(g, s, t, scratch, admit, p) || p.empty()) break;
+      for (EdgeId e : p) scratch.edge_ban.set(e, 1);
+      assign_path_slot(out, found++, p);
+    }
+    scratch.pool.pop();
+  }
+  out.resize(found);
+}
 
 /// Up to k pairwise edge-disjoint s->t paths, each a fewest-hops path in the
 /// graph remaining after removing the previously chosen paths' edges.

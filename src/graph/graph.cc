@@ -1,11 +1,13 @@
 #include "graph/graph.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
 namespace flash {
 
 NodeId Graph::add_node() {
+  csr_valid_ = false;
   out_.emplace_back();
   return static_cast<NodeId>(out_.size() - 1);
 }
@@ -15,6 +17,7 @@ EdgeId Graph::add_channel(NodeId u, NodeId v) {
   if (u >= num_nodes() || v >= num_nodes()) {
     throw std::out_of_range("add_channel: node id out of range");
   }
+  csr_valid_ = false;
   const auto fwd = static_cast<EdgeId>(from_.size());
   from_.push_back(u);
   to_.push_back(v);
@@ -23,6 +26,21 @@ EdgeId Graph::add_channel(NodeId u, NodeId v) {
   out_[u].push_back(fwd);
   out_[v].push_back(fwd + 1);
   return fwd;
+}
+
+void Graph::finalize() {
+  if (csr_valid_) return;
+  csr_off_.assign(num_nodes() + 1, 0);
+  csr_edges_.resize(num_edges());
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    csr_off_[u + 1] =
+        csr_off_[u] + static_cast<std::uint32_t>(out_[u].size());
+  }
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    std::copy(out_[u].begin(), out_[u].end(),
+              csr_edges_.begin() + csr_off_[u]);
+  }
+  csr_valid_ = true;
 }
 
 bool Graph::is_valid_path(const Path& path, NodeId s) const {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -41,6 +42,19 @@ class Graph {
 
   std::size_t num_channels() const noexcept { return from_.size() / 2; }
 
+  /// Builds the CSR (flat offsets + edge array) adjacency so out_edges()
+  /// iterates contiguous memory instead of chasing per-node vectors.
+  /// Idempotent; invalidated by add_node()/add_channel() (out_edges then
+  /// falls back to the per-node vectors until finalize() runs again). The
+  /// topology generators and loaders finalize before returning, so query
+  /// code normally never sees the fallback. Per-node edge order is
+  /// preserved exactly, so finalizing never changes any algorithm result.
+  /// NOT thread-safe: finalize before sharing the graph across threads.
+  void finalize();
+
+  /// True when the CSR adjacency is current.
+  bool finalized() const noexcept { return csr_valid_; }
+
   NodeId from(EdgeId e) const { return from_[e]; }
   NodeId to(EdgeId e) const { return to_[e]; }
 
@@ -57,6 +71,9 @@ class Graph {
 
   /// Outgoing directed edges of a node.
   std::span<const EdgeId> out_edges(NodeId u) const {
+    if (csr_valid_) {
+      return {csr_edges_.data() + csr_off_[u], csr_off_[u + 1] - csr_off_[u]};
+    }
     return out_[u];
   }
 
@@ -76,6 +93,11 @@ class Graph {
   std::vector<NodeId> from_;
   std::vector<NodeId> to_;
   std::vector<std::vector<EdgeId>> out_;
+  // CSR adjacency mirror of out_: csr_off_[u]..csr_off_[u+1] indexes the
+  // outgoing edges of u inside csr_edges_ (same per-node order as out_).
+  std::vector<std::uint32_t> csr_off_;
+  std::vector<EdgeId> csr_edges_;
+  bool csr_valid_ = false;
 };
 
 }  // namespace flash

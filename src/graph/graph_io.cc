@@ -60,6 +60,7 @@ Graph read_edge_list(std::istream& is) {
                                    : declared_nodes);
   Graph g(n);
   for (auto [u, v] : channels) g.add_channel(u, v);
+  g.finalize();
   return g;
 }
 

@@ -1,9 +1,5 @@
 #include "graph/maxflow.h"
 
-#include <algorithm>
-#include <cassert>
-#include <deque>
-
 namespace flash {
 
 MaxFlowResult edmonds_karp(const Graph& g, NodeId s, NodeId t,
@@ -11,71 +7,10 @@ MaxFlowResult edmonds_karp(const Graph& g, NodeId s, NodeId t,
                            std::size_t max_paths) {
   assert(capacity);
   MaxFlowResult result;
-  result.edge_flow.assign(g.num_edges(), 0);
-  if (s == t) return result;
-
-  // Residual capacity of edge e = capacity(e) - flow(e) + flow(reverse(e)):
-  // pushing flow on the reverse direction frees capacity here. We track
-  // residuals directly for O(1) updates.
-  std::vector<Amount> residual(g.num_edges());
-  for (EdgeId e = 0; e < g.num_edges(); ++e) residual[e] = capacity(e);
-
-  constexpr Amount kEps = 1e-12;
-  while (max_paths == 0 || result.paths.size() < max_paths) {
-    if (limit >= 0 && result.value >= limit) break;
-    // BFS over edges with positive residual.
-    std::vector<EdgeId> parent(g.num_nodes(), kInvalidEdge);
-    std::vector<char> seen(g.num_nodes(), 0);
-    std::deque<NodeId> queue;
-    seen[s] = 1;
-    queue.push_back(s);
-    bool found = false;
-    while (!queue.empty() && !found) {
-      const NodeId u = queue.front();
-      queue.pop_front();
-      for (EdgeId e : g.out_edges(u)) {
-        const NodeId v = g.to(e);
-        if (seen[v] || residual[e] <= kEps) continue;
-        seen[v] = 1;
-        parent[v] = e;
-        if (v == t) {
-          found = true;
-          break;
-        }
-        queue.push_back(v);
-      }
-    }
-    if (!found) break;
-
-    // Extract the augmenting path and its bottleneck.
-    Path path;
-    Amount bottleneck = std::numeric_limits<Amount>::max();
-    for (NodeId cur = t; cur != s; cur = g.from(parent[cur])) {
-      const EdgeId e = parent[cur];
-      path.push_back(e);
-      bottleneck = std::min(bottleneck, residual[e]);
-    }
-    std::reverse(path.begin(), path.end());
-    if (limit >= 0) bottleneck = std::min(bottleneck, limit - result.value);
-    assert(bottleneck > 0);
-
-    for (EdgeId e : path) {
-      residual[e] -= bottleneck;
-      residual[g.reverse(e)] += bottleneck;
-      result.edge_flow[e] += bottleneck;
-    }
-    result.value += bottleneck;
-    result.paths.push_back(std::move(path));
-    result.path_amounts.push_back(bottleneck);
-  }
-
-  // Report net flow per edge (cancel opposite directions).
-  for (EdgeId e = 0; e < g.num_edges(); e += 2) {
-    const EdgeId r = g.reverse(e);
-    const Amount net = result.edge_flow[e] - result.edge_flow[r];
-    result.edge_flow[e] = std::max<Amount>(net, 0);
-    result.edge_flow[r] = std::max<Amount>(-net, 0);
-  }
+  LegacyScratchLease lease;
+  GraphScratch& scratch = lease.get();
+  edmonds_karp_core(g, s, t, LegacyCallable<EdgeCapacity>{&capacity}, limit,
+                    max_paths, scratch, result);
   return result;
 }
 

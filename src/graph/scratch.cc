@@ -1,0 +1,13 @@
+#include "graph/scratch.h"
+
+namespace flash {
+
+GraphScratch& internal_graph_scratch() {
+  // One workspace per thread: the legacy entry points stay allocation-free
+  // in steady state without any cross-thread sharing (sweep-engine workers
+  // each get their own).
+  static thread_local GraphScratch scratch;
+  return scratch;
+}
+
+}  // namespace flash

@@ -68,6 +68,7 @@ Graph watts_strogatz(std::size_t n, std::size_t k_neighbors, double beta,
     }
     if (u != v && pairs.insert(u, v)) g.add_channel(u, v);
   }
+  g.finalize();
   return g;
 }
 
@@ -109,6 +110,7 @@ Graph barabasi_albert(std::size_t n, std::size_t m_attach, Rng& rng) {
       ++added;
     }
   }
+  g.finalize();
   return g;
 }
 
@@ -128,6 +130,7 @@ Graph erdos_renyi(std::size_t n, std::size_t channels, Rng& rng) {
     g.add_channel(u, v);
     ++added;
   }
+  g.finalize();
   return g;
 }
 
@@ -174,6 +177,7 @@ Graph scale_free(std::size_t n, std::size_t channels, Rng& rng) {
   if (added < channels) {
     throw std::runtime_error("scale_free: could not place requested channels");
   }
+  g.finalize();
   return g;
 }
 
@@ -187,6 +191,7 @@ Graph ring_graph(std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
     g.add_channel(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n));
   }
+  g.finalize();
   return g;
 }
 
@@ -196,6 +201,7 @@ Graph line_graph(std::size_t n) {
   for (std::size_t i = 0; i + 1 < n; ++i) {
     g.add_channel(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
   }
+  g.finalize();
   return g;
 }
 
@@ -205,6 +211,7 @@ Graph star_graph(std::size_t leaves) {
   for (std::size_t i = 1; i <= leaves; ++i) {
     g.add_channel(0, static_cast<NodeId>(i));
   }
+  g.finalize();
   return g;
 }
 
@@ -216,6 +223,7 @@ Graph complete_graph(std::size_t n) {
       g.add_channel(static_cast<NodeId>(i), static_cast<NodeId>(j));
     }
   }
+  g.finalize();
   return g;
 }
 
@@ -252,6 +260,7 @@ Graph prune_low_degree(const Graph& g, std::size_t min_degree,
     if (alive[u] && alive[v]) out.add_channel(mapping[u], mapping[v]);
   }
   if (old_to_new) *old_to_new = std::move(mapping);
+  out.finalize();
   return out;
 }
 

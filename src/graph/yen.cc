@@ -1,79 +1,19 @@
 #include "graph/yen.h"
 
-#include <algorithm>
-#include <set>
-
 namespace flash {
-
-namespace {
-
-double path_cost(const Path& p, const EdgeWeight& weight) {
-  if (!weight) return static_cast<double>(p.size());
-  double c = 0.0;
-  for (EdgeId e : p) c += weight(e);
-  return c;
-}
-
-}  // namespace
 
 std::vector<Path> yen_k_shortest_paths(const Graph& g, NodeId s, NodeId t,
                                        std::size_t k,
                                        const EdgeWeight& weight) {
-  std::vector<Path> result;
-  if (k == 0 || s == t) return result;
-
-  const DijkstraResult first = dijkstra(g, s, t, weight);
-  if (!first.found) return result;
-  result.push_back(first.path);
-
-  // Candidate set ordered by (cost, path) for deterministic extraction.
-  using Candidate = std::pair<double, Path>;
-  std::set<Candidate> candidates;
-  std::set<Path> known;  // paths already in result or candidates
-  known.insert(first.path);
-
-  while (result.size() < k) {
-    const Path& prev = result.back();
-    const std::vector<NodeId> prev_nodes = g.path_nodes(prev, s);
-
-    // Each node of the previous path except the last is a spur candidate.
-    for (std::size_t i = 0; i + 1 < prev_nodes.size(); ++i) {
-      const NodeId spur_node = prev_nodes[i];
-      const Path root(prev.begin(), prev.begin() + static_cast<long>(i));
-
-      // Ban edges that would recreate an already-known path sharing this
-      // root, and ban root nodes to keep paths loopless.
-      std::set<EdgeId> banned_edges;
-      for (const Path& known_path : result) {
-        if (known_path.size() > i &&
-            std::equal(root.begin(), root.end(), known_path.begin())) {
-          banned_edges.insert(known_path[i]);
-        }
-      }
-      std::vector<char> banned_nodes(g.num_nodes(), 0);
-      for (std::size_t j = 0; j < i; ++j) banned_nodes[prev_nodes[j]] = 1;
-
-      const EdgeWeight spur_weight = [&](EdgeId e) -> double {
-        if (banned_edges.count(e)) return kEdgeBanned;
-        return weight ? weight(e) : 1.0;
-      };
-      const DijkstraResult spur =
-          dijkstra(g, spur_node, t, spur_weight, banned_nodes);
-      if (!spur.found) continue;
-
-      Path total = root;
-      total.insert(total.end(), spur.path.begin(), spur.path.end());
-      if (known.insert(total).second) {
-        candidates.emplace(path_cost(total, weight), std::move(total));
-      }
-    }
-
-    if (candidates.empty()) break;
-    auto best = candidates.begin();
-    result.push_back(best->second);
-    candidates.erase(best);
+  std::vector<Path> out;
+  LegacyScratchLease lease;
+  GraphScratch& scratch = lease.get();
+  if (weight) {
+    yen_core(g, s, t, k, scratch, LegacyCallable<EdgeWeight>{&weight}, out);
+  } else {
+    yen_core(g, s, t, k, scratch, UnitWeight{}, out);
   }
-  return result;
+  return out;
 }
 
 }  // namespace flash

@@ -124,11 +124,17 @@ bool NetworkState::path_can_carry(const Path& path, Amount amount) const {
 }
 
 std::vector<Amount> NetworkState::probe_path(const Path& path) {
-  probe_messages_ += 2 * path.size();  // PROBE forward + PROBE_ACK back
   std::vector<Amount> out;
+  probe_path_into(path, out);
+  return out;
+}
+
+void NetworkState::probe_path_into(const Path& path,
+                                   std::vector<Amount>& out) {
+  probe_messages_ += 2 * path.size();  // PROBE forward + PROBE_ACK back
+  out.clear();
   out.reserve(path.size());
   for (EdgeId e : path) out.push_back(balance_.at(e));
-  return out;
 }
 
 std::optional<HoldId> NetworkState::hold(const Path& path, Amount amount) {

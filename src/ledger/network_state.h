@@ -97,6 +97,10 @@ class NetworkState {
   /// (PROBE out along the path + PROBE_ACK back, §5.1).
   std::vector<Amount> probe_path(const Path& path);
 
+  /// Allocation-free variant: overwrites `out` with the balances along
+  /// `path` (capacity reused across probes). Same message accounting.
+  void probe_path_into(const Path& path, std::vector<Amount>& out);
+
   /// Number of probe messages sent so far (monotone).
   std::uint64_t probe_messages() const noexcept { return probe_messages_; }
 

@@ -12,42 +12,65 @@ namespace {
 constexpr Amount kEps = 1e-9;
 }
 
-ElephantProbeResult elephant_find_paths(const Graph& g, NodeId s, NodeId t,
-                                        Amount demand, std::size_t max_paths,
-                                        NetworkState& state) {
-  ElephantProbeResult result;
-  if (s == t || demand <= 0) return result;
+void elephant_find_paths_into(const Graph& g, NodeId s, NodeId t,
+                              Amount demand, std::size_t max_paths,
+                              NetworkState& state, GraphScratch& scratch,
+                              ElephantProbeResult& result) {
+  result.feasible = false;
+  result.bottlenecks.clear();
+  // A FRESH map, not clear(): clear() keeps the grown bucket array, which
+  // changes the map's iteration order versus a fresh map receiving the same
+  // insertion sequence — and that order feeds the LP constraint order, so
+  // it must match the legacy per-call map bit-for-bit.
+  result.capacities = CapacityMap{};
+  result.max_flow = 0;
+  result.probes = 0;
+  std::size_t num_paths = 0;
+  auto finish = [&] {
+    result.paths.resize(num_paths);
+    result.feasible = result.max_flow + kEps >= demand;
+  };
+  if (s == t || demand <= 0) {
+    // Not finish(): a degenerate request must stay infeasible, while
+    // finish() would report feasible for demand <= 0 (0 + eps >= demand).
+    result.paths.resize(0);
+    return;
+  }
 
-  // Residual capacity matrix C' (line 5): unknown edges are treated as
-  // having capacity (= infinity) so BFS may explore them; probed edges use
-  // their residual value.
-  CapacityMap residual;  // only probed edges appear
-  auto residual_admits = [&](EdgeId e) {
-    const auto it = residual.find(e);
-    return it == residual.end() || it->second > kEps;
+  // Residual capacity matrix C' (line 5), flat and epoch-stamped: unknown
+  // (unstamped) edges are treated as having capacity (= infinity) so BFS
+  // may explore them; probed edges use their residual value.
+  auto& residual = scratch.edge_amount;
+  residual.reset(g.num_edges());
+  auto residual_admits = [&residual](EdgeId e) {
+    return !residual.contains(e) || residual.get(e) > kEps;
   };
 
-  while (result.paths.size() < max_paths) {
+  Path& p = scratch.pool.alloc();
+  auto& balances = scratch.balance_buf;
+  while (num_paths < max_paths) {
     // Line 7: BFS on G with residual filter.
-    const Path p = bfs_path(g, s, t, residual_admits);
-    if (p.empty()) break;  // line 8-9
+    p.clear();
+    if (!bfs_path_core(g, s, t, scratch, residual_admits, p) || p.empty()) {
+      break;  // line 8-9
+    }
 
     // Line 11: probe each channel on p. The probe returns the balances of
     // both directions of every channel on the path (the PROBE_ACK carries
     // the Capacity field both ways, §5.1 / Algorithm 1 lines 17-22).
-    const std::vector<Amount> balances = state.probe_path(p);
+    state.probe_path_into(p, balances);
     ++result.probes;
     for (std::size_t i = 0; i < p.size(); ++i) {
       const EdgeId e = p[i];
       const EdgeId rev = g.reverse(e);
-      if (!result.capacities.count(e)) {  // line 17: first time
-        result.capacities[e] = balances[i];
-        residual[e] = balances[i];
+      if (!residual.contains(e)) {  // line 17: first time
+        result.capacities.emplace(e, balances[i]);
+        residual.set(e, balances[i]);
       }
-      if (!result.capacities.count(rev)) {  // line 20
+      if (!residual.contains(rev)) {  // line 20
         const Amount rev_balance = state.balance(rev);
-        result.capacities[rev] = rev_balance;
-        residual[rev] = rev_balance;
+        result.capacities.emplace(rev, rev_balance);
+        residual.set(rev, rev_balance);
       }
     }
 
@@ -55,17 +78,17 @@ ElephantProbeResult elephant_find_paths(const Graph& g, NodeId s, NodeId t,
     // residual == probed balance; edges reused across paths keep their
     // reduced residual).
     Amount bottleneck = std::numeric_limits<Amount>::max();
-    for (EdgeId e : p) bottleneck = std::min(bottleneck, residual[e]);
+    for (EdgeId e : p) bottleneck = std::min(bottleneck, residual.get(e));
     bottleneck = std::max<Amount>(bottleneck, 0);
 
-    result.paths.push_back(p);
+    assign_path_slot(result.paths, num_paths++, p);
     result.bottlenecks.push_back(bottleneck);
 
     if (bottleneck > kEps) {
       result.max_flow += bottleneck;  // line 13
       for (EdgeId e : p) {
-        residual[e] -= bottleneck;               // line 23
-        residual[g.reverse(e)] += bottleneck;    // line 24
+        residual.slot(e) -= bottleneck;               // line 23
+        residual.slot(g.reverse(e)) += bottleneck;    // line 24
       }
     }
     // Note: no early exit when f >= d. Algorithm 1 checks the demand only
@@ -73,21 +96,33 @@ ElephantProbeResult elephant_find_paths(const Graph& g, NodeId s, NodeId t,
     // The surplus capacity is what gives program (1) room to shift flow
     // onto cheap paths (the ~40 % fee saving of Fig. 9).
   }
+  scratch.pool.pop();
+  finish();
+}
 
-  result.feasible = result.max_flow + kEps >= demand;
+ElephantProbeResult elephant_find_paths(const Graph& g, NodeId s, NodeId t,
+                                        Amount demand, std::size_t max_paths,
+                                        NetworkState& state) {
+  ElephantProbeResult result;
+  LegacyScratchLease lease;
+  GraphScratch& scratch = lease.get();
+  elephant_find_paths_into(g, s, t, demand, max_paths, state, scratch,
+                           result);
   return result;
 }
 
 RouteResult route_elephant(const Graph& g, const Transaction& tx,
                            NetworkState& state, const FeeSchedule& fees,
-                           const ElephantConfig& config) {
+                           const ElephantConfig& config, GraphScratch& scratch,
+                           ElephantProbeResult& probe_buf) {
   RouteResult result;
   result.elephant = true;
   if (tx.amount <= 0 || tx.sender == tx.receiver) return result;
 
   const std::uint64_t msgs_before = state.probe_messages();
-  ElephantProbeResult probe = elephant_find_paths(
-      g, tx.sender, tx.receiver, tx.amount, config.max_paths, state);
+  ElephantProbeResult& probe = probe_buf;
+  elephant_find_paths_into(g, tx.sender, tx.receiver, tx.amount,
+                           config.max_paths, state, scratch, probe);
   result.probes = probe.probes;
   result.probe_messages = state.probe_messages() - msgs_before;
   if (!probe.feasible) return result;  // Algorithm 1 returns empty set
@@ -110,13 +145,15 @@ RouteResult route_elephant(const Graph& g, const Transaction& tx,
   // Net the split into per-edge amounts: opposite directions offset
   // (program (1) allows it, and committing the net flow is what the
   // channel balances experience after all partial payments settle).
-  std::vector<Amount> net(g.num_edges(), 0);
+  auto& net = scratch.amount_buf;
+  net.assign(g.num_edges(), 0);
   for (std::size_t i = 0; i < probe.paths.size(); ++i) {
     if (split.amounts[i] <= kEps) continue;
     ++result.paths_used;
     for (EdgeId e : probe.paths[i]) net[e] += split.amounts[i];
   }
-  std::vector<EdgeAmount> flow;
+  auto& flow = scratch.flow_buf;
+  flow.clear();
   for (EdgeId e = 0; e < g.num_edges(); e += 2) {
     const EdgeId r = g.reverse(e);
     const Amount delta = net[e] - net[r];
@@ -136,6 +173,15 @@ RouteResult route_elephant(const Graph& g, const Transaction& tx,
   result.delivered = tx.amount;
   result.fee = split.total_fee;
   return result;
+}
+
+RouteResult route_elephant(const Graph& g, const Transaction& tx,
+                           NetworkState& state, const FeeSchedule& fees,
+                           const ElephantConfig& config) {
+  ElephantProbeResult probe_buf;
+  LegacyScratchLease lease;
+  GraphScratch& scratch = lease.get();
+  return route_elephant(g, tx, state, fees, config, scratch, probe_buf);
 }
 
 }  // namespace flash

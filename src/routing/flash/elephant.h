@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/scratch.h"
 #include "ledger/fee_policy.h"
 #include "ledger/network_state.h"
 #include "lp/fee_min.h"
@@ -48,11 +49,31 @@ ElephantProbeResult elephant_find_paths(const Graph& g, NodeId s, NodeId t,
                                         Amount demand, std::size_t max_paths,
                                         NetworkState& state);
 
+/// Hot-path variant: runs the probe loop in `scratch` (residuals and the
+/// per-iteration BFS live in flat epoch-stamped edge arrays — no hash-map
+/// lookups in the inner loop) and reuses `result`'s buffers. The probed
+/// capacity matrix `result.capacities` is still materialized as a
+/// CapacityMap, insertion-for-insertion identical to the legacy variant,
+/// because the fee-LP boundary consumes it (and its iteration order feeds
+/// the LP constraint order). Same sharing rules as elephant_find_paths,
+/// plus: `scratch` follows the GraphScratch thread-affinity contract.
+void elephant_find_paths_into(const Graph& g, NodeId s, NodeId t,
+                              Amount demand, std::size_t max_paths,
+                              NetworkState& state, GraphScratch& scratch,
+                              ElephantProbeResult& result);
+
 /// Full elephant pipeline: find paths, split (LP or sequential), execute
 /// atomically against the ledger. Mutates only `state`; safe to call
 /// concurrently on distinct NetworkStates.
 RouteResult route_elephant(const Graph& g, const Transaction& tx,
                            NetworkState& state, const FeeSchedule& fees,
                            const ElephantConfig& config);
+
+/// Hot-path variant threading the router's scratch and a reusable probe
+/// result through the pipeline (FlashRouter::route uses this).
+RouteResult route_elephant(const Graph& g, const Transaction& tx,
+                           NetworkState& state, const FeeSchedule& fees,
+                           const ElephantConfig& config, GraphScratch& scratch,
+                           ElephantProbeResult& probe_buf);
 
 }  // namespace flash

@@ -20,14 +20,15 @@ RouteResult FlashRouter::route(const Transaction& tx, NetworkState& state) {
     ElephantConfig ec;
     ec.max_paths = config_.k_elephant_paths;
     ec.optimize_fees = config_.optimize_fees;
-    RouteResult r = route_elephant(*graph_, tx, state, *fees_, ec);
+    RouteResult r =
+        route_elephant(*graph_, tx, state, *fees_, ec, scratch_, probe_buf_);
     r.elephant = is_elephant(tx.amount);
     return r;
   }
   RouteResult r =
       config_.mice_selection == MiceSelection::kWaterfill
-          ? route_mice_waterfill(*graph_, tx, state, *fees_, table_)
-          : route_mice(*graph_, tx, state, *fees_, table_, rng_);
+          ? route_mice_waterfill(*graph_, tx, state, *fees_, table_, scratch_)
+          : route_mice(*graph_, tx, state, *fees_, table_, rng_, scratch_);
   r.elephant = false;
   return r;
 }

@@ -83,6 +83,10 @@ class FlashRouter : public Router {
   FlashConfig config_;
   MiceRoutingTable table_;
   Rng rng_;
+  // Per-router workspaces so a long simulation performs no graph-algorithm
+  // allocations after warm-up. Same thread affinity as the router itself.
+  GraphScratch scratch_;
+  ElephantProbeResult probe_buf_;
 };
 
 }  // namespace flash

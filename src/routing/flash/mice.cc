@@ -14,7 +14,8 @@ constexpr Amount kEps = 1e-9;
 
 RouteResult route_mice(const Graph& g, const Transaction& tx,
                        NetworkState& state, const FeeSchedule& fees,
-                       MiceRoutingTable& table, Rng& rng) {
+                       MiceRoutingTable& table, Rng& rng,
+                       GraphScratch& scratch) {
   (void)g;
   RouteResult result;
   if (tx.amount <= 0 || tx.sender == tx.receiver) return result;
@@ -22,13 +23,23 @@ RouteResult route_mice(const Graph& g, const Transaction& tx,
   const std::uint64_t msgs_before = state.probe_messages();
 
   // Table lookup (computes top-m shortest paths only for a new receiver).
-  std::vector<Path> paths = table.lookup(tx.sender, tx.receiver);
+  // The reference stays valid through the attempt loop: dead paths are
+  // staged in the scratch pool and only swapped into the entry after the
+  // loop, which also keeps the attempt set frozen at lookup time (a
+  // replacement path never competes for the payment that discovered the
+  // dead one — same behavior the old copy-the-entry implementation had).
+  const std::vector<Path>& paths = table.lookup(tx.sender, tx.receiver,
+                                                scratch);
   if (paths.empty()) return result;
 
   // Random order load-balances paths without knowing their capacities.
-  std::vector<std::size_t> order(paths.size());
+  auto& order = scratch.index_buf;
+  order.resize(paths.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   rng.shuffle(order);
+
+  const std::size_t dead_base = scratch.pool.size();
+  std::size_t dead_count = 0;
 
   AtomicPayment payment(state);
   Amount remaining = tx.amount;
@@ -44,14 +55,16 @@ RouteResult route_mice(const Graph& g, const Transaction& tx,
     }
     // Error: probe to learn the path's effective capacity, then send a
     // partial payment of exactly that volume.
-    const std::vector<Amount> balances = state.probe_path(path);
+    auto& balances = scratch.balance_buf;
+    state.probe_path_into(path, balances);
     ++result.probes;
     const Amount cap =
         *std::min_element(balances.begin(), balances.end());
     if (cap <= kEps) {
-      // Dead path: replace with the next shortest one for future payments
-      // (it stays out of this payment's attempt set).
-      table.replace_dead_path(tx.sender, tx.receiver, path);
+      // Dead path: stage it for replacement with the next shortest one for
+      // future payments (it stays out of this payment's attempt set).
+      scratch.pool.alloc().assign(path.begin(), path.end());
+      ++dead_count;
       continue;
     }
     const Amount part = std::min(cap, remaining);
@@ -62,6 +75,14 @@ RouteResult route_mice(const Graph& g, const Transaction& tx,
       if (remaining <= kEps) break;
     }
   }
+
+  // Apply the staged dead-path replacements (mutates the table entry, so
+  // it must come after the loop finished reading `paths`).
+  for (std::size_t i = 0; i < dead_count; ++i) {
+    table.replace_dead_path(tx.sender, tx.receiver,
+                            scratch.pool.at(dead_base + i));
+  }
+  for (std::size_t i = 0; i < dead_count; ++i) scratch.pool.pop();
 
   result.probe_messages = state.probe_messages() - msgs_before;
   if (remaining > kEps) {
@@ -75,21 +96,34 @@ RouteResult route_mice(const Graph& g, const Transaction& tx,
   return result;
 }
 
+RouteResult route_mice(const Graph& g, const Transaction& tx,
+                       NetworkState& state, const FeeSchedule& fees,
+                       MiceRoutingTable& table, Rng& rng) {
+  LegacyScratchLease lease;
+  GraphScratch& scratch = lease.get();
+  return route_mice(g, tx, state, fees, table, rng, scratch);
+}
+
 RouteResult route_mice_waterfill(const Graph& g, const Transaction& tx,
                                  NetworkState& state, const FeeSchedule& fees,
-                                 MiceRoutingTable& table) {
+                                 MiceRoutingTable& table,
+                                 GraphScratch& scratch) {
   (void)g;
   RouteResult result;
   if (tx.amount <= 0 || tx.sender == tx.receiver) return result;
 
   const std::uint64_t msgs_before = state.probe_messages();
-  const std::vector<Path> paths = table.lookup(tx.sender, tx.receiver);
+  // No non-const table call happens while `paths` is alive.
+  const std::vector<Path>& paths = table.lookup(tx.sender, tx.receiver,
+                                                scratch);
   if (paths.empty()) return result;
 
   // Probe every table path (the overhead this mode pays on each payment).
-  std::vector<Amount> caps(paths.size(), 0);
+  auto& caps = scratch.amount_buf;
+  caps.assign(paths.size(), 0);
   for (std::size_t i = 0; i < paths.size(); ++i) {
-    const auto balances = state.probe_path(paths[i]);
+    auto& balances = scratch.balance_buf;
+    state.probe_path_into(paths[i], balances);
     caps[i] = *std::min_element(balances.begin(), balances.end());
     ++result.probes;
   }
@@ -121,6 +155,14 @@ RouteResult route_mice_waterfill(const Graph& g, const Transaction& tx,
   result.delivered = tx.amount;
   result.fee = fee;
   return result;
+}
+
+RouteResult route_mice_waterfill(const Graph& g, const Transaction& tx,
+                                 NetworkState& state, const FeeSchedule& fees,
+                                 MiceRoutingTable& table) {
+  LegacyScratchLease lease;
+  GraphScratch& scratch = lease.get();
+  return route_mice_waterfill(g, tx, state, fees, table, scratch);
 }
 
 }  // namespace flash

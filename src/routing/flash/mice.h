@@ -11,6 +11,7 @@
 #pragma once
 
 #include "graph/graph.h"
+#include "graph/scratch.h"
 #include "ledger/fee_policy.h"
 #include "ledger/network_state.h"
 #include "routing/flash/routing_table.h"
@@ -27,6 +28,15 @@ RouteResult route_mice(const Graph& g, const Transaction& tx,
                        NetworkState& state, const FeeSchedule& fees,
                        MiceRoutingTable& table, Rng& rng);
 
+/// Hot-path variant: the path-order buffer, probe balances and dead-path
+/// staging all live in `scratch` (same thread-affinity contract as the
+/// graph algorithms), so a table-hit payment allocates nothing in the
+/// routing layer. FlashRouter::route uses this.
+RouteResult route_mice(const Graph& g, const Transaction& tx,
+                       NetworkState& state, const FeeSchedule& fees,
+                       MiceRoutingTable& table, Rng& rng,
+                       GraphScratch& scratch);
+
 /// Extension (paper §6 future work: congestion-aware load balancing):
 /// probe all table paths up front and split the payment by waterfilling,
 /// like Spider does — paying probing overhead on every mice payment in
@@ -36,5 +46,11 @@ RouteResult route_mice(const Graph& g, const Transaction& tx,
 RouteResult route_mice_waterfill(const Graph& g, const Transaction& tx,
                                  NetworkState& state, const FeeSchedule& fees,
                                  MiceRoutingTable& table);
+
+/// Scratch-threaded variant of route_mice_waterfill.
+RouteResult route_mice_waterfill(const Graph& g, const Transaction& tx,
+                                 NetworkState& state, const FeeSchedule& fees,
+                                 MiceRoutingTable& table,
+                                 GraphScratch& scratch);
 
 }  // namespace flash

@@ -1,6 +1,7 @@
 #include "routing/flash/routing_table.h"
 
 #include <algorithm>
+#include <type_traits>
 
 #include "graph/yen.h"
 
@@ -8,6 +9,10 @@ namespace flash {
 
 namespace {
 std::uint64_t pair_key(NodeId s, NodeId t) {
+  // The receiver occupies the low half and the sender the high half; a
+  // wider NodeId would silently collide keys.
+  static_assert(sizeof(NodeId) == 4 && std::is_unsigned_v<NodeId>,
+                "pair_key packs two NodeIds into 64 bits");
   return (static_cast<std::uint64_t>(s) << 32) | t;
 }
 }  // namespace
@@ -19,6 +24,15 @@ MiceRoutingTable::MiceRoutingTable(const Graph& graph,
 const std::vector<Path>& MiceRoutingTable::lookup(NodeId sender,
                                                   NodeId receiver,
                                                   bool* computed) {
+  LegacyScratchLease lease;
+  GraphScratch& scratch = lease.get();
+  return lookup(sender, receiver, scratch, computed);
+}
+
+const std::vector<Path>& MiceRoutingTable::lookup(NodeId sender,
+                                                  NodeId receiver,
+                                                  GraphScratch& scratch,
+                                                  bool* computed) {
   ++clock_;
   if (config_.entry_timeout != 0 && (clock_ % 256) == 0) evict_stale();
 
@@ -26,9 +40,10 @@ const std::vector<Path>& MiceRoutingTable::lookup(NodeId sender,
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     Entry entry;
-    auto paths = yen_k_shortest_paths(
-        *graph_, sender, receiver,
-        config_.paths_per_receiver + config_.spare_paths);
+    auto& paths = scratch.path_list_buf;
+    yen_core(*graph_, sender, receiver,
+             config_.paths_per_receiver + config_.spare_paths, scratch,
+             UnitWeight{}, paths);
     ++computations_;
     const std::size_t active =
         std::min(paths.size(), config_.paths_per_receiver);
@@ -52,9 +67,14 @@ bool MiceRoutingTable::replace_dead_path(NodeId sender, NodeId receiver,
   Entry& entry = it->second;
   const auto pos = std::find(entry.active.begin(), entry.active.end(), path);
   if (pos == entry.active.end()) return false;
-  if (!entry.spares.empty()) {
-    *pos = std::move(entry.spares.front());
-    entry.spares.erase(entry.spares.begin());
+  if (entry.next_spare < entry.spares.size()) {
+    // O(1) pop-front: consume spares by index instead of erasing (the
+    // spares vector is dropped wholesale once exhausted).
+    *pos = std::move(entry.spares[entry.next_spare++]);
+    if (entry.next_spare == entry.spares.size()) {
+      entry.spares.clear();
+      entry.next_spare = 0;
+    }
     return true;
   }
   entry.active.erase(pos);

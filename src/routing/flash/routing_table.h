@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/scratch.h"
 #include "graph/types.h"
 
 namespace flash {
@@ -42,6 +43,12 @@ class MiceRoutingTable {
   const std::vector<Path>& lookup(NodeId sender, NodeId receiver,
                                   bool* computed = nullptr);
 
+  /// Hot-path variant: a cache miss runs Yen inside `scratch` instead of a
+  /// thread-local one (FlashRouter passes its own). Same semantics.
+  const std::vector<Path>& lookup(NodeId sender, NodeId receiver,
+                                  GraphScratch& scratch,
+                                  bool* computed = nullptr);
+
   /// Replaces `path` (one of the entry's active paths) with the next
   /// shortest spare, dropping it permanently. Returns true if a
   /// replacement was activated, false if the entry simply shrank.
@@ -60,6 +67,7 @@ class MiceRoutingTable {
   struct Entry {
     std::vector<Path> active;
     std::vector<Path> spares;       // next-shortest candidates, in order
+    std::size_t next_spare = 0;     // first unconsumed spare (O(1) pop)
     std::uint64_t last_used = 0;    // lookup clock value
   };
 

@@ -1,0 +1,188 @@
+// Steady-state allocation-freedom of the graph-algorithm core.
+//
+// This binary replaces global operator new/delete with counting forwarders
+// and asserts that, once a GraphScratch (and any reused output buffers) has
+// warmed up on a first query, repeating queries through the scratch-based
+// cores performs ZERO heap allocations — the central promise of the PR 3
+// CSR + epoch-stamped-workspace refactor. Runs in its own test binary so
+// the counters don't see unrelated traffic (gtest itself only allocates on
+// failure paths and between tests).
+//
+// Deliberately out of scope: the fee-LP boundary (ElephantProbeResult's
+// CapacityMap is re-populated per probe because its iteration order feeds
+// the LP constraint order) and the ledger (holds bookkeeping), which are
+// not graph-algorithm state.
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "graph/bfs.h"
+#include "graph/dijkstra.h"
+#include "graph/edge_disjoint.h"
+#include "graph/maxflow.h"
+#include "graph/scratch.h"
+#include "graph/topology.h"
+#include "graph/yen.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+// Counting global allocator: every path through operator new lands here.
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& t) noexcept {
+  return ::operator new(size, t);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) -
+                                    1) &
+                                       ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace flash {
+namespace {
+
+std::uint64_t allocations() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+const Graph& test_graph() {
+  static const Graph g = [] {
+    Rng rng(7);
+    return scale_free(400, 1600, rng);
+  }();
+  return g;
+}
+
+using FeeWeight = testing::DeterministicFeeWeight;
+
+/// Runs `fn` once to warm the scratch/buffers, then asserts the next
+/// `repeats` runs allocate nothing.
+template <typename Fn>
+void expect_steady_state_alloc_free(const char* what, Fn&& fn,
+                                    int repeats = 5) {
+  fn();  // warm-up: sizes the scratch arrays and output buffers
+  fn();  // second warm-up: first call may still grow slot-reused outputs
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < repeats; ++i) fn();
+  const std::uint64_t after = allocations();
+  EXPECT_EQ(after - before, 0u)
+      << what << ": " << (after - before) << " allocations in " << repeats
+      << " steady-state queries";
+}
+
+TEST(AllocationFree, DijkstraCore) {
+  const Graph& g = test_graph();
+  GraphScratch scratch;
+  Path path;
+  expect_steady_state_alloc_free("dijkstra_core", [&] {
+    path.clear();
+    dijkstra_core(g, 3, 377, scratch, FeeWeight{}, false, path);
+  });
+}
+
+TEST(AllocationFree, DijkstraDistancesCore) {
+  const Graph& g = test_graph();
+  GraphScratch scratch;
+  expect_steady_state_alloc_free("dijkstra_distances_core", [&] {
+    dijkstra_distances_core(g, 11, scratch, UnitWeight{});
+  });
+}
+
+TEST(AllocationFree, BfsPathCore) {
+  const Graph& g = test_graph();
+  GraphScratch scratch;
+  Path path;
+  expect_steady_state_alloc_free("bfs_path_core", [&] {
+    path.clear();
+    bfs_path_core(g, 5, 390, scratch, AdmitAll{}, path);
+  });
+}
+
+TEST(AllocationFree, YenCore) {
+  const Graph& g = test_graph();
+  GraphScratch scratch;
+  std::vector<Path> out;
+  expect_steady_state_alloc_free("yen_core", [&] {
+    yen_core(g, 2, 351, 8, scratch, UnitWeight{}, out);
+  });
+}
+
+TEST(AllocationFree, YenCoreAcrossReceivers) {
+  // Steady state also means: revisiting a *set* of receivers allocates
+  // nothing once each has been seen (buffer high-water marks stabilize).
+  const Graph& g = test_graph();
+  GraphScratch scratch;
+  std::vector<Path> out;
+  const NodeId receivers[] = {351, 17, 230, 88, 399};
+  expect_steady_state_alloc_free("yen_core (receiver set)", [&] {
+    for (const NodeId t : receivers) {
+      yen_core(g, 2, t, 8, scratch, UnitWeight{}, out);
+    }
+  });
+}
+
+TEST(AllocationFree, EdgeDisjointCore) {
+  const Graph& g = test_graph();
+  GraphScratch scratch;
+  std::vector<Path> out;
+  expect_steady_state_alloc_free("edge_disjoint_core", [&] {
+    edge_disjoint_core(g, 9, 320, 4, scratch, out);
+  });
+}
+
+TEST(AllocationFree, EdmondsKarpCore) {
+  const Graph& g = test_graph();
+  GraphScratch scratch;
+  MaxFlowResult result;
+  std::vector<Amount> cap(g.num_edges());
+  Rng rng(9);
+  for (auto& c : cap) c = rng.uniform(0.0, 40.0);
+  struct CapFn {
+    const std::vector<Amount>* cap;
+    Amount operator()(EdgeId e) const { return (*cap)[e]; }
+  };
+  expect_steady_state_alloc_free("edmonds_karp_core", [&] {
+    edmonds_karp_core(g, 9, 320, CapFn{&cap}, -1, 20, scratch, result);
+  });
+}
+
+}  // namespace
+}  // namespace flash

@@ -10,6 +10,15 @@
 
 namespace flash::testing {
 
+/// Deterministic non-uniform per-edge weight (fee-rate-like magnitudes).
+/// Shared by the graph equivalence and allocation tests so both exercise
+/// the same weight function (bench/bench_graph_core.cc mirrors it).
+struct DeterministicFeeWeight {
+  double operator()(EdgeId e) const {
+    return 0.001 + 0.01 * static_cast<double>((e * 2654435761u) % 97) / 97.0;
+  }
+};
+
 /// Builds a graph from an undirected channel list; node count inferred.
 inline Graph make_graph(std::size_t n,
                         std::initializer_list<std::pair<NodeId, NodeId>> chans) {

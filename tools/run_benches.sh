@@ -41,6 +41,12 @@ echo "== micro benches (Google Benchmark) =="
   --benchmark_out_format=json
 
 echo
+echo "== graph core benches (allocation-free hot paths) =="
+"${BUILD_DIR}/bench/bench_graph_core" \
+  --benchmark_out="${OUT_DIR}/BENCH_graph_core.json" \
+  --benchmark_out_format=json
+
+echo
 echo "== figure benches (FLASH_BENCH_FAST smoke sweeps) =="
 export FLASH_BENCH_FAST=1
 THREADS="${FLASH_BENCH_THREADS:-$(nproc)}"
@@ -94,6 +100,12 @@ for name in ("BENCH_micro_algorithms.json", "BENCH_micro_routing.json"):
             if "family_index" in b:
                 b["family_index"] += base
         merged["benchmarks"].extend(report["benchmarks"])
+
+# The scratch-based graph-core benches ride along as their own section so
+# the graph layer's perf trajectory is tracked separately from the legacy
+# micro benches.
+with open(out / "BENCH_graph_core.json") as f:
+    merged["graph_core"] = json.load(f)["benchmarks"]
 
 sweeps = []
 timings = out / "sweep_timings.txt"
