@@ -1,0 +1,177 @@
+// Figure 14 (extension): routing under dynamics — success ratio vs channel
+// churn and gossip propagation delay, per scheme.
+//
+// The paper's evaluation (Figs. 6-13) replays payments against a static,
+// perfectly-known topology. This sweep opens the dynamics axis the paper
+// leaves unevaluated: channels churn (close and reopen on-chain) while
+// topology announcements flood through gossip one hop per `hop_delay` time
+// units, so senders route on *stale* views and failed payments get one
+// retry. Expected shape (and the claim checked below): at a fixed churn
+// rate, Flash's success ratio degrades monotonically as the gossip delay
+// grows — the Tochner-Schmid "search friction" effect.
+//
+// Grid: (churn rate x gossip hop delay x scheme), one parallel sweep via
+// the PR 2 engine. The workload is the sparse-topology/scarce-capacity
+// regime (Watts-Strogatz k=4 ring, uniform 50-150 channel deposits,
+// recurrent pairs): topology knowledge matters most when alternate paths
+// are few and shallow — on the dense well-funded testbed graph, Flash's
+// probing and dead-path replacement absorb staleness almost entirely
+// (which is itself a result; the fig12/fig13 testbed covers that regime).
+// Environment knobs: the usual FLASH_BENCH_* set (bench_common.h), plus
+// FLASH_BENCH_SMOKE for the 1-iteration CI mode.
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "trace/workload.h"
+
+using namespace flash;
+using namespace flash::bench;
+
+namespace {
+
+bool smoke_mode() {
+  const char* v = std::getenv("FLASH_BENCH_SMOKE");
+  return v && *v;
+}
+
+WorkloadFactory sparse_factory(std::size_t nodes, std::size_t tx) {
+  return [nodes, tx](std::uint64_t seed) {
+    return make_toy_workload(nodes, tx, seed);
+  };
+}
+
+std::string cell_label(double churn, double delay, Scheme scheme) {
+  return "churn=" + fmt(churn, 2) + "/delay=" + fmt(delay, 0) + "/" +
+         scheme_name(scheme);
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 14",
+               "success ratio vs churn rate x gossip delay (dynamic "
+               "scenario engine)");
+
+  // Scale tiers: full run, FLASH_BENCH_FAST (run_benches.sh), and
+  // FLASH_BENCH_SMOKE (CI, 1 run of a minimal grid).
+  const bool smoke = smoke_mode();
+  const bool fast = fast_mode();
+  const std::size_t nodes = smoke ? 40 : fast ? 80 : 120;
+  const std::size_t tx =
+      smoke ? 150 : std::min<std::size_t>(bench_tx(), fast ? 800 : 1200);
+  const std::size_t runs = smoke ? 1 : bench_runs();
+  const std::vector<double> churn_rates =
+      smoke ? std::vector<double>{0.3}
+            : fast ? std::vector<double>{0.3}
+                   : std::vector<double>{0.2, 0.4};
+  const std::vector<double> delays =
+      smoke ? std::vector<double>{0, 32}
+            : fast ? std::vector<double>{0, 8, 32}
+                   : std::vector<double>{0, 8, 32, 128};
+  const std::vector<Scheme> schemes =
+      smoke ? std::vector<Scheme>{Scheme::kFlash}
+            : fast ? std::vector<Scheme>{Scheme::kFlash,
+                                         Scheme::kShortestPath}
+                   : std::vector<Scheme>{Scheme::kFlash, Scheme::kSpider,
+                                         Scheme::kShortestPath};
+
+  // Shared dynamics: one retry after a short backoff; closed channels
+  // reopen (fresh funding) after a mean downtime of 60 time units, so
+  // staleness hurts in both directions (phantom closed channels attract
+  // payments, reopened capacity goes unused).
+  const auto scenario_for = [](double churn, double delay) {
+    ScenarioConfig cfg;
+    cfg.retry.max_retries = 1;
+    cfg.retry.delay = 1.0;
+    cfg.churn.close_rate = churn;
+    cfg.churn.mean_downtime = 60;
+    cfg.gossip.hop_delay = delay;
+    return cfg;
+  };
+
+  std::vector<SweepCell> grid;
+  const auto push_cell = [&](double churn, double delay, Scheme scheme) {
+    SweepCell cell;
+    cell.label = cell_label(churn, delay, scheme);
+    cell.factory = sparse_factory(nodes, tx);
+    cell.scheme = scheme;
+    cell.runs = runs;
+    cell.scenario = scenario_for(churn, delay);
+    grid.push_back(std::move(cell));
+  };
+  // Static baseline row (churn 0 => delay is irrelevant; keep delay 0).
+  for (const Scheme scheme : schemes) push_cell(0.0, 0.0, scheme);
+  for (const double churn : churn_rates) {
+    for (const double delay : delays) {
+      for (const Scheme scheme : schemes) push_cell(churn, delay, scheme);
+    }
+  }
+
+  const SweepResult result = run_sweep(grid, sweep_options());
+
+  // Walk in grid order: baseline row first, then churn-major, delay, scheme.
+  std::size_t idx = 0;
+  std::vector<std::string> header{"churn", "delay"};
+  for (const Scheme s : schemes) header.push_back(scheme_name(s));
+  header.push_back("Flash retries");
+  header.push_back("Flash stale fails");
+
+  TextTable table;
+  table.header(header);
+  // flash_by_delay[churn rate] = mean success ratios in delay order.
+  std::vector<std::vector<double>> flash_by_delay(churn_rates.size());
+
+  const auto consume_row = [&](double churn, double delay) {
+    std::vector<std::string> row{fmt(churn, 2), fmt(delay, 0)};
+    double flash_retries = 0, flash_stale = 0, flash_ratio = 0;
+    for (const Scheme scheme : schemes) {
+      const RunSeries& series = expect_cell(result, grid, idx++,
+                                            cell_label(churn, delay, scheme));
+      const double ratio = series.success_ratio().mean;
+      row.push_back(fmt_pct(ratio));
+      if (scheme == Scheme::kFlash) {
+        flash_ratio = ratio;
+        flash_retries = series.retries().mean;
+        flash_stale = series.stale_view_failures().mean;
+      }
+    }
+    row.push_back(fmt(flash_retries, 1));
+    row.push_back(fmt(flash_stale, 1));
+    table.row(std::move(row));
+    return flash_ratio;
+  };
+
+  consume_row(0.0, 0.0);
+  for (std::size_t ci = 0; ci < churn_rates.size(); ++ci) {
+    for (const double delay : delays) {
+      flash_by_delay[ci].push_back(consume_row(churn_rates[ci], delay));
+    }
+  }
+
+  std::printf("success ratio vs churn x gossip delay (%zu nodes, %zu tx, "
+              "%zu runs)\n",
+              nodes, tx, runs);
+  print_table(table);
+
+  // The headline claim: more gossip delay => no better (and typically
+  // worse) Flash success, at every fixed churn rate.
+  for (std::size_t ci = 0; ci < churn_rates.size(); ++ci) {
+    bool monotone = true;
+    std::string shape;
+    for (std::size_t d = 0; d < flash_by_delay[ci].size(); ++d) {
+      if (d && flash_by_delay[ci][d] > flash_by_delay[ci][d - 1] + 1e-9) {
+        monotone = false;
+      }
+      shape += (d ? " -> " : "") + fmt_pct(flash_by_delay[ci][d]);
+    }
+    claim("churn=" + fmt(churn_rates[ci], 2) +
+              ": Flash success falls with gossip delay",
+          "monotone", (monotone ? "monotone (" : "NOT monotone (") + shape +
+                          ")");
+  }
+
+  report_sweep("fig14_churn_sweep", grid, result);
+  return 0;
+}

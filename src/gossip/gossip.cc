@@ -6,13 +6,16 @@
 namespace flash::gossip {
 
 GossipNetwork::GossipNetwork(const Graph& physical)
-    : graph_(&physical), views_(physical.num_nodes()) {}
+    : graph_(&physical),
+      views_(physical.num_nodes()),
+      versions_(physical.num_nodes(), 0) {}
 
 void GossipNetwork::announce(NodeId origin, const Announcement& a) {
   if (origin >= views_.size()) {
     throw std::out_of_range("gossip: bad origin node");
   }
   if (views_[origin].apply(a)) {
+    ++versions_[origin];
     pending_.push_back({origin, a});
   }
 }
@@ -47,6 +50,20 @@ void GossipNetwork::announce_full_topology() {
   }
 }
 
+void GossipNetwork::bootstrap_full_topology() {
+  for (std::size_t c = 0; c < graph_->num_channels(); ++c) {
+    const EdgeId e = graph_->channel_forward_edge(c);
+    Announcement a;
+    a.type = AnnouncementType::kChannelOpen;
+    a.u = graph_->from(e);
+    a.v = graph_->to(e);
+    a.seq = 1;
+    for (NodeId node = 0; node < views_.size(); ++node) {
+      if (views_[node].apply(a)) ++versions_[node];
+    }
+  }
+}
+
 std::size_t GossipNetwork::run_round() {
   std::size_t messages = 0;
   const std::size_t batch = pending_.size();
@@ -57,6 +74,7 @@ std::size_t GossipNetwork::run_round() {
       const NodeId neighbour = graph_->to(e);
       ++messages;
       if (views_[neighbour].apply(p.ann)) {
+        ++versions_[neighbour];
         pending_.push_back({neighbour, p.ann});
       }
     }

@@ -44,6 +44,19 @@ class GossipNetwork {
   /// Announces every physical channel open (bootstrap), seq = 1.
   void announce_full_topology();
 
+  /// Seeds every node's view with the full physical topology (seq = 1)
+  /// WITHOUT exchanging any messages: models a network whose gossip
+  /// converged long before the experiment starts, so bootstrap knowledge
+  /// does not pollute the churn-announcement message count. O(nodes x
+  /// channels) time and view memory. Bumps every node's view version.
+  void bootstrap_full_topology();
+
+  /// Monotone per-node counter, bumped every time `node`'s view adopts an
+  /// announcement. Routers cache topology derived from a view and rebuild
+  /// when the version moves (§3.3 "all entries are re-computed using the
+  /// latest G").
+  std::uint64_t view_version(NodeId node) const { return versions_.at(node); }
+
   /// Runs one flooding round: all pending announcements move one hop.
   /// Returns the number of messages exchanged in this round.
   std::size_t run_round();
@@ -68,6 +81,7 @@ class GossipNetwork {
 
   const Graph* graph_;
   std::vector<NodeView> views_;
+  std::vector<std::uint64_t> versions_;  // per-node view change counter
   std::deque<Pending> pending_;
   std::uint64_t total_messages_ = 0;
 };

@@ -34,6 +34,16 @@ class NodeView {
   /// be constructed with.
   Graph to_graph(std::size_t num_nodes) const;
 
+  /// Invokes f(u, v) for every channel the node believes open, with u < v,
+  /// in ascending (u, v) order — the same order to_graph adds channels, so
+  /// callers can build a graph and a parallel channel index in lockstep.
+  template <typename F>
+  void for_each_open(F&& f) const {
+    for (const auto& [key, state] : channels_) {
+      if (state.open) f(key.first, key.second);
+    }
+  }
+
   /// Views are equal when they agree on every channel's open/closed state.
   bool agrees_with(const NodeView& other) const;
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <type_traits>
 #include <vector>
 
 namespace flash {
@@ -26,5 +27,15 @@ using Path = std::vector<EdgeId>;
 /// workloads, satoshi for Bitcoin/Lightning-style ones); doubles carry both
 /// comfortably at the scales the paper uses.
 using Amount = double;
+
+/// Packs an *ordered* (s, t) node pair into one 64-bit map key: t in the
+/// low half, s in the high half. Shared by every per-pair cache (mice
+/// routing table, testbed path providers, scenario channel index) so the
+/// width check lives in exactly one place.
+inline std::uint64_t pair_key(NodeId s, NodeId t) noexcept {
+  static_assert(sizeof(NodeId) == 4 && std::is_unsigned_v<NodeId>,
+                "pair_key packs two NodeIds into 64 bits");
+  return (static_cast<std::uint64_t>(s) << 32) | t;
+}
 
 }  // namespace flash

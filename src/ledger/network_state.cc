@@ -22,6 +22,25 @@ void NetworkState::set_balance(EdgeId e, Amount amount) {
   recompute_deposits();
 }
 
+void NetworkState::assign_balances(std::span<const Amount> balances) {
+  if (balances.size() != balance_.size()) {
+    throw std::invalid_argument("assign_balances: edge count mismatch");
+  }
+  if (active_holds_ != 0) {
+    throw std::logic_error("assign_balances with holds in flight");
+  }
+  for (const Amount b : balances) {
+    if (b < 0) throw std::invalid_argument("assign_balances: negative balance");
+  }
+  std::copy(balances.begin(), balances.end(), balance_.begin());
+  recompute_deposits();
+}
+
+void NetworkState::mirror_balance(EdgeId e, Amount amount) {
+  if (amount < 0) throw std::invalid_argument("mirror_balance: negative");
+  balance_.at(e) = amount;
+}
+
 void NetworkState::assign_uniform_split(Amount lo, Amount hi, Rng& rng) {
   for (std::size_t c = 0; c < graph_->num_channels(); ++c) {
     const Amount cap = rng.uniform(lo, hi);

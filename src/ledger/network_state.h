@@ -41,6 +41,21 @@ class NetworkState {
   /// re-bases the channel's recorded deposit).
   void set_balance(EdgeId e, Amount amount);
 
+  /// Replaces every per-edge balance in one pass, re-basing all deposits
+  /// once (set_balance re-bases per call, which is O(channels) each). Used
+  /// by the scenario engine to sync a stale-view mirror ledger from the
+  /// live one before each payment, and for bulk balance drift. Throws
+  /// std::invalid_argument on size mismatch or a negative balance and
+  /// std::logic_error when holds are in flight.
+  void assign_balances(std::span<const Amount> balances);
+
+  /// Overwrites one directed edge's balance WITHOUT re-basing the channel
+  /// deposit. For mirroring settled payments between ledgers that share a
+  /// channel layout: the caller must conserve each channel's total (the
+  /// periodic check_invariants sweep verifies it did). Throws
+  /// std::invalid_argument on a negative amount.
+  void mirror_balance(EdgeId e, Amount amount);
+
   /// Draws each *channel* capacity from U[lo, hi) and splits it evenly
   /// across the two directions (the paper redistributes Ripple funds
   /// evenly, §4.1; the testbed draws channel capacity from an interval,

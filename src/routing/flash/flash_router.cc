@@ -9,7 +9,8 @@ FlashRouter::FlashRouter(const Graph& graph, const FeeSchedule& fees,
       config_(config),
       table_(graph, RoutingTableConfig{config.m_mice_paths,
                                        config.spare_paths,
-                                       config.table_timeout}),
+                                       config.table_timeout,
+                                       config.table_recompute_on_exhaustion}),
       rng_(config.seed) {}
 
 RouteResult FlashRouter::route(const Transaction& tx, NetworkState& state) {

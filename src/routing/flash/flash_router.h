@@ -50,6 +50,11 @@ struct FlashConfig {
   bool mice_as_elephants_when_m0 = true;
   /// Mice path-selection strategy (paper default: trial-and-error).
   MiceSelection mice_selection = MiceSelection::kTrialAndError;
+  /// Recompute a routing-table entry once all of its paths died (see
+  /// RoutingTableConfig::recompute_on_exhaustion). Off by default to keep
+  /// static-simulation results bit-identical; the scenario engine turns it
+  /// on for stale-view routers living through churn.
+  bool table_recompute_on_exhaustion = false;
 };
 
 /// The paper's router. NOT thread-safe: route() mutates the routing table

@@ -1,21 +1,13 @@
 #include "routing/flash/routing_table.h"
 
 #include <algorithm>
-#include <type_traits>
 
 #include "graph/yen.h"
 
 namespace flash {
 
-namespace {
-std::uint64_t pair_key(NodeId s, NodeId t) {
-  // The receiver occupies the low half and the sender the high half; a
-  // wider NodeId would silently collide keys.
-  static_assert(sizeof(NodeId) == 4 && std::is_unsigned_v<NodeId>,
-                "pair_key packs two NodeIds into 64 bits");
-  return (static_cast<std::uint64_t>(s) << 32) | t;
-}
-}  // namespace
+// Entries are keyed by pair_key(sender, receiver) from graph/types.h (the
+// shared checked NodeId-packing helper).
 
 MiceRoutingTable::MiceRoutingTable(const Graph& graph,
                                    RoutingTableConfig config)
@@ -78,6 +70,12 @@ bool MiceRoutingTable::replace_dead_path(NodeId sender, NodeId receiver,
     return true;
   }
   entry.active.erase(pos);
+  if (config_.recompute_on_exhaustion && entry.active.empty()) {
+    // Every path this entry ever knew is dead. Under churn the topology
+    // that produced them is gone too, so forget the entry: the next lookup
+    // re-runs Yen on the (refreshed) graph rather than failing forever.
+    entries_.erase(it);
+  }
   return false;
 }
 

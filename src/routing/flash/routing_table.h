@@ -28,6 +28,13 @@ struct RoutingTableConfig {
   /// Entries not used for this many lookups are evicted (the paper uses
   /// timeouts to bound table size). 0 disables eviction.
   std::uint64_t entry_timeout = 0;
+  /// Dead-path replacement under churn: when an entry's last active path
+  /// dies with the spares exhausted, drop the whole entry so the next
+  /// lookup recomputes it (one extra Yen) instead of returning an empty
+  /// path set forever. Off by default — recomputation changes the probe
+  /// stream, and the static-simulation results are pinned bit-identical;
+  /// the scenario engine enables it for its stale-view routers.
+  bool recompute_on_exhaustion = false;
 };
 
 /// NOT thread-safe: lookup() mutates the entry cache and the eviction

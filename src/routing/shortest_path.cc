@@ -5,11 +5,7 @@
 
 namespace flash {
 
-namespace {
-std::uint64_t pair_key(NodeId s, NodeId t) {
-  return (static_cast<std::uint64_t>(s) << 32) | t;
-}
-}  // namespace
+// Path cache keyed by pair_key(s, t) from graph/types.h.
 
 ShortestPathRouter::ShortestPathRouter(const Graph& graph,
                                        const FeeSchedule& fees)

@@ -8,11 +8,7 @@
 
 namespace flash {
 
-namespace {
-std::uint64_t pair_key(NodeId s, NodeId t) {
-  return (static_cast<std::uint64_t>(s) << 32) | t;
-}
-}  // namespace
+// Path-set cache keyed by pair_key(s, t) from graph/types.h.
 
 SpiderRouter::SpiderRouter(const Graph& graph, const FeeSchedule& fees,
                            SpiderConfig config)

@@ -33,27 +33,34 @@ std::vector<Scheme> all_schemes() {
 std::unique_ptr<Router> make_router(Scheme scheme, const Workload& workload,
                                     const FlashOptions& opts,
                                     std::uint64_t seed) {
+  return make_router(scheme, workload.graph(), workload.fees(),
+                     workload.size_quantile(opts.mice_quantile), opts, seed);
+}
+
+std::unique_ptr<Router> make_router(Scheme scheme, const Graph& graph,
+                                    const FeeSchedule& fees,
+                                    Amount elephant_threshold,
+                                    const FlashOptions& opts,
+                                    std::uint64_t seed) {
   switch (scheme) {
     case Scheme::kFlash: {
       FlashConfig config;
-      config.elephant_threshold = workload.size_quantile(opts.mice_quantile);
+      config.elephant_threshold = elephant_threshold;
       config.k_elephant_paths = opts.k_elephant_paths;
       config.m_mice_paths = opts.m_mice_paths;
       config.optimize_fees = opts.optimize_fees;
       config.mice_selection = opts.mice_selection;
+      config.table_recompute_on_exhaustion =
+          opts.table_recompute_on_exhaustion;
       config.seed = seed * 0x9e3779b9ULL + 7;
-      return std::make_unique<FlashRouter>(workload.graph(), workload.fees(),
-                                           config);
+      return std::make_unique<FlashRouter>(graph, fees, config);
     }
     case Scheme::kSpider:
-      return std::make_unique<SpiderRouter>(workload.graph(),
-                                            workload.fees());
+      return std::make_unique<SpiderRouter>(graph, fees);
     case Scheme::kSpeedyMurmurs:
-      return std::make_unique<SpeedyMurmursRouter>(workload.graph(),
-                                                   workload.fees());
+      return std::make_unique<SpeedyMurmursRouter>(graph, fees);
     case Scheme::kShortestPath:
-      return std::make_unique<ShortestPathRouter>(workload.graph(),
-                                                  workload.fees());
+      return std::make_unique<ShortestPathRouter>(graph, fees);
   }
   throw std::invalid_argument("unknown scheme");
 }
@@ -91,6 +98,17 @@ Aggregate RunSeries::probe_messages() const {
 
 Aggregate RunSeries::fee_ratio() const {
   return aggregate([](const SimResult& r) { return r.fee_ratio(); });
+}
+
+Aggregate RunSeries::retries() const {
+  return aggregate(
+      [](const SimResult& r) { return static_cast<double>(r.retries); });
+}
+
+Aggregate RunSeries::stale_view_failures() const {
+  return aggregate([](const SimResult& r) {
+    return static_cast<double>(r.stale_view_failures);
+  });
 }
 
 RunSeries run_series(const WorkloadFactory& make_workload, Scheme scheme,

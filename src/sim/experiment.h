@@ -35,12 +35,30 @@ struct FlashOptions {
   /// Mice path-selection strategy. Value-initialized to 0, which is
   /// MiceSelection::kTrialAndError — the paper's design.
   MiceSelection mice_selection{};
+  /// Recompute exhausted routing-table entries (churn survival; see
+  /// FlashConfig::table_recompute_on_exhaustion). Default off — keeps the
+  /// static figure sweeps bit-identical.
+  bool table_recompute_on_exhaustion = false;
 };
 
 /// Builds a fresh router for a scheme against a workload. Thread-safe for
-/// concurrent calls (it only reads its arguments); the returned router is
+/// concurrent calls on *distinct* workloads only: it reads the workload's
+/// size quantile, whose memo mutates the (shared-const) Workload — the
+/// sweep engine gives every run its own workload. The returned router is
 /// NOT thread-safe — give each concurrent simulation its own instance.
 std::unique_ptr<Router> make_router(Scheme scheme, const Workload& workload,
+                                    const FlashOptions& opts,
+                                    std::uint64_t seed);
+
+/// Graph-level variant for routers that live on a node's *local* (possibly
+/// stale) topology rather than a workload's ground-truth graph: the
+/// scenario engine materializes a per-sender gossip view and builds the
+/// scheme's router over it. `elephant_threshold` replaces the workload
+/// quantile (views do not know payment sizes); `graph` and `fees` are
+/// borrowed and must outlive the router.
+std::unique_ptr<Router> make_router(Scheme scheme, const Graph& graph,
+                                    const FeeSchedule& fees,
+                                    Amount elephant_threshold,
                                     const FlashOptions& opts,
                                     std::uint64_t seed);
 
@@ -68,6 +86,11 @@ struct RunSeries {
   Aggregate probe_messages() const;
   /// Aggregate of SimResult::fee_ratio().
   Aggregate fee_ratio() const;
+  /// Aggregate of the retry count (dynamic scenarios; 0 on static runs).
+  Aggregate retries() const;
+  /// Aggregate of the staleness-charged failed attempts (dynamic
+  /// scenarios; 0 on static runs).
+  Aggregate stale_view_failures() const;
 };
 
 /// Workload factory: seed -> workload (e.g. bind make_ripple_workload).

@@ -36,6 +36,20 @@ struct SimResult {
   Amount elephant_volume_succeeded = 0;
   std::uint64_t elephant_probe_messages = 0;
 
+  // Dynamic-scenario counters (sim/scenario.h). Always zero on the static
+  // run_simulation path, so the zero-dynamics ScenarioEngine stays
+  // field-for-field identical to it.
+  /// Re-route attempts beyond each payment's first try.
+  std::size_t retries = 0;
+  /// Payments that failed on the first attempt but succeeded on a retry.
+  std::size_t retry_successes = 0;
+  /// Failed attempts made while the sender's believed open-channel set
+  /// differed from the live topology (the staleness cost of gossip delay).
+  std::size_t stale_view_failures = 0;
+  /// Sum over successful payments of (settle time - arrival time); nonzero
+  /// only when retries defer settlement.
+  double time_to_success_total = 0;
+
   double success_ratio() const {
     return transactions ? static_cast<double>(successes) /
                               static_cast<double>(transactions)
@@ -58,6 +72,12 @@ struct SimResult {
     return volume_succeeded > 0 ? static_cast<double>(fees_paid) /
                                       static_cast<double>(volume_succeeded)
                                 : 0.0;
+  }
+  /// Mean settle latency of successful payments in simulated time units
+  /// (0 when nothing succeeded, or when no retry policy deferred anything).
+  double mean_time_to_success() const {
+    return successes ? time_to_success_total / static_cast<double>(successes)
+                     : 0.0;
   }
 
   /// Folds one routed payment into the counters; `counts_as_mouse` selects

@@ -1,0 +1,444 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace flash {
+
+// The per-sender stale routing state (see scenario.h). `local` is the
+// sender's materialized gossip view; `to_physical` maps each local
+// directed edge to the corresponding ground-truth edge (orientation
+// preserved); `mirror` is a ledger over `local` that is re-synced from the
+// truth before every payment and mirrored back after settlement.
+struct ScenarioEngine::SenderContext {
+  static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+  std::uint64_t view_version = kNever;
+  Graph local;
+  FeeSchedule fees;
+  std::vector<EdgeId> to_physical;
+  std::unique_ptr<NetworkState> mirror;
+  std::unique_ptr<Router> router;
+  std::vector<Amount> synced;  // truth balances at the last pre-route sync
+  // view_diverged memo, valid for one (truth, view) version pair.
+  std::uint64_t div_truth_version = kNever;
+  std::uint64_t div_view_version = kNever;
+  bool divergent = false;
+};
+
+namespace {
+
+void validate(const ScenarioConfig& cfg) {
+  if (cfg.retry.delay < 0) {
+    throw std::invalid_argument("scenario: retry.delay must be >= 0");
+  }
+  if (cfg.churn.close_rate < 0) {
+    throw std::invalid_argument("scenario: churn.close_rate must be >= 0");
+  }
+  if (cfg.churn.mean_downtime < 0) {
+    throw std::invalid_argument("scenario: churn.mean_downtime must be >= 0");
+  }
+  if (cfg.rebalance.interval < 0) {
+    throw std::invalid_argument("scenario: rebalance.interval must be >= 0");
+  }
+  if (cfg.rebalance.strength < 0 || cfg.rebalance.strength > 1) {
+    throw std::invalid_argument("scenario: rebalance.strength in [0, 1]");
+  }
+  if (cfg.gossip.hop_delay < 0) {
+    throw std::invalid_argument("scenario: gossip.hop_delay must be >= 0");
+  }
+}
+
+}  // namespace
+
+ScenarioEngine::ScenarioEngine(const Workload& workload, Scheme scheme,
+                               const FlashOptions& opts, const SimConfig& sim,
+                               const ScenarioConfig& scenario,
+                               std::uint64_t seed)
+    : workload_(&workload),
+      scheme_(scheme),
+      opts_(opts),
+      sim_(sim),
+      cfg_(scenario),
+      seed_(seed),
+      truth_(workload.make_state(sim.capacity_scale)),
+      gossip_(workload.graph()),
+      dyn_rng_(0) {
+  validate(cfg_);
+  const Graph& g = workload.graph();
+
+  initial_balance_.resize(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    initial_balance_[e] = truth_.balance(e);
+  }
+  class_threshold_ = sim_.class_threshold > 0 ? sim_.class_threshold
+                                              : workload.size_quantile(0.9);
+  elephant_threshold_ = workload.size_quantile(opts_.mice_quantile);
+  // The pristine-mode router: exactly the router run_simulation would use
+  // (same construction, same seed), so the zero-dynamics scenario is
+  // bit-identical to the static path.
+  base_router_ = make_router(scheme_, workload, opts_, seed_);
+
+  channel_seq_.assign(g.num_channels(), 1);  // seq 1 = bootstrap open
+  open_.assign(g.num_channels(), 1);
+  open_list_.resize(g.num_channels());
+  for (std::size_t c = 0; c < g.num_channels(); ++c) {
+    open_list_[c] = c;
+    const EdgeId fe = g.channel_forward_edge(c);
+    const NodeId u = std::min(g.from(fe), g.to(fe));
+    const NodeId v = std::max(g.from(fe), g.to(fe));
+    // Parallel channels collapse onto one gossip identity; the first one
+    // carries the view mapping (the generators build simple graphs).
+    channel_index_.emplace(pair_key(u, v), c);
+  }
+
+  // Dynamics randomness: independent of the workload/router streams.
+  std::uint64_t mix = seed_ ^ (cfg_.churn.seed * 0x9e3779b97f4a7c15ULL);
+  dyn_rng_ = Rng(splitmix64(mix));
+
+  if (cfg_.churn.close_rate > 0) {
+    // Views start fully converged (the network existed long before t = 0);
+    // seeding without flooding keeps bootstrap out of the message counts.
+    gossip_.bootstrap_full_topology();
+  }
+}
+
+ScenarioEngine::~ScenarioEngine() = default;
+
+void ScenarioEngine::schedule(double time, EventType type, std::size_t a,
+                              std::size_t b) {
+  events_.push(Event{time, event_seq_++, type, a, b});
+}
+
+ScenarioResult ScenarioEngine::run() {
+  if (ran_) throw std::logic_error("ScenarioEngine: run() is single-use");
+  ran_ = true;
+
+  const auto& txs = workload_->transactions();
+  double prev = 0;
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    const double t = i == 0 ? txs[i].timestamp
+                            : std::max(prev, txs[i].timestamp);
+    schedule(t, EventType::kArrival, i);
+    prev = t;
+  }
+  outstanding_ = txs.size();
+  if (cfg_.churn.close_rate > 0) {
+    schedule(dyn_rng_.exponential(cfg_.churn.close_rate), EventType::kClose);
+  }
+  if (cfg_.rebalance.interval > 0) {
+    schedule(cfg_.rebalance.interval, EventType::kRebalance);
+  }
+
+  while (outstanding_ > 0 && !events_.empty()) {
+    const Event ev = events_.top();
+    events_.pop();
+    now_ = ev.time;
+    switch (ev.type) {
+      case EventType::kArrival:
+        attempt_payment(ev.a, 0);
+        break;
+      case EventType::kRetry:
+        ++result_.sim.retries;
+        attempt_payment(ev.a, ev.b);
+        break;
+      case EventType::kClose:
+        handle_close();
+        break;
+      case EventType::kReopen:
+        handle_reopen(ev.a);
+        break;
+      case EventType::kGossipHop:
+        handle_gossip_hop();
+        break;
+      case EventType::kRebalance:
+        handle_rebalance();
+        break;
+    }
+  }
+
+  std::size_t bad = 0;
+  if (!truth_.check_invariants(&bad)) {
+    throw std::logic_error("ledger invariant violated at end (channel " +
+                           std::to_string(bad) + ", scheme " +
+                           scheme_name(scheme_) + ")");
+  }
+  result_.gossip_messages = gossip_.total_messages();
+  return result_;
+}
+
+void ScenarioEngine::attempt_payment(std::size_t tx_index,
+                                     std::size_t attempt) {
+  const Transaction& tx = workload_->transactions()[tx_index];
+  RouteResult r;
+  bool diverged = false;
+  if (pristine_) {
+    // No churn has happened yet: every view still equals the truth, so the
+    // shared perfectly-informed router is exact (and this fast path is what
+    // makes the zero-dynamics scenario bit-identical to run_simulation).
+    r = base_router_->route(tx, truth_);
+  } else {
+    SenderContext& ctx = context_for(tx.sender);
+    // Sync the mirror from the truth: probes during routing read live
+    // balances (probing is a network operation), only the topology is
+    // stale. A truth-closed channel the view still believes in carries
+    // balance 0 — sends over it fail, probes report it dead.
+    const std::size_t local_edges = ctx.local.num_edges();
+    ctx.synced.resize(local_edges);
+    for (EdgeId e = 0; e < local_edges; ++e) {
+      ctx.synced[e] = truth_.balance(ctx.to_physical[e]);
+    }
+    ctx.mirror->assign_balances(ctx.synced);
+    r = ctx.router->route(tx, *ctx.mirror);
+    if (ctx.mirror->active_holds() != 0) {
+      throw std::logic_error("scenario: router " + ctx.router->name() +
+                             " leaked holds after tx " +
+                             std::to_string(tx_index));
+    }
+    // Mirror the settlement back onto the truth. Channel totals are
+    // conserved by construction (commit credits what hold debited), which
+    // the periodic invariant sweep verifies.
+    for (EdgeId e = 0; e < local_edges; ++e) {
+      const Amount nb = ctx.mirror->balance(e);
+      if (nb != ctx.synced[e]) truth_.mirror_balance(ctx.to_physical[e], nb);
+    }
+    diverged = view_diverged(ctx, tx.sender);
+  }
+
+  PendingPayment& pp = pending_[tx_index];
+  pp.probe_messages += r.probe_messages;
+  pp.probes += r.probes;
+  if (r.success) {
+    finish_payment(tx, r, attempt, pp);
+    pending_.erase(tx_index);
+  } else if (attempt < cfg_.retry.max_retries) {
+    if (diverged) ++result_.sim.stale_view_failures;
+    schedule(now_ + cfg_.retry.delay, EventType::kRetry, tx_index,
+             attempt + 1);
+  } else {
+    if (diverged) ++result_.sim.stale_view_failures;
+    finish_payment(tx, r, attempt, pp);
+    pending_.erase(tx_index);
+  }
+}
+
+void ScenarioEngine::finish_payment(const Transaction& tx,
+                                    const RouteResult& final_attempt,
+                                    std::size_t attempt,
+                                    const PendingPayment& totals) {
+  RouteResult combined = final_attempt;
+  combined.probe_messages = totals.probe_messages;
+  combined.probes = totals.probes;
+  result_.sim.add(tx, combined, tx.amount < class_threshold_);
+  if (final_attempt.success) {
+    if (attempt > 0) ++result_.sim.retry_successes;
+    result_.sim.time_to_success_total += now_ - tx.timestamp;
+  }
+  --outstanding_;
+  ++completed_;
+  result_.duration = now_;
+  check_invariants_if_due();
+}
+
+void ScenarioEngine::check_invariants_if_due() {
+  if (!sim_.invariant_stride || completed_ % sim_.invariant_stride != 0) {
+    return;
+  }
+  std::size_t bad = 0;
+  if (!truth_.check_invariants(&bad)) {
+    throw std::logic_error("ledger invariant violated at channel " +
+                           std::to_string(bad) + " after payment " +
+                           std::to_string(completed_) + " (scheme " +
+                           scheme_name(scheme_) + ")");
+  }
+  if (truth_.active_holds() != 0) {
+    throw std::logic_error("scheme " + scheme_name(scheme_) +
+                           " leaked holds after payment " +
+                           std::to_string(completed_));
+  }
+}
+
+void ScenarioEngine::handle_close() {
+  if (!open_list_.empty()) {
+    const std::size_t pick = dyn_rng_.next_below(open_list_.size());
+    const std::size_t c = open_list_[pick];
+    open_list_[pick] = open_list_.back();
+    open_list_.pop_back();
+    open_[c] = 0;
+    ++truth_version_;
+    pristine_ = false;
+    ++result_.channels_closed;
+
+    // The channel settles on-chain: its funds leave the network.
+    const Graph& g = workload_->graph();
+    const EdgeId fe = g.channel_forward_edge(c);
+    truth_.set_balance(fe, 0);
+    truth_.set_balance(g.reverse(fe), 0);
+
+    gossip_.announce_channel_close(c, ++channel_seq_[c]);
+    flush_gossip_or_schedule_hop();
+
+    if (cfg_.churn.mean_downtime > 0) {
+      schedule(now_ + dyn_rng_.exponential(1.0 / cfg_.churn.mean_downtime),
+               EventType::kReopen, c);
+    }
+  }
+  schedule(now_ + dyn_rng_.exponential(cfg_.churn.close_rate),
+           EventType::kClose);
+}
+
+void ScenarioEngine::handle_reopen(std::size_t channel) {
+  if (open_[channel]) return;
+  open_[channel] = 1;
+  open_list_.push_back(channel);
+  ++truth_version_;
+  ++result_.channels_reopened;
+
+  // A fresh funding transaction restores the initial (scaled) deposits.
+  const Graph& g = workload_->graph();
+  const EdgeId fe = g.channel_forward_edge(channel);
+  truth_.set_balance(fe, initial_balance_[fe]);
+  truth_.set_balance(g.reverse(fe), initial_balance_[g.reverse(fe)]);
+
+  gossip_.announce_channel_open(channel, ++channel_seq_[channel]);
+  flush_gossip_or_schedule_hop();
+}
+
+void ScenarioEngine::flush_gossip_or_schedule_hop() {
+  if (cfg_.gossip.hop_delay <= 0) {
+    const auto [rounds, messages] = gossip_.run_to_quiescence();
+    (void)messages;  // folded into gossip_.total_messages()
+    result_.gossip_rounds += rounds;
+    return;
+  }
+  if (!hop_scheduled_ && !gossip_.quiescent()) {
+    schedule(now_ + cfg_.gossip.hop_delay, EventType::kGossipHop);
+    hop_scheduled_ = true;
+  }
+}
+
+void ScenarioEngine::handle_gossip_hop() {
+  hop_scheduled_ = false;
+  gossip_.run_round();
+  ++result_.gossip_rounds;
+  if (!gossip_.quiescent()) {
+    schedule(now_ + cfg_.gossip.hop_delay, EventType::kGossipHop);
+    hop_scheduled_ = true;
+  }
+}
+
+void ScenarioEngine::handle_rebalance() {
+  const Graph& g = workload_->graph();
+  drift_buf_.resize(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    drift_buf_[e] = truth_.balance(e);
+  }
+  for (std::size_t c = 0; c < g.num_channels(); ++c) {
+    if (!open_[c]) continue;
+    const EdgeId fe = g.channel_forward_edge(c);
+    const EdgeId be = g.reverse(fe);
+    const Amount total = drift_buf_[fe] + drift_buf_[be];
+    const Amount fwd =
+        drift_buf_[fe] +
+        cfg_.rebalance.strength * (total / 2 - drift_buf_[fe]);
+    drift_buf_[fe] = fwd;
+    drift_buf_[be] = total - fwd;  // conserves the channel total exactly
+  }
+  truth_.assign_balances(drift_buf_);
+  ++result_.rebalance_events;
+  schedule(now_ + cfg_.rebalance.interval, EventType::kRebalance);
+}
+
+ScenarioEngine::SenderContext& ScenarioEngine::context_for(NodeId sender) {
+  auto& slot = contexts_[sender];
+  if (!slot) slot = std::make_unique<SenderContext>();
+  SenderContext& ctx = *slot;
+  if (!ctx.router || ctx.view_version != gossip_.view_version(sender)) {
+    rebuild_context(ctx, sender);
+  }
+  return ctx;
+}
+
+void ScenarioEngine::rebuild_context(SenderContext& ctx, NodeId sender) {
+  ++result_.router_rebuilds;
+  const Graph& pg = workload_->graph();
+  // Old router/mirror reference the old local graph: drop them first.
+  ctx.router.reset();
+  ctx.mirror.reset();
+
+  Graph local(pg.num_nodes());
+  ctx.to_physical.clear();
+  gossip_.view(sender).for_each_open([&](NodeId u, NodeId v) {
+    const auto it = channel_index_.find(pair_key(u, v));
+    if (it == channel_index_.end()) return;  // unknown to the truth
+    const EdgeId pf = pg.channel_forward_edge(it->second);
+    local.add_channel(u, v);
+    if (pg.from(pf) == u) {
+      ctx.to_physical.push_back(pf);
+      ctx.to_physical.push_back(pg.reverse(pf));
+    } else {
+      ctx.to_physical.push_back(pg.reverse(pf));
+      ctx.to_physical.push_back(pf);
+    }
+  });
+  local.finalize();
+  ctx.local = std::move(local);
+
+  FeeSchedule fees(ctx.local);
+  for (EdgeId e = 0; e < ctx.local.num_edges(); ++e) {
+    fees.set_policy(e, workload_->fees().policy(ctx.to_physical[e]));
+  }
+  ctx.fees = std::move(fees);
+
+  ctx.mirror = std::make_unique<NetworkState>(ctx.local);
+  // Stale-view routers recompute exhausted table entries: under churn an
+  // entry whose every path died must not pin failure until the next view
+  // refresh.
+  FlashOptions stale_opts = opts_;
+  stale_opts.table_recompute_on_exhaustion = true;
+  // Fresh deterministic entropy per (sender, view version): a rebuilt
+  // router must not restart the same randomized-path-order stream, or
+  // frequently-refreshed senders would replay one frozen shuffle forever.
+  std::uint64_t mix =
+      seed_ ^
+      (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(sender) + 1)) ^
+      (0xbf58476d1ce4e5b9ULL * (gossip_.view_version(sender) + 1));
+  ctx.router = make_router(scheme_, ctx.local, ctx.fees, elephant_threshold_,
+                           stale_opts, splitmix64(mix));
+  ctx.view_version = gossip_.view_version(sender);
+  ctx.div_truth_version = SenderContext::kNever;
+  ctx.div_view_version = SenderContext::kNever;
+}
+
+bool ScenarioEngine::view_diverged(SenderContext& ctx, NodeId sender) {
+  const std::uint64_t vv = gossip_.view_version(sender);
+  if (ctx.div_truth_version == truth_version_ && ctx.div_view_version == vv) {
+    return ctx.divergent;
+  }
+  ctx.div_truth_version = truth_version_;
+  ctx.div_view_version = vv;
+  ctx.divergent = false;
+  const Graph& pg = workload_->graph();
+  const gossip::NodeView& view = gossip_.view(sender);
+  for (std::size_t c = 0; c < pg.num_channels(); ++c) {
+    const EdgeId fe = pg.channel_forward_edge(c);
+    if (static_cast<bool>(open_[c]) !=
+        view.knows_channel(pg.from(fe), pg.to(fe))) {
+      ctx.divergent = true;
+      break;
+    }
+  }
+  return ctx.divergent;
+}
+
+ScenarioResult run_scenario(const Workload& workload, Scheme scheme,
+                            const FlashOptions& opts, const SimConfig& sim,
+                            const ScenarioConfig& scenario,
+                            std::uint64_t seed) {
+  ScenarioEngine engine(workload, scheme, opts, sim, scenario, seed);
+  return engine.run();
+}
+
+}  // namespace flash

@@ -1,0 +1,243 @@
+// Dynamic scenario engine: churn, retries, and stale-view routing.
+//
+// run_simulation (simulator.h) replays payments against a static,
+// perfectly-known network. Real offchain networks are nothing like that:
+// channels open and close on-chain, topology knowledge spreads through
+// gossip with delay, balances drift from background rebalancing, and
+// wallets retry failed payments. The ScenarioEngine generalizes the
+// simulator into an event-driven loop over timestamped events so those
+// dynamics become measurable:
+//
+//   - *Transaction arrivals* with a configurable retry policy: a failed
+//     payment is re-routed (with fresh probing) up to N more times after a
+//     backoff delay, during which gossip and churn advance.
+//   - *Channel churn*: closes arrive as a Poisson process over the open
+//     channels; closed channels optionally reopen after an exponential
+//     downtime with their initial deposits (a fresh on-chain funding).
+//   - *Gossip propagation delay*: each churn event is announced by the
+//     channel's endpoints and floods one hop per `hop_delay` time units
+//     through the existing gossip::GossipNetwork.
+//   - *Stale-view routing*: each sender routes with a router built over its
+//     OWN gossip view (rebuilt lazily when the view changes, §3.3 "all
+//     entries are re-computed using the latest G"), against a mirror ledger
+//     synced from the live one — probes read live balances (probing is a
+//     network operation), but path structure comes from the stale view, so
+//     a closed channel the sender has not heard about yet still attracts
+//     payments and fails them.
+//   - *Background rebalancing*: periodic drift of every open channel's
+//     balance split toward even (interval + strength configurable).
+//
+// Settlement always executes against the ground-truth ledger. With every
+// dynamic knob at zero the engine degenerates to exactly run_simulation —
+// one shared perfectly-informed router against the truth — and the results
+// are pinned bit-identical by tests/scenario_test.cc.
+//
+// Memory note: per-node gossip views cost O(nodes x channels) once churn
+// is enabled; the engine is meant for testbed-scale topologies (tens to a
+// few hundred nodes), not the 2,511-node Lightning graph.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "gossip/gossip.h"
+#include "ledger/network_state.h"
+#include "routing/router.h"
+#include "sim/experiment.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "trace/workload.h"
+#include "util/rng.h"
+
+namespace flash {
+
+/// Failed payments are re-routed up to `max_retries` more times, each
+/// `delay` sim-time units after the previous failure. Plain value type.
+struct RetryPolicy {
+  std::size_t max_retries = 0;
+  double delay = 1.0;
+};
+
+/// Channel open/close churn, sampled as a Poisson process. Plain value
+/// type. One sim-time unit is one transaction inter-arrival for the
+/// generated workloads (timestamps are 0, 1, 2, ...).
+struct ChurnConfig {
+  /// Expected channel closes per sim-time unit (0 disables churn).
+  double close_rate = 0;
+  /// Mean downtime before a closed channel reopens with its initial
+  /// deposit (fresh funding). 0 = closed channels stay closed.
+  double mean_downtime = 0;
+  /// Seed of the churn/rebalance randomness stream, mixed with the run
+  /// seed so dynamics are independent of workload randomness.
+  std::uint64_t seed = 0xc4u;
+};
+
+/// Periodic background rebalancing: every `interval`, each open channel
+/// moves `strength` of the distance between its current split and the even
+/// split (channel totals are conserved). Plain value type.
+struct RebalanceConfig {
+  double interval = 0;  // 0 disables
+  double strength = 0.5;
+};
+
+/// Gossip propagation timing. Plain value type.
+struct GossipTiming {
+  /// Sim-time per flooding hop. 0 = announcements reach every node
+  /// instantly (views perfectly track the truth; no staleness).
+  double hop_delay = 0;
+};
+
+/// Everything dynamic about a scenario. The default-constructed config has
+/// every dynamic switched off and reproduces run_simulation bit-for-bit.
+struct ScenarioConfig {
+  RetryPolicy retry;
+  ChurnConfig churn;
+  RebalanceConfig rebalance;
+  GossipTiming gossip;
+};
+
+/// Simulation metrics plus scenario-level counters.
+struct ScenarioResult {
+  /// Per-payment metrics; includes the dynamic counters (retries,
+  /// retry_successes, stale_view_failures, time_to_success_total).
+  SimResult sim;
+  std::size_t channels_closed = 0;
+  std::size_t channels_reopened = 0;
+  std::size_t rebalance_events = 0;
+  /// Flooding rounds and messages spent on churn announcements (bootstrap
+  /// knowledge is seeded without messages and not counted).
+  std::size_t gossip_rounds = 0;
+  std::uint64_t gossip_messages = 0;
+  /// Stale-view router (re)builds: one per sender whose view changed since
+  /// its last payment (plus its first payment after churn begins).
+  std::size_t router_rebuilds = 0;
+  /// Sim-time at which the last payment settled or finally failed.
+  double duration = 0;
+};
+
+/// The event-driven scenario simulator. Single-use: construct, run() once,
+/// read the result. NOT thread-safe — like routers, each concurrent run
+/// owns its own engine (the sweep engine builds one per (cell, run)).
+/// `workload` is borrowed and must outlive the engine.
+///
+/// Timeline semantics: payment i arrives at max(timestamp_i, previous
+/// arrival) — arrival order is always the trace order, exactly like
+/// run_simulation (all generated workloads already have non-decreasing
+/// timestamps, so this is only a guard for odd external traces). Same-time
+/// events execute in scheduling order.
+class ScenarioEngine {
+ public:
+  /// Validates the config (throws std::invalid_argument on negative rates,
+  /// delays, intervals, or strength outside [0, 1]).
+  ScenarioEngine(const Workload& workload, Scheme scheme,
+                 const FlashOptions& opts, const SimConfig& sim,
+                 const ScenarioConfig& scenario, std::uint64_t seed);
+  ~ScenarioEngine();
+
+  ScenarioEngine(const ScenarioEngine&) = delete;
+  ScenarioEngine& operator=(const ScenarioEngine&) = delete;
+
+  /// Runs every payment to settlement or final failure. Throws
+  /// std::logic_error if the ledger invariant breaks (checked on the
+  /// SimConfig::invariant_stride, against the ground truth).
+  ScenarioResult run();
+
+ private:
+  // The per-sender stale routing state: the sender's materialized view
+  // graph, the fee schedule and router over it, a mirror ledger synced
+  // from the truth before every payment, and the view-edge -> truth-edge
+  // map used to mirror settlement back. Heap-allocated so the Graph (and
+  // everything pointing into it) has a stable address.
+  struct SenderContext;
+
+  enum class EventType : std::uint8_t {
+    kArrival,    // a = transaction index
+    kRetry,      // a = transaction index, b = attempt number (1-based)
+    kClose,      // churn: close a random open channel, schedule the next
+    kReopen,     // a = channel index
+    kGossipHop,  // flood pending announcements one hop
+    kRebalance,  // drift every open channel toward the even split
+  };
+  struct Event {
+    double time = 0;
+    std::uint64_t seq = 0;  // FIFO tie-break: scheduling order
+    EventType type = EventType::kArrival;
+    std::size_t a = 0;
+    std::size_t b = 0;
+  };
+  struct EventAfter {
+    bool operator()(const Event& x, const Event& y) const {
+      return x.time != y.time ? x.time > y.time : x.seq > y.seq;
+    }
+  };
+  // Attempt bookkeeping for payments awaiting a retry.
+  struct PendingPayment {
+    std::uint64_t probe_messages = 0;
+    std::uint32_t probes = 0;
+  };
+
+  void schedule(double time, EventType type, std::size_t a = 0,
+                std::size_t b = 0);
+  void attempt_payment(std::size_t tx_index, std::size_t attempt);
+  void finish_payment(const Transaction& tx, const RouteResult& final_attempt,
+                      std::size_t attempt, const PendingPayment& totals);
+  void handle_close();
+  void handle_reopen(std::size_t channel);
+  void handle_gossip_hop();
+  void handle_rebalance();
+  void flush_gossip_or_schedule_hop();
+  SenderContext& context_for(NodeId sender);
+  void rebuild_context(SenderContext& ctx, NodeId sender);
+  bool view_diverged(SenderContext& ctx, NodeId sender);
+  void check_invariants_if_due();
+
+  const Workload* workload_;
+  Scheme scheme_;
+  FlashOptions opts_;
+  SimConfig sim_;
+  ScenarioConfig cfg_;
+  std::uint64_t seed_;
+
+  NetworkState truth_;
+  std::vector<Amount> initial_balance_;  // scaled; reopen deposits
+  Amount class_threshold_ = 0;           // mice/elephant metric split
+  Amount elephant_threshold_ = 0;        // Flash classification
+  std::unique_ptr<Router> base_router_;  // pristine-mode shared router
+
+  gossip::GossipNetwork gossip_;
+  std::vector<std::uint64_t> channel_seq_;   // per-channel announcement seq
+  std::vector<char> open_;                   // truth open flag per channel
+  std::vector<std::size_t> open_list_;       // open channels (unordered)
+  std::unordered_map<std::uint64_t, std::size_t> channel_index_;  // pair_key
+  std::uint64_t truth_version_ = 0;          // bumped per churn event
+  bool pristine_ = true;                     // no churn happened yet
+  bool hop_scheduled_ = false;
+  Rng dyn_rng_;
+
+  std::unordered_map<NodeId, std::unique_ptr<SenderContext>> contexts_;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
+  std::uint64_t event_seq_ = 0;
+  std::unordered_map<std::size_t, PendingPayment> pending_;
+  std::size_t outstanding_ = 0;  // payments not yet settled/failed
+  std::size_t completed_ = 0;    // drives the invariant stride
+  double now_ = 0;
+  std::vector<Amount> drift_buf_;
+  ScenarioResult result_;
+  bool ran_ = false;
+};
+
+/// Convenience wrapper: builds a ScenarioEngine and runs it. Seeding
+/// matches the sweep engine: `seed` drives the router exactly as
+/// make_router does in run_series/run_sweep, so a zero-dynamics scenario
+/// reproduces the corresponding run_simulation run bit-identically.
+/// Thread-compatible under the sweep engine's rules: concurrent calls must
+/// not share the workload.
+ScenarioResult run_scenario(const Workload& workload, Scheme scheme,
+                            const FlashOptions& opts, const SimConfig& sim,
+                            const ScenarioConfig& scenario,
+                            std::uint64_t seed);
+
+}  // namespace flash

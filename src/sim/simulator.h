@@ -27,7 +27,9 @@ struct SimConfig {
 /// Throws std::logic_error if the ledger invariant breaks.
 /// Thread-compatible: concurrent calls are safe iff they share no arguments
 /// — the sweep engine (sim/sweep.h) gives every run its own workload and
-/// router. A single call mutates only `router` and its own ledger.
+/// router. A single call mutates `router`, its own ledger, and the
+/// workload's size-quantile memo (so the workload must not be shared
+/// either).
 SimResult run_simulation(const Workload& workload, Router& router,
                          const SimConfig& config = {});
 

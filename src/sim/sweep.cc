@@ -22,6 +22,11 @@ struct Unit {
 SimResult run_one(const SweepCell& cell, std::size_t run) {
   const std::uint64_t seed = cell.base_seed + run;
   const Workload workload = cell.factory(seed);
+  if (cell.scenario) {
+    return run_scenario(workload, cell.scheme, cell.flash, cell.sim,
+                        *cell.scenario, seed)
+        .sim;
+  }
   const auto router = make_router(cell.scheme, workload, cell.flash, seed);
   return run_simulation(workload, *router, cell.sim);
 }
@@ -138,6 +143,10 @@ void write_sweep_json(std::ostream& out, const std::string& bench,
     json_aggregate(out, "probe_messages", series.probe_messages());
     out << ", ";
     json_aggregate(out, "fee_ratio", series.fee_ratio());
+    out << ",\n     ";
+    json_aggregate(out, "retries", series.retries());
+    out << ", ";
+    json_aggregate(out, "stale_failures", series.stale_view_failures());
     out << '}';
   }
   out << "\n  ]\n}\n";

@@ -12,10 +12,12 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "sim/experiment.h"
+#include "sim/scenario.h"
 
 namespace flash {
 
@@ -30,6 +32,12 @@ struct SweepCell {
   SimConfig sim;
   std::size_t runs = 1;
   std::uint64_t base_seed = 1;
+  /// When set, each run goes through the dynamic ScenarioEngine
+  /// (sim/scenario.h) instead of run_simulation: churn, retries, gossip
+  /// delay and rebalancing per the config, seeded exactly like the static
+  /// path (a zero-dynamics config reproduces it bit-for-bit). The fig14
+  /// churn sweep sets this.
+  std::optional<ScenarioConfig> scenario;
 };
 
 /// Execution knobs for run_sweep.

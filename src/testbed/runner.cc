@@ -16,19 +16,25 @@ namespace flash::testbed {
 
 namespace {
 
-std::uint64_t pair_key(NodeId s, NodeId t) {
-  return (static_cast<std::uint64_t>(s) << 32) | t;
-}
-
 /// Per-scheme static path provider (the sender-side path knowledge:
 /// shortest paths for SP, edge-disjoint set for Spider, the mice routing
 /// table for Flash). Paths depend only on the topology, so they are cached
 /// across payments exactly like the prototype's local routing state.
+/// Keys are pair_key(s, t) (graph/types.h, the shared checked helper).
+///
+/// The caches hold at most one entry per distinct (sender, receiver) pair
+/// in the replayed trace, so they are naturally bounded by the trace
+/// length; kMaxEntries is a backstop for adversarially long traces (a full
+/// reset on overflow only costs recomputation, never correctness).
 class PathProvider {
  public:
+  /// Per-cache entry cap; ~1M pairs at most a few hundred MB of paths.
+  static constexpr std::size_t kMaxEntries = 1u << 20;
+
   PathProvider(const Graph& graph) : graph_(&graph) {}
 
   const NodePath& shortest(NodeId s, NodeId t) {
+    bound(sp_);
     auto it = sp_.find(pair_key(s, t));
     if (it == sp_.end()) {
       const Path p = bfs_path(*graph_, s, t);
@@ -40,6 +46,7 @@ class PathProvider {
   }
 
   const std::vector<NodePath>& disjoint(NodeId s, NodeId t, std::size_t k) {
+    bound(disjoint_);
     auto it = disjoint_.find(pair_key(s, t));
     if (it == disjoint_.end()) {
       std::vector<NodePath> node_paths;
@@ -52,6 +59,7 @@ class PathProvider {
   }
 
   const std::vector<NodePath>& mice_table(NodeId s, NodeId t, std::size_t m) {
+    bound(mice_);
     auto it = mice_.find(pair_key(s, t));
     if (it == mice_.end()) {
       std::vector<NodePath> node_paths;
@@ -64,6 +72,11 @@ class PathProvider {
   }
 
  private:
+  template <typename Map>
+  static void bound(Map& map) {
+    if (map.size() >= kMaxEntries) map.clear();
+  }
+
   const Graph* graph_;
   std::unordered_map<std::uint64_t, NodePath> sp_;
   std::unordered_map<std::uint64_t, std::vector<NodePath>> disjoint_;

@@ -24,6 +24,7 @@ RecurrentPairGenerator::RecurrentPairGenerator(std::size_t num_nodes,
   // participants are spread across the topology.
   std::iota(sender_identity_.begin(), sender_identity_.end(), NodeId{0});
   rng.shuffle(sender_identity_);
+  build_receiver_weights();
 }
 
 RecurrentPairGenerator::RecurrentPairGenerator(
@@ -38,6 +39,24 @@ RecurrentPairGenerator::RecurrentPairGenerator(
   }
   if (config.working_set < 1) {
     throw std::invalid_argument("RecurrentPairGenerator: working_set >= 1");
+  }
+  build_receiver_weights();
+}
+
+void RecurrentPairGenerator::build_receiver_weights() {
+  // A working set never exceeds config_.working_set entries, so one table
+  // covers every draw. receiver_total_[n] accumulates left-to-right exactly
+  // as the old per-draw loop did: the same additions in the same order
+  // produce the same floating-point totals.
+  receiver_weight_.resize(config_.working_set);
+  receiver_total_.resize(config_.working_set + 1);
+  receiver_total_[0] = 0;
+  double total = 0;
+  for (std::size_t i = 0; i < config_.working_set; ++i) {
+    receiver_weight_[i] = 1.0 / std::pow(static_cast<double>(i + 1),
+                                         config_.receiver_zipf_s);
+    total += receiver_weight_[i];
+    receiver_total_[i + 1] = total;
   }
 }
 
@@ -57,16 +76,11 @@ std::pair<NodeId, NodeId> RecurrentPairGenerator::next_from(NodeId sender,
 
   if (!ws.empty() && rng.chance(config_.recurrence)) {
     // Zipf-weighted revisit by seniority rank: long-standing counterparties
-    // (the favourite merchant, the partner bank) dominate.
-    double total = 0;
+    // (the favourite merchant, the partner bank) dominate. Weights and
+    // their prefix sums come from the precomputed table.
+    double r = rng.uniform() * receiver_total_[ws.size()];
     for (std::size_t i = 0; i < ws.size(); ++i) {
-      total += 1.0 / std::pow(static_cast<double>(i + 1),
-                              config_.receiver_zipf_s);
-    }
-    double r = rng.uniform() * total;
-    for (std::size_t i = 0; i < ws.size(); ++i) {
-      r -= 1.0 / std::pow(static_cast<double>(i + 1),
-                          config_.receiver_zipf_s);
+      r -= receiver_weight_[i];
       if (r < 0) {
         ws[i].last_used = clock_;
         return {sender, ws[i].receiver};

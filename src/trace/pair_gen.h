@@ -87,7 +87,15 @@ class RecurrentPairGenerator {
   std::vector<NodeId> sender_identity_;  // random permutation: rank -> node
   std::unordered_map<NodeId, std::vector<Entry>> working_;
   std::uint64_t clock_ = 0;
+  // Receiver-Zipf weight table, precomputed once per generator instead of
+  // re-evaluating std::pow over the working set on every recurrent draw:
+  // receiver_weight_[i] = (i+1)^-receiver_zipf_s, and receiver_total_[n] is
+  // the left-to-right sum of the first n weights (the exact summation order
+  // the per-draw loop used, so generated traces stay bit-identical).
+  std::vector<double> receiver_weight_;
+  std::vector<double> receiver_total_;
 
+  void build_receiver_weights();
   std::pair<NodeId, NodeId> next_from(NodeId sender, Rng& rng);
   void remember(NodeId owner, NodeId counterparty);
   NodeId fresh_receiver(NodeId sender, Rng& rng) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 
 #include "graph/bfs.h"
@@ -35,10 +36,15 @@ NetworkState Workload::make_state(double capacity_scale) const {
 
 Amount Workload::size_quantile(double q) const {
   if (transactions_.empty()) return 0;
+  for (const auto& [cached_q, value] : quantile_cache_) {
+    if (cached_q == q) return value;
+  }
   std::vector<double> sizes;
   sizes.reserve(transactions_.size());
   for (const auto& tx : transactions_) sizes.push_back(tx.amount);
-  return percentile(std::move(sizes), q * 100.0);
+  const Amount value = percentile(std::move(sizes), q * 100.0);
+  quantile_cache_.emplace_back(q, value);
+  return value;
 }
 
 Workload Workload::truncated(std::size_t n) const {
@@ -51,24 +57,43 @@ Workload Workload::truncated(std::size_t n) const {
 
 namespace {
 
+/// How generate_transactions draws sender/receiver pairs.
+enum class PairMode {
+  /// Recurrent pairs (Fig. 4), activity ranked by node degree — the
+  /// simulation workloads.
+  kRecurrentByDegree,
+  /// Independent uniform pairs — the testbed workload (§5.2).
+  kUniform,
+};
+
 std::vector<Transaction> generate_transactions(
     const Graph& g, const SizeDistribution& sizes, std::size_t count,
-    bool ensure_connectivity, Rng& rng) {
+    bool ensure_connectivity, PairMode mode, Rng& rng) {
   // On a connected topology every pair is reachable; skip per-pair BFS.
   const bool check_pairs = ensure_connectivity && !is_connected(g);
-  // Activity follows connectivity: the most active senders are the
-  // highest-degree nodes (gateways), as in the real credit network.
-  std::vector<NodeId> by_degree(g.num_nodes());
-  std::iota(by_degree.begin(), by_degree.end(), NodeId{0});
-  std::stable_sort(by_degree.begin(), by_degree.end(),
-                   [&g](NodeId a, NodeId b) {
-                     return g.out_degree(a) > g.out_degree(b);
-                   });
-  RecurrentPairGenerator pairs(std::move(by_degree), PairGenConfig{});
+  std::optional<RecurrentPairGenerator> pairs;
+  if (mode == PairMode::kRecurrentByDegree) {
+    // Activity follows connectivity: the most active senders are the
+    // highest-degree nodes (gateways), as in the real credit network.
+    std::vector<NodeId> by_degree(g.num_nodes());
+    std::iota(by_degree.begin(), by_degree.end(), NodeId{0});
+    std::stable_sort(by_degree.begin(), by_degree.end(),
+                     [&g](NodeId a, NodeId b) {
+                       return g.out_degree(a) > g.out_degree(b);
+                     });
+    pairs.emplace(std::move(by_degree), PairGenConfig{});
+  }
   std::vector<Transaction> txs;
   txs.reserve(count);
   while (txs.size() < count) {
-    auto [s, r] = pairs.next(rng);
+    NodeId s, r;
+    if (pairs) {
+      std::tie(s, r) = pairs->next(rng);
+    } else {
+      s = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+      r = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+      if (s == r) continue;
+    }
     if (check_pairs && !reachable(g, s, r)) continue;
     Transaction tx;
     tx.sender = s;
@@ -96,10 +121,9 @@ Workload make_ripple_workload(const WorkloadConfig& config) {
   // evenly across directions (§4.1).
   init.assign_lognormal_split(250.0, 1.0, rng);
   FeeSchedule fees = FeeSchedule::paper_default(g, rng);
-  auto txs =
-      generate_transactions(g, SizeDistribution::ripple(),
-                            config.num_transactions,
-                            config.ensure_connectivity, rng);
+  auto txs = generate_transactions(
+      g, SizeDistribution::ripple(), config.num_transactions,
+      config.ensure_connectivity, PairMode::kRecurrentByDegree, rng);
   return Workload(g, balances_of(init, g), std::move(fees), std::move(txs),
                   "ripple");
 }
@@ -113,10 +137,9 @@ Workload make_lightning_workload(const WorkloadConfig& config) {
   // channels (the paper uses it directly), modelled by degree weighting.
   init.assign_lognormal_degree_weighted(500000.0, 1.6, rng);
   FeeSchedule fees = FeeSchedule::paper_default(g, rng);
-  auto txs =
-      generate_transactions(g, SizeDistribution::bitcoin(),
-                            config.num_transactions,
-                            config.ensure_connectivity, rng);
+  auto txs = generate_transactions(
+      g, SizeDistribution::bitcoin(), config.num_transactions,
+      config.ensure_connectivity, PairMode::kRecurrentByDegree, rng);
   return Workload(g, balances_of(init, g), std::move(fees), std::move(txs),
                   "lightning");
 }
@@ -133,23 +156,12 @@ Workload make_testbed_workload(std::size_t nodes, Amount cap_lo,
   FeeSchedule fees = FeeSchedule::paper_default(g, rng);
 
   // The testbed draws sender-receiver pairs uniformly (§5.2), with volumes
-  // following the Ripple trace and at least one path guaranteed.
-  const bool check_pairs = config.ensure_connectivity && !is_connected(g);
-  const SizeDistribution sizes = SizeDistribution::ripple();
-  std::vector<Transaction> txs;
-  txs.reserve(config.num_transactions);
-  while (txs.size() < config.num_transactions) {
-    const auto s = static_cast<NodeId>(rng.next_below(nodes));
-    const auto r = static_cast<NodeId>(rng.next_below(nodes));
-    if (s == r) continue;
-    if (check_pairs && !reachable(g, s, r)) continue;
-    Transaction tx;
-    tx.sender = s;
-    tx.receiver = r;
-    tx.amount = sizes.sample(rng);
-    tx.timestamp = static_cast<double>(txs.size());
-    txs.push_back(tx);
-  }
+  // following the Ripple trace and at least one path guaranteed. The
+  // uniform mode draws (sender, receiver, amount) in exactly the order the
+  // old hand-rolled loop did, pinned by trace_test's testbed oracle.
+  auto txs = generate_transactions(
+      g, SizeDistribution::ripple(), config.num_transactions,
+      config.ensure_connectivity, PairMode::kUniform, rng);
   return Workload(g, balances_of(init, g), std::move(fees), std::move(txs),
                   "testbed-" + std::to_string(nodes));
 }
@@ -162,7 +174,8 @@ Workload make_toy_workload(std::size_t nodes, std::size_t num_transactions,
   init.assign_uniform_split(50.0, 150.0, rng);
   FeeSchedule fees = FeeSchedule::paper_default(g, rng);
   auto txs = generate_transactions(g, SizeDistribution::ripple(),
-                                   num_transactions, true, rng);
+                                   num_transactions, true,
+                                   PairMode::kRecurrentByDegree, rng);
   return Workload(g, balances_of(init, g), std::move(fees), std::move(txs),
                   "toy");
 }

@@ -35,7 +35,12 @@ class Workload {
 
   /// Payment size below which a payment counts as "mice": the q-quantile of
   /// this workload's payment sizes (paper default q = 0.9, i.e. 90 % of
-  /// payments are mice).
+  /// payments are mice). Memoized per q: the first call pays the
+  /// O(n log n) selection, repeat calls are a lookup — run_simulation and
+  /// make_router both ask for it on every run, so sweep cells would
+  /// otherwise re-sort the whole trace each time. The memo makes this
+  /// method non-thread-safe on a *shared* Workload; the sweep engine gives
+  /// every concurrent run its own workload (see sim/sweep.h).
   Amount size_quantile(double q) const;
 
   /// Restricts to the first n transactions (for load sweeps, Fig. 7).
@@ -47,6 +52,8 @@ class Workload {
   FeeSchedule fees_;
   std::vector<Transaction> transactions_;
   std::string name_;
+  // size_quantile memo (q -> quantile); tiny, so a flat vector beats a map.
+  mutable std::vector<std::pair<double, Amount>> quantile_cache_;
 };
 
 struct WorkloadConfig {

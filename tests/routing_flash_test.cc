@@ -264,6 +264,34 @@ TEST(RoutingTable, ReplaceWithoutSparesShrinks) {
   EXPECT_TRUE(table.lookup(0, 2).empty());
 }
 
+TEST(RoutingTable, ExhaustedEntryStaysEmptyByDefault) {
+  Graph g = make_graph(3, {{0, 1}, {1, 2}});
+  MiceRoutingTable table(g, {4, 0, 0});
+  const Path dead = table.lookup(0, 2)[0];
+  EXPECT_FALSE(table.replace_dead_path(0, 2, dead));
+  // The pinned static behavior: the entry survives, empty, forever.
+  bool computed = true;
+  EXPECT_TRUE(table.lookup(0, 2, &computed).empty());
+  EXPECT_FALSE(computed);
+  EXPECT_EQ(table.computations(), 1u);
+}
+
+TEST(RoutingTable, RecomputeOnExhaustionForgetsEmptyEntries) {
+  // Churn mode: once every path of an entry died, the entry is dropped so
+  // the next lookup re-runs Yen instead of failing until a view refresh.
+  Graph g = make_graph(3, {{0, 1}, {1, 2}});
+  RoutingTableConfig config{4, 0, 0};
+  config.recompute_on_exhaustion = true;
+  MiceRoutingTable table(g, config);
+  const Path dead = table.lookup(0, 2)[0];
+  EXPECT_FALSE(table.replace_dead_path(0, 2, dead));
+  EXPECT_EQ(table.size(), 0u);
+  bool computed = false;
+  EXPECT_FALSE(table.lookup(0, 2, &computed).empty());
+  EXPECT_TRUE(computed);
+  EXPECT_EQ(table.computations(), 2u);
+}
+
 TEST(RoutingTable, ClearForcesRecomputation) {
   Graph g = make_graph(3, {{0, 1}, {1, 2}});
   MiceRoutingTable table(g, {2, 0, 0});

@@ -8,6 +8,7 @@
 
 #include "sim/experiment.h"
 #include "sim/sweep.h"
+#include "testutil.h"
 #include "trace/workload.h"
 
 namespace flash {
@@ -19,24 +20,9 @@ WorkloadFactory toy_factory(std::size_t nodes, std::size_t tx) {
   };
 }
 
-/// Exact (bit-identical) equality over every SimResult field.
-void expect_identical(const SimResult& a, const SimResult& b) {
-  EXPECT_EQ(a.transactions, b.transactions);
-  EXPECT_EQ(a.successes, b.successes);
-  EXPECT_EQ(a.volume_attempted, b.volume_attempted);
-  EXPECT_EQ(a.volume_succeeded, b.volume_succeeded);
-  EXPECT_EQ(a.fees_paid, b.fees_paid);
-  EXPECT_EQ(a.probe_messages, b.probe_messages);
-  EXPECT_EQ(a.probes, b.probes);
-  EXPECT_EQ(a.mice_transactions, b.mice_transactions);
-  EXPECT_EQ(a.mice_successes, b.mice_successes);
-  EXPECT_EQ(a.mice_volume_succeeded, b.mice_volume_succeeded);
-  EXPECT_EQ(a.mice_probe_messages, b.mice_probe_messages);
-  EXPECT_EQ(a.elephant_transactions, b.elephant_transactions);
-  EXPECT_EQ(a.elephant_successes, b.elephant_successes);
-  EXPECT_EQ(a.elephant_volume_succeeded, b.elephant_volume_succeeded);
-  EXPECT_EQ(a.elephant_probe_messages, b.elephant_probe_messages);
-}
+/// Exact (bit-identical) equality over every SimResult field (shared with
+/// scenario_test via testutil.h).
+using flash::testing::expect_identical;
 
 /// A small but non-trivial grid: two schemes x two capacity scales, with a
 /// stochastic router (Flash) included so seeding bugs cannot hide.
@@ -151,6 +137,62 @@ TEST(Sweep, JsonReportContainsCellsAndTimings) {
   EXPECT_NE(json.find("\"scheme\": \"SP\""), std::string::npos);
   EXPECT_NE(json.find("\"success_ratio\""), std::string::npos);
   EXPECT_NE(json.find("\"probe_messages\""), std::string::npos);
+  EXPECT_NE(json.find("\"retries\""), std::string::npos);
+  EXPECT_NE(json.find("\"stale_failures\""), std::string::npos);
+}
+
+TEST(Sweep, ScenarioCellsMatchSequentialRunScenario) {
+  // A dynamic (churn + retry + gossip-delay) cell must run through the
+  // ScenarioEngine and stay bit-identical to the sequential path for any
+  // thread count — the same determinism contract as static cells.
+  ScenarioConfig dynamic;
+  dynamic.retry.max_retries = 1;
+  dynamic.retry.delay = 0.5;
+  dynamic.churn.close_rate = 0.1;
+  dynamic.gossip.hop_delay = 4;
+
+  std::vector<SweepCell> grid;
+  for (const Scheme scheme : {Scheme::kFlash, Scheme::kShortestPath}) {
+    SweepCell cell;
+    cell.label = scheme_name(scheme) + "/churn";
+    cell.factory = toy_factory(30, 120);
+    cell.scheme = scheme;
+    cell.sim.capacity_scale = 3.0;
+    cell.runs = 2;
+    cell.base_seed = 5;
+    cell.scenario = dynamic;
+    grid.push_back(std::move(cell));
+  }
+
+  std::vector<RunSeries> reference;
+  for (const SweepCell& cell : grid) {
+    RunSeries series;
+    for (std::size_t r = 0; r < cell.runs; ++r) {
+      const std::uint64_t seed = cell.base_seed + r;
+      const Workload w = cell.factory(seed);
+      series.runs.push_back(run_scenario(w, cell.scheme, cell.flash,
+                                         cell.sim, *cell.scenario, seed)
+                                .sim);
+    }
+    reference.push_back(std::move(series));
+  }
+
+  for (const std::size_t threads : {1u, 2u}) {
+    SweepOptions opts;
+    opts.threads = threads;
+    const SweepResult result = run_sweep(grid, opts);
+    ASSERT_EQ(result.cells.size(), grid.size());
+    for (std::size_t c = 0; c < grid.size(); ++c) {
+      ASSERT_EQ(result.cells[c].runs.size(), grid[c].runs);
+      for (std::size_t r = 0; r < grid[c].runs; ++r) {
+        SCOPED_TRACE("threads=" + std::to_string(threads) + " cell=" +
+                     std::to_string(c) + " run=" + std::to_string(r));
+        // Covers the dynamic counters (retries, stale failures, time to
+        // success) too — expect_identical spans every SimResult field.
+        expect_identical(result.cells[c].runs[r], reference[c].runs[r]);
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -1,12 +1,15 @@
 // Shared helpers for the test suite.
 #pragma once
 
+#include <gtest/gtest.h>
+
 #include <initializer_list>
 #include <utility>
 #include <vector>
 
 #include "graph/graph.h"
 #include "ledger/network_state.h"
+#include "sim/metrics.h"
 
 namespace flash::testing {
 
@@ -43,6 +46,33 @@ inline EdgeId fwd(const Graph& g, std::size_t c) {
 /// Edge id of the c-th channel's backward direction.
 inline EdgeId bwd(const Graph& g, std::size_t c) {
   return g.reverse(g.channel_forward_edge(c));
+}
+
+/// Field-for-field SimResult equality, doubles compared exactly: the
+/// bit-identity assertion shared by the sweep-determinism and
+/// scenario-equivalence suites. Must cover EVERY SimResult field — extend
+/// it whenever SimResult grows, or a regression in the new field slips
+/// past both suites.
+inline void expect_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.transactions, b.transactions);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.volume_attempted, b.volume_attempted);
+  EXPECT_EQ(a.volume_succeeded, b.volume_succeeded);
+  EXPECT_EQ(a.fees_paid, b.fees_paid);
+  EXPECT_EQ(a.probe_messages, b.probe_messages);
+  EXPECT_EQ(a.probes, b.probes);
+  EXPECT_EQ(a.mice_transactions, b.mice_transactions);
+  EXPECT_EQ(a.mice_successes, b.mice_successes);
+  EXPECT_EQ(a.mice_volume_succeeded, b.mice_volume_succeeded);
+  EXPECT_EQ(a.mice_probe_messages, b.mice_probe_messages);
+  EXPECT_EQ(a.elephant_transactions, b.elephant_transactions);
+  EXPECT_EQ(a.elephant_successes, b.elephant_successes);
+  EXPECT_EQ(a.elephant_volume_succeeded, b.elephant_volume_succeeded);
+  EXPECT_EQ(a.elephant_probe_messages, b.elephant_probe_messages);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.retry_successes, b.retry_successes);
+  EXPECT_EQ(a.stale_view_failures, b.stale_view_failures);
+  EXPECT_EQ(a.time_to_success_total, b.time_to_success_total);
 }
 
 }  // namespace flash::testing

@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <map>
+#include <numeric>
 #include <set>
 #include <sstream>
 
 #include "graph/bfs.h"
+#include "graph/topology.h"
 #include "trace/pair_gen.h"
 #include "trace/size_dist.h"
 #include "trace/trace_io.h"
@@ -276,6 +279,149 @@ TEST(Workload, DeterministicPerSeed) {
   for (std::size_t i = 0; i < a.transactions().size(); ++i) {
     EXPECT_EQ(a.transactions()[i].sender, b.transactions()[i].sender);
     EXPECT_DOUBLE_EQ(a.transactions()[i].amount, b.transactions()[i].amount);
+  }
+}
+
+TEST(Workload, SizeQuantileMemoMatchesDirectComputation) {
+  // The memoized quantile must be bit-identical to the direct
+  // percentile-over-all-amounts computation, on first and repeat calls.
+  const Workload w = make_toy_workload(25, 400, 13);
+  for (const double q : {0.5, 0.9, 0.99}) {
+    std::vector<double> sizes;
+    for (const auto& tx : w.transactions()) sizes.push_back(tx.amount);
+    const Amount direct = percentile(std::move(sizes), q * 100.0);
+    EXPECT_EQ(w.size_quantile(q), direct);  // cold
+    EXPECT_EQ(w.size_quantile(q), direct);  // memoized
+  }
+}
+
+// Oracle: the pre-refactor make_testbed_workload generation loop, verbatim.
+// The fold into generate_transactions (uniform-pairs mode) must consume the
+// RNG stream identically, so the whole trace is pinned bit-for-bit.
+TEST(Workload, TestbedTraceMatchesPreFoldOracle) {
+  constexpr std::size_t kNodes = 40;
+  constexpr Amount kCapLo = 500, kCapHi = 900;
+  WorkloadConfig c;
+  c.num_transactions = 120;
+  c.seed = 17;
+
+  Rng rng(c.seed);
+  Graph g = watts_strogatz(kNodes, 8, 0.3, rng);
+  NetworkState init(g);
+  init.assign_uniform_skewed(kCapLo, kCapHi, 0.35, 0.65, rng);
+  FeeSchedule fees = FeeSchedule::paper_default(g, rng);
+  const bool check_pairs = c.ensure_connectivity && !is_connected(g);
+  const SizeDistribution sizes = SizeDistribution::ripple();
+  std::vector<Transaction> expected;
+  while (expected.size() < c.num_transactions) {
+    const auto s = static_cast<NodeId>(rng.next_below(kNodes));
+    const auto r = static_cast<NodeId>(rng.next_below(kNodes));
+    if (s == r) continue;
+    if (check_pairs && !reachable(g, s, r)) continue;
+    Transaction tx;
+    tx.sender = s;
+    tx.receiver = r;
+    tx.amount = sizes.sample(rng);
+    tx.timestamp = static_cast<double>(expected.size());
+    expected.push_back(tx);
+  }
+
+  const Workload w = make_testbed_workload(kNodes, kCapLo, kCapHi, c);
+  ASSERT_EQ(w.transactions().size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(w.transactions()[i].sender, expected[i].sender);
+    EXPECT_EQ(w.transactions()[i].receiver, expected[i].receiver);
+    EXPECT_EQ(w.transactions()[i].amount, expected[i].amount);  // exact bits
+    EXPECT_EQ(w.transactions()[i].timestamp, expected[i].timestamp);
+  }
+}
+
+// Oracle: the pre-refactor per-draw receiver-Zipf renormalization. The
+// precomputed weight table must keep the generated pair stream identical.
+TEST(PairGen, RecurrentDrawsMatchPerDrawPowOracle) {
+  PairGenConfig config;  // defaults: recurrence 0.86, zipf 1.0, ws 18
+  constexpr std::size_t kNodes = 60;
+  constexpr std::size_t kDraws = 4000;
+
+  // Oracle: a shadow generator driven by the same RNG stream, with the
+  // working-set logic mirrored and the weights recomputed per draw.
+  struct Entry {
+    NodeId receiver;
+    std::uint64_t last_used;
+  };
+  std::map<NodeId, std::vector<Entry>> working;
+  std::uint64_t clock = 0;
+  const auto remember = [&](NodeId owner, NodeId counterparty) {
+    auto& ws = working[owner];
+    const auto known = std::find_if(
+        ws.begin(), ws.end(),
+        [&](const Entry& e) { return e.receiver == counterparty; });
+    if (known != ws.end()) {
+      known->last_used = clock;
+      return;
+    }
+    if (ws.size() >= config.working_set) {
+      ws.erase(std::min_element(ws.begin(), ws.end(),
+                                [](const Entry& a, const Entry& b) {
+                                  return a.last_used < b.last_used;
+                                }));
+    }
+    ws.push_back({counterparty, clock});
+  };
+
+  Rng oracle_rng(23);
+  std::vector<NodeId> identity(kNodes);
+  std::iota(identity.begin(), identity.end(), NodeId{0});
+  oracle_rng.shuffle(identity);
+  const ZipfSampler sender_sampler(kNodes, config.sender_zipf_s);
+
+  Rng rng(23);
+  RecurrentPairGenerator gen(kNodes, config, rng);
+
+  for (std::size_t d = 0; d < kDraws; ++d) {
+    ++clock;
+    const NodeId sender = identity[sender_sampler(oracle_rng)];
+    NodeId receiver = kInvalidNode;
+    auto& ws = working[sender];
+    bool drew_recurrent = false;
+    if (!ws.empty() && oracle_rng.chance(config.recurrence)) {
+      double total = 0;
+      for (std::size_t i = 0; i < ws.size(); ++i) {
+        total += 1.0 / std::pow(static_cast<double>(i + 1),
+                                config.receiver_zipf_s);
+      }
+      double r = oracle_rng.uniform() * total;
+      for (std::size_t i = 0; i < ws.size(); ++i) {
+        r -= 1.0 / std::pow(static_cast<double>(i + 1),
+                            config.receiver_zipf_s);
+        if (r < 0) {
+          ws[i].last_used = clock;
+          receiver = ws[i].receiver;
+          drew_recurrent = true;
+          break;
+        }
+      }
+      if (!drew_recurrent) {
+        ws.back().last_used = clock;
+        receiver = ws.back().receiver;
+        drew_recurrent = true;
+      }
+    }
+    if (!drew_recurrent) {
+      while (true) {
+        const auto r = static_cast<NodeId>(oracle_rng.next_below(kNodes));
+        if (r != sender) {
+          receiver = r;
+          break;
+        }
+      }
+      remember(sender, receiver);
+    }
+    if (config.bidirectional_relationships) remember(receiver, sender);
+
+    const auto [s, r] = gen.next(rng);
+    ASSERT_EQ(s, sender) << "draw " << d;
+    ASSERT_EQ(r, receiver) << "draw " << d;
   }
 }
 
