@@ -42,9 +42,41 @@ void bfs_core(const Graph& g, NodeId src, NodeId stop_at,
   if constexpr (kRecordHops) scratch.hops.reset(n);
   if (src >= n) return;
   auto& queue = scratch.bfs_queue;
-  queue.clear();
   scratch.parent.set(src, kInvalidEdge);
   if constexpr (kRecordHops) scratch.hops.set(src, 0);
+  if (g.finalized()) {
+    // Packed-arc fast path: identical traversal order, but (a) the head
+    // node rides in the same sequential stream as the edge id (no random
+    // to(e) load per visited edge), and (b) the stamped arrays and the
+    // queue are driven through raw-pointer views so the epoch, array
+    // bases and queue cursor live in registers across the whole search
+    // (this loop is the probing hot path of Algorithm 1). Every node is
+    // enqueued at most once, so sizing the buffer to num_nodes once (it
+    // never shrinks) lets the queue be a plain cursor-driven array —
+    // entries beyond `tail` are stale garbage from earlier queries, which
+    // is fine for scratch-internal working state.
+    if (queue.size() < n) queue.resize(n);
+    NodeId* const q = queue.data();
+    std::size_t tail = 0;
+    const auto parent = scratch.parent.view();
+    q[tail++] = src;
+    for (std::size_t head = 0; head < tail; ++head) {
+      const NodeId u = q[head];
+      for (const Graph::Arc a : g.out_arcs(u)) {
+        const NodeId v = a.head;
+        if (parent.contains(v)) continue;
+        if (!admit(a.edge)) continue;
+        parent.set(v, a.edge);
+        if constexpr (kRecordHops) {
+          scratch.hops.set(v, scratch.hops.get(u) + 1);
+        }
+        if (v == stop_at) return;
+        q[tail++] = v;
+      }
+    }
+    return;
+  }
+  queue.clear();
   queue.push_back(src);
   for (std::size_t head = 0; head < queue.size(); ++head) {
     const NodeId u = queue[head];

@@ -12,6 +12,7 @@
 
 #include <functional>
 #include <limits>
+#include <type_traits>
 #include <vector>
 
 #include "graph/graph.h"
@@ -59,10 +60,18 @@ struct DijkstraCoreResult {
 /// reachable set is settled (no early exit, no path reconstruction, found
 /// stays false) and the distances/shortest-path tree remain in
 /// scratch.dist/scratch.parent — see dijkstra_distances_core.
+///
+/// `cutoff` (default +inf) abandons the search once the tentative
+/// frontier exceeds it: t is then reported unreachable unless
+/// dist(t) <= cutoff. Settle order up to the cutoff is identical to the
+/// unbounded search, so any path found is bit-identical to the unbounded
+/// one — callers may prune with it whenever they would discard costlier
+/// results anyway (Yen's candidate bound).
 template <typename WeightFn>
-DijkstraCoreResult dijkstra_core(const Graph& g, NodeId s, NodeId t,
-                                 GraphScratch& scratch, WeightFn&& weight,
-                                 bool use_bans, Path& path_out) {
+DijkstraCoreResult dijkstra_core(
+    const Graph& g, NodeId s, NodeId t, GraphScratch& scratch,
+    WeightFn&& weight, bool use_bans, Path& path_out,
+    double cutoff = std::numeric_limits<double>::infinity()) {
   DijkstraCoreResult result;
   const std::size_t n = g.num_nodes();
   const bool all_targets = t == kInvalidNode;
@@ -85,28 +94,61 @@ DijkstraCoreResult dijkstra_core(const Graph& g, NodeId s, NodeId t,
   heap.clear();
   scratch.dist.set(s, 0.0);
   heap.push_back({0.0, s});  // no push_heap needed for a single element
-  while (!heap.empty()) {
-    const auto [d, u] = heap.front();
-    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
-    heap.pop_back();
-    if (d > scratch.dist.get_or(u, inf)) continue;  // stale entry
-    if (u == t) break;  // never taken in all-targets mode
-    for (EdgeId e : g.out_edges(u)) {
-      const NodeId v = g.to(e);
-      if (use_bans && scratch.node_ban.get_or(v, 0)) continue;
-      if (use_bans && scratch.edge_ban.get_or(e, 0)) continue;
-      const double w = weight(e);
-      if (w == kEdgeBanned) continue;
-      const double nd = d + w;
-      if (nd < scratch.dist.get_or(v, inf)) {
-        scratch.dist.set(v, nd);
-        scratch.parent.set(v, e);
-        heap.push_back({nd, v});
-        std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+  // Raw views (see StampedArray::View): epochs and array bases stay in
+  // registers across the whole search. The ban views are only indexed
+  // when use_bans is set, in which case the caller (Yen / edge-disjoint)
+  // has reset both ban arrays to this graph's size.
+  const auto dist = scratch.dist.view();
+  const auto parent = scratch.parent.view();
+  const auto nban = scratch.node_ban.view();
+  const auto eban = scratch.edge_ban.view();
+  const bool finalized = g.finalized();
+  // The search loop, stamped out once per ban mode so the per-edge ban
+  // checks vanish entirely from the no-bans instantiation (the branch
+  // would otherwise run for every relaxed edge).
+  auto search = [&](auto bans) {
+    while (!heap.empty()) {
+      const auto [d, u] = heap.front();
+      std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+      heap.pop_back();
+      if (d > cutoff) break;  // everything still queued costs > cutoff
+      if (d > dist.get_or(u, inf)) continue;  // stale entry
+      if (u == t) break;  // never taken in all-targets mode
+      auto relax = [&](EdgeId e, NodeId v) {
+        if constexpr (bans.value) {
+          if (nban.get_or(v, 0)) return;
+          if (eban.get_or(e, 0)) return;
+        }
+        const double w = weight(e);
+        if (w == kEdgeBanned) return;
+        const double nd = d + w;
+        if (nd < dist.get_or(v, inf)) {
+          dist.set(v, nd);
+          parent.set(v, e);
+          heap.push_back({nd, v});
+          std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+        }
+      };
+      if (finalized) {
+        // Packed-arc loop: head node in the same sequential stream as the
+        // edge id (see Graph::out_arcs); relaxation order is identical.
+        for (const Graph::Arc a : g.out_arcs(u)) relax(a.edge, a.head);
+      } else {
+        for (EdgeId e : g.out_edges(u)) relax(e, g.to(e));
       }
     }
+  };
+  if (use_bans) {
+    search(std::true_type{});
+  } else {
+    search(std::false_type{});
   }
   if (all_targets || !scratch.dist.contains(t)) return result;
+  // Under a finite cutoff the loop can stop with t carrying a tentative
+  // (unsettled, possibly non-optimal) label > cutoff; only a settled t —
+  // which always has dist <= cutoff, else the u == t break could not have
+  // run — counts as found.
+  if (scratch.dist.get(t) > cutoff) return result;
   result.found = true;
   result.distance = scratch.dist.get(t);
   const std::size_t first = path_out.size();

@@ -40,6 +40,10 @@ void Graph::finalize() {
     std::copy(out_[u].begin(), out_[u].end(),
               csr_edges_.begin() + csr_off_[u]);
   }
+  csr_arcs_.resize(num_edges());
+  for (std::size_t i = 0; i < csr_edges_.size(); ++i) {
+    csr_arcs_[i] = Arc{csr_edges_[i], to_[csr_edges_[i]]};
+  }
   csr_valid_ = true;
 }
 

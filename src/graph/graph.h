@@ -77,6 +77,21 @@ class Graph {
     return out_[u];
   }
 
+  /// An outgoing edge together with its head node, packed so traversal
+  /// loops read one sequential stream instead of chasing to(e) through a
+  /// second array.
+  struct Arc {
+    EdgeId edge;
+    NodeId head;  // == to(edge)
+  };
+
+  /// Outgoing arcs of a node, in the same order as out_edges().
+  /// Precondition: finalized() — the search cores check once per query and
+  /// fall back to out_edges()/to() on non-finalized graphs.
+  std::span<const Arc> out_arcs(NodeId u) const {
+    return {csr_arcs_.data() + csr_off_[u], csr_off_[u + 1] - csr_off_[u]};
+  }
+
   std::size_t out_degree(NodeId u) const { return out_[u].size(); }
 
   /// True if a directed path's endpoints/adjacency are consistent with this
@@ -95,8 +110,10 @@ class Graph {
   std::vector<std::vector<EdgeId>> out_;
   // CSR adjacency mirror of out_: csr_off_[u]..csr_off_[u+1] indexes the
   // outgoing edges of u inside csr_edges_ (same per-node order as out_).
+  // csr_arcs_ is the same sequence with the head node packed alongside.
   std::vector<std::uint32_t> csr_off_;
   std::vector<EdgeId> csr_edges_;
+  std::vector<Arc> csr_arcs_;
   bool csr_valid_ = false;
 };
 

@@ -80,6 +80,29 @@ class StampedArray {
     return vals_[i];
   }
 
+  /// Raw view for the hottest search loops: pointers and the epoch in
+  /// locals, so stores through the view cannot force the compiler to
+  /// reload the epoch or array bases each iteration (a plain uint32 store
+  /// may alias the uint32 epoch_ member under type-based alias analysis).
+  /// Valid until the next reset(); reads and writes stay coherent with the
+  /// owning array's own accessors.
+  struct View {
+    std::uint32_t* stamp;
+    T* vals;
+    std::uint32_t epoch;
+
+    bool contains(std::size_t i) const { return stamp[i] == epoch; }
+    void set(std::size_t i, const T& v) const {
+      stamp[i] = epoch;
+      vals[i] = v;
+    }
+    const T& get(std::size_t i) const { return vals[i]; }
+    T get_or(std::size_t i, const T& fallback) const {
+      return contains(i) ? vals[i] : fallback;
+    }
+  };
+  View view() { return {stamp_.data(), vals_.data(), epoch_}; }
+
  private:
   std::vector<T> vals_;
   std::vector<std::uint32_t> stamp_;
@@ -149,6 +172,7 @@ struct GraphScratch {
   // --- Yen workspace ----------------------------------------------------
   std::vector<std::uint32_t> yen_result;    // pool indices of emitted paths
   std::vector<std::uint64_t> yen_hash;      // path hash, parallel to pool
+  std::vector<std::uint32_t> yen_dev;       // deviation index, parallel
   // Open-addressing known-path set: slot = pool idx + 1, live only when the
   // parallel epoch stamp matches yen_epoch (so per-query reset is O(1)).
   std::vector<std::uint32_t> yen_known;
@@ -159,6 +183,7 @@ struct GraphScratch {
     std::uint32_t idx;  // pool index
   };
   std::vector<YenCandidate> yen_heap;       // candidate min-heap storage
+  std::vector<double> yen_bound_buf;        // spur-cutoff selection scratch
 
   // --- Flow / probing workspace ----------------------------------------
   StampedArray<Amount> edge_amount; // sparse residuals (elephant probing)

@@ -129,9 +129,12 @@ void yen_core(const Graph& g, NodeId s, NodeId t, std::size_t k,
     return pool.at(a.idx) > pool.at(b.idx);
   };
 
-  auto record_hash = [&](std::uint32_t idx) {
+  auto& dev = scratch.yen_dev;
+  auto record_hash = [&](std::uint32_t idx, std::uint32_t dev_index) {
     if (hashes.size() <= idx) hashes.resize(idx + 1);
     hashes[idx] = path_hash(pool.at(idx));
+    if (dev.size() <= idx) dev.resize(idx + 1);
+    dev[idx] = dev_index;
   };
 
   // First path: plain dijkstra, no bans.
@@ -144,7 +147,7 @@ void yen_core(const Graph& g, NodeId s, NodeId t, std::size_t k,
       finish();
       return;
     }
-    record_hash(0);
+    record_hash(0, 0);
     yen_known_insert(scratch, 0, known_count);
     ++known_count;
     result_idx.push_back(0);
@@ -161,8 +164,23 @@ void yen_core(const Graph& g, NodeId s, NodeId t, std::size_t k,
     prev_nodes.push_back(s);
     for (EdgeId e : prev) prev_nodes.push_back(g.to(e));
 
-    // Each node of the previous path except the last is a spur candidate.
-    for (std::size_t i = 0; i + 1 < prev_nodes.size(); ++i) {
+    // Each node of the previous path except the last is a spur candidate —
+    // starting at the previous path's own deviation index (Lawler's
+    // optimization). A spur at an earlier index shares its root prefix
+    // with the path prev deviated FROM, and prev's edge at that index
+    // equals that parent's edge (they agree before the deviation point),
+    // so the ban set — and therefore the spur dijkstra's result — is
+    // identical to the one already computed at the parent's iteration.
+    // Those re-runs can only produce candidates the known-set would
+    // reject; skipping them changes nothing in the output sequence (the
+    // equivalence suite pins this against the full-scan implementation).
+    const std::size_t spur_begin = dev[prev_idx];
+    double root_cost = 0.0;
+    for (std::size_t j = 0; j < spur_begin; ++j) {
+      root_cost += weight(prev[j]);
+    }
+    for (std::size_t i = spur_begin; i + 1 < prev_nodes.size(); ++i) {
+      if (i > spur_begin) root_cost += weight(prev[i - 1]);
       const NodeId spur_node = prev_nodes[i];
 
       // Ban edges that would recreate an already-known path sharing this
@@ -181,18 +199,43 @@ void yen_core(const Graph& g, NodeId s, NodeId t, std::size_t k,
         scratch.node_ban.set(prev_nodes[j], 1);
       }
 
+      // Candidate-bound pruning: only `remaining` more paths will be
+      // accepted, and each acceptance takes the heap minimum, so once the
+      // heap holds >= remaining candidates, every future accepted cost is
+      // <= the remaining-th smallest cost currently queued (later
+      // candidates can only lower that). A spur path costlier than that
+      // bound can never be emitted, so its dijkstra may stop there — in
+      // particular capping the otherwise full-graph sweeps of spurs whose
+      // best completion is expensive or unreachable. The 1e-9 slack keeps
+      // floating-point borderline candidates: they are generated and
+      // rejected by the normal acceptance logic instead of being pruned,
+      // so the emitted sequence cannot shift by a rounding difference
+      // between root_cost + distance and path_cost.
+      const std::size_t remaining = k - result_idx.size();
+      double cutoff = std::numeric_limits<double>::infinity();
+      if (cand_heap.size() >= remaining) {
+        auto& costs = scratch.yen_bound_buf;
+        costs.clear();
+        for (const auto& c : cand_heap) costs.push_back(c.cost);
+        std::nth_element(costs.begin(),
+                         costs.begin() + static_cast<long>(remaining - 1),
+                         costs.end());
+        cutoff = costs[remaining - 1] - root_cost + 1e-9;
+      }
+
       // Root prefix + spur path, built in place in a pooled buffer.
       Path& total = pool.alloc();
       total.assign(prev.begin(), prev.begin() + static_cast<long>(i));
-      const DijkstraCoreResult spur = dijkstra_core(
-          g, spur_node, t, scratch, weight, /*use_bans=*/true, total);
+      const DijkstraCoreResult spur =
+          dijkstra_core(g, spur_node, t, scratch, weight, /*use_bans=*/true,
+                        total, cutoff);
       if (!spur.found) {
         pool.pop();
         continue;
       }
 
       const auto total_idx = static_cast<std::uint32_t>(pool.size() - 1);
-      record_hash(total_idx);
+      record_hash(total_idx, static_cast<std::uint32_t>(i));
       if (yen_known_insert(scratch, total_idx, known_count)) {
         ++known_count;
         cand_heap.push_back({path_cost(total), total_idx});

@@ -160,60 +160,91 @@ std::optional<HoldId> NetworkState::hold(const Path& path, Amount amount) {
   if (amount <= 0 || path.empty()) {
     throw std::invalid_argument("hold: need positive amount, non-empty path");
   }
-  std::vector<EdgeAmount> parts;
-  parts.reserve(path.size());
-  for (EdgeId e : path) parts.emplace_back(e, amount);
-  return hold_flow(parts);
+  hold_path_scratch_.clear();
+  for (EdgeId e : path) hold_path_scratch_.emplace_back(e, amount);
+  return hold_flow(hold_path_scratch_);
 }
 
 std::optional<HoldId> NetworkState::hold_flow(
     std::span<const EdgeAmount> edge_amounts) {
-  // Aggregate duplicates so the feasibility check is exact.
-  std::vector<EdgeAmount> parts(edge_amounts.begin(), edge_amounts.end());
-  std::erase_if(parts, [](const EdgeAmount& ea) { return ea.second <= 0; });
-  if (parts.empty()) return std::nullopt;
-  std::sort(parts.begin(), parts.end());
-  std::vector<EdgeAmount> agg;
-  agg.reserve(parts.size());
-  for (const auto& [e, amt] : parts) {
-    if (!agg.empty() && agg.back().first == e) {
-      agg.back().second += amt;
+  // Working copy in reused scratch; aggregate duplicates so the
+  // feasibility check is exact.
+  hold_scratch_.assign(edge_amounts.begin(), edge_amounts.end());
+  std::erase_if(hold_scratch_,
+                [](const EdgeAmount& ea) { return ea.second <= 0; });
+  if (hold_scratch_.empty()) return std::nullopt;
+  std::sort(hold_scratch_.begin(), hold_scratch_.end());
+
+  // Acquire a record: recycle a retired slot when one exists, so holds_
+  // stays bounded by the maximum number of concurrently active holds and
+  // steady-state holding allocates nothing (the record keeps its parts
+  // capacity). The slot's generation rides in the id's upper bits so a
+  // stale id can never silently settle a later payment's hold.
+  std::uint64_t slot;
+  if (!free_hold_slots_.empty()) {
+    slot = free_hold_slots_.back();
+    free_hold_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint64_t>(holds_.size());
+    holds_.emplace_back();
+  }
+  HoldRecord& h = holds_[slot];
+  ++h.generation;
+  const HoldId id = (static_cast<HoldId>(h.generation) << 32) | slot;
+  h.parts.clear();
+  for (const auto& [e, amt] : hold_scratch_) {
+    if (!h.parts.empty() && h.parts.back().first == e) {
+      h.parts.back().second += amt;
     } else {
-      agg.emplace_back(e, amt);
+      h.parts.emplace_back(e, amt);
     }
   }
-  for (const auto& [e, amt] : agg) {
+  for (const auto& [e, amt] : h.parts) {
     if (e >= graph_->num_edges()) {
+      free_hold_slots_.push_back(slot);
       throw std::out_of_range("hold_flow: bad edge id");
     }
-    if (balance_[e] + kEps < amt) return std::nullopt;
+    if (balance_[e] + kEps < amt) {
+      free_hold_slots_.push_back(slot);
+      return std::nullopt;
+    }
   }
-  for (const auto& [e, amt] : agg) {
+  for (const auto& [e, amt] : h.parts) {
     balance_[e] = std::max<Amount>(0, balance_[e] - amt);
   }
-  holds_.push_back({std::move(agg), true});
+  h.active = true;
   ++active_holds_;
-  return static_cast<HoldId>(holds_.size() - 1);
+  return id;
+}
+
+NetworkState::HoldRecord& NetworkState::checked_active_record(HoldId id) {
+  const std::uint64_t slot = id & 0xffffffffull;
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= holds_.size() || holds_[slot].generation != generation ||
+      !holds_[slot].active) {
+    throw std::logic_error("hold id not active (settled, stale or foreign)");
+  }
+  return holds_[slot];
 }
 
 void NetworkState::commit(HoldId id) {
-  HoldRecord& h = holds_.at(id);
-  if (!h.active) throw std::logic_error("commit: hold not active");
+  HoldRecord& h = checked_active_record(id);
   for (const auto& [e, amt] : h.parts) {
     balance_[graph_->reverse(e)] += amt;
   }
   h.active = false;
   --active_holds_;
+  free_hold_slots_.push_back(id & 0xffffffffull);
 }
 
 void NetworkState::abort(HoldId id) {
-  HoldRecord& h = holds_.at(id);
-  if (!h.active) throw std::logic_error("abort: hold not active");
+  HoldRecord& h = checked_active_record(id);
   for (const auto& [e, amt] : h.parts) {
     balance_[e] += amt;
   }
   h.active = false;
   --active_holds_;
+  free_hold_slots_.push_back(id & 0xffffffffull);
 }
 
 bool NetworkState::check_invariants(std::size_t* bad_channel) const {
@@ -256,7 +287,9 @@ void NetworkState::restore(const Snapshot& s) {
     throw std::logic_error("restore with holds in flight");
   }
   balance_ = s.balance;
-  holds_.clear();
+  // No holds are in flight (checked above), so every record is retired and
+  // already on the free list; keeping them preserves their parts capacity
+  // for the next payments instead of re-allocating after every restore.
   recompute_deposits();
 }
 

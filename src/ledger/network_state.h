@@ -23,6 +23,12 @@
 namespace flash {
 
 /// Identifier of an in-flight (held but not yet committed) payment part.
+/// Valid from hold()/hold_flow() until the matching commit()/abort();
+/// record slots are then recycled for later holds (so a long simulation's
+/// hold table stays bounded by the maximum number of concurrently active
+/// holds and steady-state holding performs no heap allocations). The id
+/// carries the slot's generation in its upper 32 bits, so settling a
+/// stale id throws std::logic_error even after the slot was reused.
 using HoldId = std::uint64_t;
 
 /// Amount held/transferred on one directed edge.
@@ -166,13 +172,21 @@ class NetworkState {
  private:
   struct HoldRecord {
     std::vector<EdgeAmount> parts;  // aggregated, amounts > 0
+    std::uint32_t generation = 0;   // bumped per reuse; encoded in HoldId
     bool active = false;
   };
+
+  /// Decodes a HoldId, throwing std::logic_error on a stale or foreign id
+  /// (wrong generation / out-of-range slot / already settled).
+  HoldRecord& checked_active_record(HoldId id);
 
   const Graph* graph_;
   std::vector<Amount> balance_;
   std::vector<Amount> deposit_;  // per channel, fixed at init
   std::vector<HoldRecord> holds_;
+  std::vector<HoldId> free_hold_slots_;     // retired records to recycle
+  std::vector<EdgeAmount> hold_scratch_;    // hold_flow working copy
+  std::vector<EdgeAmount> hold_path_scratch_;  // hold() path expansion
   std::size_t active_holds_ = 0;
   std::uint64_t probe_messages_ = 0;
 

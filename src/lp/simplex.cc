@@ -11,39 +11,39 @@ namespace {
 
 constexpr double kEps = 1e-9;
 
-/// Dense simplex tableau with an explicit basis.
+/// Dense simplex over the workspace's flat row-major tableau, with an
+/// explicit basis. Row stride is cols + 1: the rhs lives in the last
+/// column of each row. A thin view — all storage belongs to the workspace.
 class Tableau {
  public:
-  Tableau(std::size_t rows, std::size_t cols)
-      : rows_(rows), cols_(cols), a_(rows, std::vector<double>(cols + 1, 0)),
-        basis_(rows, 0) {}
+  Tableau(double* a, std::size_t* basis, std::size_t rows, std::size_t cols)
+      : a_(a), basis_(basis), rows_(rows), cols_(cols), stride_(cols + 1) {}
 
-  double& at(std::size_t r, std::size_t c) { return a_[r][c]; }
-  double& rhs(std::size_t r) { return a_[r][cols_]; }
+  double& at(std::size_t r, std::size_t c) { return a_[r * stride_ + c]; }
+  double& rhs(std::size_t r) { return a_[r * stride_ + cols_]; }
   std::size_t basis(std::size_t r) const { return basis_[r]; }
   void set_basis(std::size_t r, std::size_t var) { basis_[r] = var; }
-  std::size_t rows() const { return rows_; }
-  std::size_t cols() const { return cols_; }
 
   /// Gauss pivot on (pr, pc): pc's variable enters the basis at row pr.
-  void pivot(std::size_t pr, std::size_t pc, std::vector<double>& z,
-             double& z_value) {
-    const double p = a_[pr][pc];
+  void pivot(std::size_t pr, std::size_t pc, double* z, double& z_value) {
+    double* prow = a_ + pr * stride_;
+    const double p = prow[pc];
     assert(std::abs(p) > kEps);
-    for (double& v : a_[pr]) v /= p;
+    for (std::size_t c = 0; c < stride_; ++c) prow[c] /= p;
     for (std::size_t r = 0; r < rows_; ++r) {
       if (r == pr) continue;
-      const double factor = a_[r][pc];
+      double* row = a_ + r * stride_;
+      const double factor = row[pc];
       if (std::abs(factor) < kEps) continue;
-      for (std::size_t c = 0; c <= cols_; ++c) {
-        a_[r][c] -= factor * a_[pr][c];
+      for (std::size_t c = 0; c < stride_; ++c) {
+        row[c] -= factor * prow[c];
       }
-      a_[r][pc] = 0;  // exact zero against drift
+      row[pc] = 0;  // exact zero against drift
     }
     const double zf = z[pc];
     if (std::abs(zf) > 0) {
-      for (std::size_t c = 0; c < cols_; ++c) z[c] -= zf * a_[pr][c];
-      z_value -= zf * a_[pr][cols_];
+      for (std::size_t c = 0; c < cols_; ++c) z[c] -= zf * prow[c];
+      z_value -= zf * prow[cols_];
       z[pc] = 0;
     }
     basis_[pr] = pc;
@@ -53,8 +53,7 @@ class Tableau {
   /// unbounded. Bland's rule: entering = smallest index with z < -eps;
   /// leaving = min ratio, ties by smallest basic variable index.
   /// Returns false on unboundedness.
-  bool iterate(std::vector<double>& z, double& z_value,
-               const std::vector<char>& allowed) {
+  bool iterate(double* z, double& z_value, const char* allowed) {
     while (true) {
       std::size_t entering = cols_;
       for (std::size_t c = 0; c < cols_; ++c) {
@@ -68,8 +67,9 @@ class Tableau {
       std::size_t leaving = rows_;
       double best_ratio = std::numeric_limits<double>::infinity();
       for (std::size_t r = 0; r < rows_; ++r) {
-        if (a_[r][entering] > kEps) {
-          const double ratio = a_[r][cols_] / a_[r][entering];
+        const double* row = a_ + r * stride_;
+        if (row[entering] > kEps) {
+          const double ratio = row[cols_] / row[entering];
           if (ratio < best_ratio - kEps ||
               (ratio < best_ratio + kEps &&
                (leaving == rows_ || basis_[r] < basis_[leaving]))) {
@@ -84,67 +84,68 @@ class Tableau {
   }
 
  private:
+  double* a_;
+  std::size_t* basis_;
   std::size_t rows_;
   std::size_t cols_;
-  std::vector<std::vector<double>> a_;
-  std::vector<std::size_t> basis_;
+  std::size_t stride_;
 };
 
 }  // namespace
 
-LpSolution solve_lp(const LpProblem& problem) {
-  const std::size_t n = problem.num_vars();
-  const std::size_t m = problem.constraints.size();
-  LpSolution solution;
+void solve_lp_core(LpWorkspace& ws) {
+  const std::size_t n = ws.num_vars_;
+  const std::size_t m = ws.num_cons_;
+  ws.status = LpStatus::kInfeasible;
+  ws.objective_value = 0;
 
   // Column layout: [0, n) structural, then one slack/surplus per inequality,
   // then one artificial per constraint that needs one.
   std::size_t num_slack = 0;
-  for (const auto& con : problem.constraints) {
-    if (con.rel != Relation::kEq) ++num_slack;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (ws.constraint_rel(i) != Relation::kEq) ++num_slack;
   }
 
   // First pass to count artificials: a >= or == row always gets one; a <=
   // row gets one only if its (sign-normalized) rhs is negative, i.e. the
   // slack cannot serve as the initial basic variable.
-  std::vector<double> sign(m, 1.0);
-  std::vector<char> needs_artificial(m, 0);
-  {
-    for (std::size_t i = 0; i < m; ++i) {
-      const auto& con = problem.constraints[i];
-      Relation rel = con.rel;
-      double rhs = con.rhs;
-      if (rhs < 0) {
-        sign[i] = -1.0;
-        rhs = -rhs;
-        if (rel == Relation::kLessEq) {
-          rel = Relation::kGreaterEq;
-        } else if (rel == Relation::kGreaterEq) {
-          rel = Relation::kLessEq;
-        }
+  ws.row_sign_.assign(m, 1.0);
+  ws.needs_artificial_.assign(m, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    Relation rel = ws.constraint_rel(i);
+    double rhs = ws.rhs_[i];
+    if (rhs < 0) {
+      ws.row_sign_[i] = -1.0;
+      rhs = -rhs;
+      if (rel == Relation::kLessEq) {
+        rel = Relation::kGreaterEq;
+      } else if (rel == Relation::kGreaterEq) {
+        rel = Relation::kLessEq;
       }
-      needs_artificial[i] = (rel != Relation::kLessEq) ? 1 : 0;
     }
+    ws.needs_artificial_[i] = (rel != Relation::kLessEq) ? 1 : 0;
   }
   std::size_t num_artificial = 0;
-  for (std::size_t i = 0; i < m; ++i) num_artificial += needs_artificial[i];
+  for (std::size_t i = 0; i < m; ++i) num_artificial += ws.needs_artificial_[i];
 
   const std::size_t total = n + num_slack + num_artificial;
-  Tableau t(m, total);
+  ws.tableau_.assign(m * (total + 1), 0.0);
+  ws.basis_.assign(m, 0);
+  ws.artificial_.assign(total, 0);
+  Tableau t(ws.tableau_.data(), ws.basis_.data(), m, total);
 
   std::size_t slack_col = n;
   std::size_t art_col = n + num_slack;
-  std::vector<std::size_t> artificial_cols;
   for (std::size_t i = 0; i < m; ++i) {
-    const auto& con = problem.constraints[i];
-    assert(con.coeffs.size() <= n);
-    for (std::size_t j = 0; j < con.coeffs.size(); ++j) {
-      t.at(i, j) = sign[i] * con.coeffs[j];
+    const double* coeffs = ws.constraint_coeffs(i);
+    const double sign = ws.row_sign_[i];
+    for (std::size_t j = 0; j < n; ++j) {
+      t.at(i, j) = sign * coeffs[j];
     }
-    t.rhs(i) = sign[i] * con.rhs;
+    t.rhs(i) = sign * ws.rhs_[i];
 
-    Relation rel = con.rel;
-    if (sign[i] < 0) {
+    Relation rel = ws.constraint_rel(i);
+    if (sign < 0) {
       if (rel == Relation::kLessEq) {
         rel = Relation::kGreaterEq;
       } else if (rel == Relation::kGreaterEq) {
@@ -160,50 +161,46 @@ LpSolution solve_lp(const LpProblem& problem) {
       ++slack_col;
       t.at(i, art_col) = 1.0;
       t.set_basis(i, art_col);
-      artificial_cols.push_back(art_col);
+      ws.artificial_[art_col] = 1;
       ++art_col;
     } else {  // equality
       t.at(i, art_col) = 1.0;
       t.set_basis(i, art_col);
-      artificial_cols.push_back(art_col);
+      ws.artificial_[art_col] = 1;
       ++art_col;
     }
   }
 
-  std::vector<char> allowed(total, 1);
+  ws.allowed_.assign(total, 1);
 
   // ---- Phase 1: minimize the sum of artificials. ----
   if (num_artificial > 0) {
-    std::vector<double> z1(total, 0.0);
+    ws.z_.assign(total, 0.0);
     double z1_value = 0.0;
-    for (std::size_t c : artificial_cols) z1[c] = 1.0;
+    for (std::size_t c = n + num_slack; c < total; ++c) ws.z_[c] = 1.0;
     // Reduce: subtract rows whose basis is artificial.
     for (std::size_t r = 0; r < m; ++r) {
-      const std::size_t b = t.basis(r);
-      const bool basic_artificial =
-          std::find(artificial_cols.begin(), artificial_cols.end(), b) !=
-          artificial_cols.end();
-      if (basic_artificial) {
-        for (std::size_t c = 0; c < total; ++c) z1[c] -= t.at(r, c);
+      if (ws.artificial_[t.basis(r)]) {
+        for (std::size_t c = 0; c < total; ++c) ws.z_[c] -= t.at(r, c);
         z1_value -= t.rhs(r);
       }
     }
-    if (!t.iterate(z1, z1_value, allowed)) {
+    if (!t.iterate(ws.z_.data(), z1_value, ws.allowed_.data())) {
       // Phase-1 objective is bounded below by 0; unbounded means a bug.
-      solution.status = LpStatus::kInfeasible;
-      return solution;
+      ws.status = LpStatus::kInfeasible;
+      return;
     }
     if (-z1_value > 1e-7) {  // minimized sum of artificials is -z1_value
-      solution.status = LpStatus::kInfeasible;
-      return solution;
+      ws.status = LpStatus::kInfeasible;
+      return;
     }
-    // Drive any degenerate basic artificial out of the basis.
+    // Drive any degenerate basic artificial out of the basis. The dummy
+    // reduced-cost row stays all-zero through every such pivot (zf == 0),
+    // so it is cleared once, not per pivot.
+    ws.z_dummy_.assign(total, 0.0);
+    double dummy = 0.0;
     for (std::size_t r = 0; r < m; ++r) {
-      const std::size_t b = t.basis(r);
-      if (std::find(artificial_cols.begin(), artificial_cols.end(), b) ==
-          artificial_cols.end()) {
-        continue;
-      }
+      if (!ws.artificial_[t.basis(r)]) continue;
       std::size_t pc = total;
       for (std::size_t c = 0; c < n + num_slack; ++c) {
         if (std::abs(t.at(r, c)) > kEps) {
@@ -212,48 +209,68 @@ LpSolution solve_lp(const LpProblem& problem) {
         }
       }
       if (pc != total) {
-        double dummy = 0.0;
-        std::vector<double> zdummy(total, 0.0);
-        t.pivot(r, pc, zdummy, dummy);
+        t.pivot(r, pc, ws.z_dummy_.data(), dummy);
       }
       // If the whole row is zero the constraint is redundant; the
       // artificial stays basic at value 0, which is harmless as long as it
       // cannot re-enter (disallowed below).
     }
-    for (std::size_t c : artificial_cols) allowed[c] = 0;
+    for (std::size_t c = n + num_slack; c < total; ++c) ws.allowed_[c] = 0;
   }
 
   // ---- Phase 2: minimize the real objective. ----
-  std::vector<double> z2(total, 0.0);
+  ws.z_.assign(total, 0.0);
   double z2_value = 0.0;
-  for (std::size_t j = 0; j < n; ++j) z2[j] = problem.objective[j];
+  for (std::size_t j = 0; j < n; ++j) ws.z_[j] = ws.objective[j];
   for (std::size_t r = 0; r < m; ++r) {
     const std::size_t b = t.basis(r);
-    if (b < total && std::abs(z2[b]) > 0) {
-      const double factor = z2[b];
-      for (std::size_t c = 0; c < total; ++c) z2[c] -= factor * t.at(r, c);
+    if (b < total && std::abs(ws.z_[b]) > 0) {
+      const double factor = ws.z_[b];
+      for (std::size_t c = 0; c < total; ++c) ws.z_[c] -= factor * t.at(r, c);
       z2_value -= factor * t.rhs(r);
-      z2[b] = 0;
+      ws.z_[b] = 0;
     }
   }
-  if (!t.iterate(z2, z2_value, allowed)) {
-    solution.status = LpStatus::kUnbounded;
-    return solution;
+  if (!t.iterate(ws.z_.data(), z2_value, ws.allowed_.data())) {
+    ws.status = LpStatus::kUnbounded;
+    return;
   }
 
-  solution.status = LpStatus::kOptimal;
-  solution.x.assign(n, 0.0);
+  ws.status = LpStatus::kOptimal;
+  ws.x.assign(n, 0.0);
   for (std::size_t r = 0; r < m; ++r) {
     const std::size_t b = t.basis(r);
-    if (b < n) solution.x[b] = std::max(0.0, t.rhs(r));
+    if (b < n) ws.x[b] = std::max(0.0, t.rhs(r));
   }
-  solution.objective_value = -z2_value;
   // Recompute the objective from x to shed accumulated pivot drift.
   double direct = 0.0;
   for (std::size_t j = 0; j < n; ++j) {
-    direct += problem.objective[j] * solution.x[j];
+    direct += ws.objective[j] * ws.x[j];
   }
-  solution.objective_value = direct;
+  ws.objective_value = direct;
+}
+
+LpSolution solve_lp(const LpProblem& problem) {
+  // LP solving takes no user callbacks, so unlike the graph wrappers this
+  // thread_local needs no re-entrancy lease.
+  thread_local LpWorkspace ws;
+  const std::size_t n = problem.num_vars();
+  ws.reset(n);
+  for (std::size_t j = 0; j < n; ++j) ws.objective[j] = problem.objective[j];
+  for (const auto& con : problem.constraints) {
+    assert(con.coeffs.size() <= n);
+    double* row = ws.add_constraint(con.rel, con.rhs);
+    const std::size_t k = std::min(con.coeffs.size(), n);
+    for (std::size_t j = 0; j < k; ++j) row[j] = con.coeffs[j];
+  }
+  solve_lp_core(ws);
+
+  LpSolution solution;
+  solution.status = ws.status;
+  if (ws.status == LpStatus::kOptimal) {
+    solution.x = ws.x;
+    solution.objective_value = ws.objective_value;
+  }
   return solution;
 }
 

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 #include "graph/bfs.h"
-#include "ledger/htlc.h"
 
 namespace flash {
 
@@ -18,11 +18,10 @@ void elephant_find_paths_into(const Graph& g, NodeId s, NodeId t,
                               ElephantProbeResult& result) {
   result.feasible = false;
   result.bottlenecks.clear();
-  // A FRESH map, not clear(): clear() keeps the grown bucket array, which
-  // changes the map's iteration order versus a fresh map receiving the same
-  // insertion sequence — and that order feeds the LP constraint order, so
-  // it must match the legacy per-call map bit-for-bit.
-  result.capacities = CapacityMap{};
+  // O(1) epoch reset; entries accumulate in probe order, which is the fee
+  // LP's canonical constraint order (identical across standard libraries,
+  // unlike the unordered_map this replaced).
+  result.capacities.reset(g.num_edges());
   result.max_flow = 0;
   result.probes = 0;
   std::size_t num_paths = 0;
@@ -42,8 +41,13 @@ void elephant_find_paths_into(const Graph& g, NodeId s, NodeId t,
   // may explore them; probed edges use their residual value.
   auto& residual = scratch.edge_amount;
   residual.reset(g.num_edges());
-  auto residual_admits = [&residual](EdgeId e) {
-    return !residual.contains(e) || residual.get(e) > kEps;
+  // Raw view (see StampedArray::View): keeps the epoch and array bases in
+  // registers inside the BFS inner loop. Updates through `residual` stay
+  // visible — the view aliases the same storage and the epoch does not
+  // change until the next reset().
+  const auto rview = residual.view();
+  auto residual_admits = [rview](EdgeId e) {
+    return rview.stamp[e] != rview.epoch || rview.vals[e] > kEps;
   };
 
   Path& p = scratch.pool.alloc();
@@ -64,12 +68,12 @@ void elephant_find_paths_into(const Graph& g, NodeId s, NodeId t,
       const EdgeId e = p[i];
       const EdgeId rev = g.reverse(e);
       if (!residual.contains(e)) {  // line 17: first time
-        result.capacities.emplace(e, balances[i]);
+        result.capacities.insert(e, balances[i]);
         residual.set(e, balances[i]);
       }
       if (!residual.contains(rev)) {  // line 20
         const Amount rev_balance = state.balance(rev);
-        result.capacities.emplace(rev, rev_balance);
+        result.capacities.insert(rev, rev_balance);
         residual.set(rev, rev_balance);
       }
     }
@@ -114,7 +118,8 @@ ElephantProbeResult elephant_find_paths(const Graph& g, NodeId s, NodeId t,
 RouteResult route_elephant(const Graph& g, const Transaction& tx,
                            NetworkState& state, const FeeSchedule& fees,
                            const ElephantConfig& config, GraphScratch& scratch,
-                           ElephantProbeResult& probe_buf) {
+                           ElephantProbeResult& probe_buf,
+                           SplitWorkspace& split_ws) {
   RouteResult result;
   result.elephant = true;
   if (tx.amount <= 0 || tx.sender == tx.receiver) return result;
@@ -128,35 +133,47 @@ RouteResult route_elephant(const Graph& g, const Transaction& tx,
   if (!probe.feasible) return result;  // Algorithm 1 returns empty set
 
   // Path selection: program (1), or the discovery-order fill ablation.
-  SplitResult split =
-      config.optimize_fees
-          ? optimize_fee_split(g, probe.paths, tx.amount, probe.capacities,
-                               fees)
-          : sequential_split(g, probe.paths, tx.amount, probe.capacities,
-                             fees);
-  if (!split.feasible && config.optimize_fees) {
-    // LP numerically degenerate (rare): fall back to the sequential fill,
-    // which is feasible whenever Algorithm 1 reported f >= d.
-    split = sequential_split(g, probe.paths, tx.amount, probe.capacities,
-                             fees);
+  SplitResult& split = split_ws.split_buf;
+  if (config.optimize_fees) {
+    optimize_fee_split_core(g, probe.paths, tx.amount, probe.capacities,
+                            fees, split_ws, split);
+    if (!split.feasible) {
+      // LP numerically degenerate (rare): fall back to the sequential
+      // fill, which is feasible whenever Algorithm 1 reported f >= d.
+      sequential_split_core(g, probe.paths, tx.amount, probe.capacities,
+                            fees, split_ws, split);
+    }
+  } else {
+    sequential_split_core(g, probe.paths, tx.amount, probe.capacities, fees,
+                          split_ws, split);
   }
   if (!split.feasible) return result;
 
   // Net the split into per-edge amounts: opposite directions offset
   // (program (1) allows it, and committing the net flow is what the
   // channel balances experience after all partial payments settle).
-  auto& net = scratch.amount_buf;
-  net.assign(g.num_edges(), 0);
+  // Sparse: only the channels the used paths touch are visited, not the
+  // whole edge array; `channels` records them in first-touch order.
+  auto& net = scratch.edge_amount;
+  net.reset(g.num_edges());
+  auto& channels = split_ws.net_channels;
+  channels.clear();
   for (std::size_t i = 0; i < probe.paths.size(); ++i) {
     if (split.amounts[i] <= kEps) continue;
     ++result.paths_used;
-    for (EdgeId e : probe.paths[i]) net[e] += split.amounts[i];
+    for (EdgeId e : probe.paths[i]) {
+      const EdgeId fwd = e & ~1u;
+      if (!net.contains(fwd) && !net.contains(g.reverse(fwd))) {
+        channels.push_back(fwd);
+      }
+      net.slot(e) += split.amounts[i];
+    }
   }
   auto& flow = scratch.flow_buf;
   flow.clear();
-  for (EdgeId e = 0; e < g.num_edges(); e += 2) {
+  for (const EdgeId e : channels) {
     const EdgeId r = g.reverse(e);
-    const Amount delta = net[e] - net[r];
+    const Amount delta = net.get_or(e, 0) - net.get_or(r, 0);
     if (delta > kEps) {
       flow.emplace_back(e, delta);
     } else if (delta < -kEps) {
@@ -164,11 +181,14 @@ RouteResult route_elephant(const Graph& g, const Transaction& tx,
     }
   }
 
-  AtomicPayment payment(state);
-  if (!payment.add_flow(flow, tx.amount)) {
+  // Single netted flow, held then committed (hold_flow aggregates and
+  // checks feasibility atomically, so this is the AMP contract with one
+  // part; nothing is held on failure).
+  const auto hold = state.hold_flow(flow);
+  if (!hold) {
     return result;  // balances changed since probing; atomic failure
   }
-  payment.commit();
+  state.commit(*hold);
   result.success = true;
   result.delivered = tx.amount;
   result.fee = split.total_fee;
@@ -179,9 +199,11 @@ RouteResult route_elephant(const Graph& g, const Transaction& tx,
                            NetworkState& state, const FeeSchedule& fees,
                            const ElephantConfig& config) {
   ElephantProbeResult probe_buf;
+  SplitWorkspace split_ws;
   LegacyScratchLease lease;
   GraphScratch& scratch = lease.get();
-  return route_elephant(g, tx, state, fees, config, scratch, probe_buf);
+  return route_elephant(g, tx, state, fees, config, scratch, probe_buf,
+                        split_ws);
 }
 
 }  // namespace flash

@@ -37,7 +37,11 @@ struct ElephantProbeResult {
   bool feasible = false;            // f >= d after the loop
   std::vector<Path> paths;          // the path set P
   std::vector<Amount> bottlenecks;  // per-path residual bottleneck c
-  CapacityMap capacities;           // probed capacity matrix C
+  /// Probed capacity matrix C, in probe order: each directed edge is
+  /// recorded when it is first probed. That insertion order is the fee
+  /// LP's constraint order — canonical and portable (no dependence on any
+  /// standard library's hash iteration order).
+  ProbedCapacities capacities;
   Amount max_flow = 0;              // f
   std::uint32_t probes = 0;         // number of path probes issued
 };
@@ -51,12 +55,10 @@ ElephantProbeResult elephant_find_paths(const Graph& g, NodeId s, NodeId t,
 
 /// Hot-path variant: runs the probe loop in `scratch` (residuals and the
 /// per-iteration BFS live in flat epoch-stamped edge arrays — no hash-map
-/// lookups in the inner loop) and reuses `result`'s buffers. The probed
-/// capacity matrix `result.capacities` is still materialized as a
-/// CapacityMap, insertion-for-insertion identical to the legacy variant,
-/// because the fee-LP boundary consumes it (and its iteration order feeds
-/// the LP constraint order). Same sharing rules as elephant_find_paths,
-/// plus: `scratch` follows the GraphScratch thread-affinity contract.
+/// lookups anywhere) and reuses `result`'s buffers, including the flat
+/// probed capacity matrix. Zero steady-state allocations. Same sharing
+/// rules as elephant_find_paths, plus: `scratch` follows the GraphScratch
+/// thread-affinity contract.
 void elephant_find_paths_into(const Graph& g, NodeId s, NodeId t,
                               Amount demand, std::size_t max_paths,
                               NetworkState& state, GraphScratch& scratch,
@@ -69,11 +71,14 @@ RouteResult route_elephant(const Graph& g, const Transaction& tx,
                            NetworkState& state, const FeeSchedule& fees,
                            const ElephantConfig& config);
 
-/// Hot-path variant threading the router's scratch and a reusable probe
-/// result through the pipeline (FlashRouter::route uses this).
+/// Hot-path variant threading the router's workspaces through the whole
+/// pipeline (FlashRouter::route uses this): graph scratch for
+/// probing/netting, a reusable probe result, and the split workspace for
+/// program (1). Allocation-free in steady state.
 RouteResult route_elephant(const Graph& g, const Transaction& tx,
                            NetworkState& state, const FeeSchedule& fees,
                            const ElephantConfig& config, GraphScratch& scratch,
-                           ElephantProbeResult& probe_buf);
+                           ElephantProbeResult& probe_buf,
+                           SplitWorkspace& split_ws);
 
 }  // namespace flash

@@ -21,8 +21,8 @@ RouteResult FlashRouter::route(const Transaction& tx, NetworkState& state) {
     ElephantConfig ec;
     ec.max_paths = config_.k_elephant_paths;
     ec.optimize_fees = config_.optimize_fees;
-    RouteResult r =
-        route_elephant(*graph_, tx, state, *fees_, ec, scratch_, probe_buf_);
+    RouteResult r = route_elephant(*graph_, tx, state, *fees_, ec, scratch_,
+                                   probe_buf_, split_ws_);
     r.elephant = is_elephant(tx.amount);
     return r;
   }

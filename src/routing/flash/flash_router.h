@@ -89,9 +89,11 @@ class FlashRouter : public Router {
   MiceRoutingTable table_;
   Rng rng_;
   // Per-router workspaces so a long simulation performs no graph-algorithm
-  // allocations after warm-up. Same thread affinity as the router itself.
+  // or fee-LP allocations after warm-up. Same thread affinity as the
+  // router itself.
   GraphScratch scratch_;
   ElephantProbeResult probe_buf_;
+  SplitWorkspace split_ws_;
 };
 
 }  // namespace flash

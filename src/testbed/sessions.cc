@@ -362,7 +362,9 @@ FlashElephantSession::FlashElephantSession(
       fees_(&fees),
       sender_(sender),
       receiver_(receiver),
-      max_paths_(max_paths) {}
+      max_paths_(max_paths) {
+  capacities_.reset(graph.num_edges());
+}
 
 void FlashElephantSession::start() {
   if (sender_ == receiver_ || amount() <= 0) {
@@ -406,15 +408,15 @@ void FlashElephantSession::on_probe_ack(const Path& edge_path,
   const std::size_t n = edge_path.size();
   for (std::size_t i = 0; i < n && i < msg.capacity.size(); ++i) {
     const EdgeId e = edge_path[i];
-    if (!capacities_.count(e)) {
-      capacities_[e] = msg.capacity[i];
+    if (!capacities_.contains(e)) {
+      capacities_.insert(e, msg.capacity[i]);
       residual_[e] = msg.capacity[i];
     }
   }
   for (std::size_t j = 0; j < n && j < msg.capacity_reverse.size(); ++j) {
     const EdgeId rev = graph_->reverse(edge_path[n - 1 - j]);
-    if (!capacities_.count(rev)) {
-      capacities_[rev] = msg.capacity_reverse[j];
+    if (!capacities_.contains(rev)) {
+      capacities_.insert(rev, msg.capacity_reverse[j]);
       residual_[rev] = msg.capacity_reverse[j];
     }
   }
@@ -439,11 +441,11 @@ void FlashElephantSession::split_and_commit() {
     finish(false);  // Algorithm 1 infeasible: nothing held, nothing to undo
     return;
   }
-  CapacityMap caps(capacities_.begin(), capacities_.end());
   SplitResult split =
-      optimize_fee_split(*graph_, edge_paths_, amount(), caps, *fees_);
+      optimize_fee_split(*graph_, edge_paths_, amount(), capacities_, *fees_);
   if (!split.feasible) {
-    split = sequential_split(*graph_, edge_paths_, amount(), caps, *fees_);
+    split =
+        sequential_split(*graph_, edge_paths_, amount(), capacities_, *fees_);
   }
   if (!split.feasible) {
     finish(false);

@@ -16,6 +16,7 @@
 
 #include "graph/graph.h"
 #include "ledger/fee_policy.h"
+#include "lp/fee_min.h"
 #include "testbed/network.h"
 #include "util/rng.h"
 
@@ -156,7 +157,9 @@ class FlashElephantSession : public PaymentSession {
   NodeId receiver_;
   std::size_t max_paths_;
   std::unordered_map<EdgeId, Amount> residual_;
-  std::unordered_map<EdgeId, Amount> capacities_;
+  // Probed capacity matrix C in PROBE_ACK arrival order — the LP's
+  // canonical constraint order, same convention as ElephantProbeResult.
+  ProbedCapacities capacities_;
   std::vector<Path> edge_paths_;
   Amount flow_ = 0;
 

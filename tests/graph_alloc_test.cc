@@ -8,10 +8,10 @@
 // the counters don't see unrelated traffic (gtest itself only allocates on
 // failure paths and between tests).
 //
-// Deliberately out of scope: the fee-LP boundary (ElephantProbeResult's
-// CapacityMap is re-populated per probe because its iteration order feeds
-// the LP constraint order) and the ledger (holds bookkeeping), which are
-// not graph-algorithm state.
+// Since the LP fee-split rewrite the same promise covers the whole
+// elephant pipeline: the flat ProbedCapacities matrix, the LP split cores
+// running in a SplitWorkspace, and route_elephant end to end — including
+// the ledger, whose hold records are recycled through a free list.
 #include <atomic>
 #include <cstdlib>
 #include <new>
@@ -25,6 +25,9 @@
 #include "graph/scratch.h"
 #include "graph/topology.h"
 #include "graph/yen.h"
+#include "ledger/fee_policy.h"
+#include "lp/fee_min.h"
+#include "routing/flash/elephant.h"
 #include "testutil.h"
 #include "util/rng.h"
 
@@ -165,6 +168,100 @@ TEST(AllocationFree, EdgeDisjointCore) {
   std::vector<Path> out;
   expect_steady_state_alloc_free("edge_disjoint_core", [&] {
     edge_disjoint_core(g, 9, 320, 4, scratch, out);
+  });
+}
+
+// --- Fee-LP split pipeline ------------------------------------------------
+
+/// Fig-scale probed elephant instance shared by the split tests: a real
+/// Algorithm-1 path set and capacity matrix on the test topology.
+struct SplitFixture {
+  const Graph& g = test_graph();
+  NetworkState state{g};
+  FeeSchedule fees;
+  GraphScratch scratch;
+  ElephantProbeResult probe;
+  Amount demand = 0;
+
+  SplitFixture() {
+    Rng rng(21);
+    state.assign_lognormal_split(250, 1.0, rng);
+    fees = FeeSchedule::paper_default(g, rng);
+    elephant_find_paths_into(g, 11, 377, 1e6, 20, state, scratch, probe);
+    EXPECT_GE(probe.paths.size(), 2u);
+    demand = 0.9 * probe.max_flow;
+    EXPECT_GT(demand, 0);
+  }
+};
+
+TEST(AllocationFree, OptimizeFeeSplitCore) {
+  SplitFixture f;
+  SplitWorkspace ws;
+  SplitResult result;
+  expect_steady_state_alloc_free("optimize_fee_split_core", [&] {
+    optimize_fee_split_core(f.g, f.probe.paths, f.demand, f.probe.capacities,
+                            f.fees, ws, result);
+    EXPECT_TRUE(result.feasible);
+  });
+}
+
+TEST(AllocationFree, SequentialSplitCore) {
+  SplitFixture f;
+  SplitWorkspace ws;
+  SplitResult result;
+  expect_steady_state_alloc_free("sequential_split_core", [&] {
+    sequential_split_core(f.g, f.probe.paths, f.demand, f.probe.capacities,
+                          f.fees, ws, result);
+    EXPECT_TRUE(result.feasible);
+  });
+}
+
+TEST(AllocationFree, ElephantProbeIntoFlatCapacities) {
+  // The probe loop itself, including the flat ProbedCapacities rebuild
+  // that replaced the fresh-unordered_map-per-probe workaround.
+  SplitFixture f;
+  expect_steady_state_alloc_free("elephant_find_paths_into", [&] {
+    elephant_find_paths_into(f.g, 11, 377, 1e6, 20, f.state, f.scratch,
+                             f.probe);
+  });
+}
+
+TEST(AllocationFree, RouteElephantFullSplitPath) {
+  // The complete elephant pipeline: probing, LP split, sparse netting and
+  // the ledger hold/commit — the per-payment work of every fig09-style
+  // sweep. The state is restored between calls so each run performs the
+  // exact same (successful) payment, warm-up included.
+  SplitFixture f;
+  ElephantConfig config;
+  SplitWorkspace split_ws;
+  ElephantProbeResult probe_buf;
+  const NetworkState::Snapshot snap = f.state.snapshot();
+  Transaction tx{11, 377, 0, 0};
+  tx.amount = f.demand;
+  expect_steady_state_alloc_free("route_elephant (LP split)", [&] {
+    f.state.restore(snap);
+    const RouteResult r = route_elephant(f.g, tx, f.state, f.fees, config,
+                                         f.scratch, probe_buf, split_ws);
+    EXPECT_TRUE(r.success);
+  });
+}
+
+TEST(AllocationFree, RouteElephantSequentialFallbackPath) {
+  // Fig. 9's "w/o optimization" configuration (sequential fill) through
+  // the same full pipeline.
+  SplitFixture f;
+  ElephantConfig config;
+  config.optimize_fees = false;
+  SplitWorkspace split_ws;
+  ElephantProbeResult probe_buf;
+  const NetworkState::Snapshot snap = f.state.snapshot();
+  Transaction tx{11, 377, 0, 0};
+  tx.amount = f.demand;
+  expect_steady_state_alloc_free("route_elephant (sequential)", [&] {
+    f.state.restore(snap);
+    const RouteResult r = route_elephant(f.g, tx, f.state, f.fees, config,
+                                         f.scratch, probe_buf, split_ws);
+    EXPECT_TRUE(r.success);
   });
 }
 

@@ -231,6 +231,49 @@ TEST(NetworkState, DoubleCommitThrows) {
   EXPECT_THROW(s.abort(*id), std::logic_error);
 }
 
+TEST(NetworkState, StaleHoldIdStaysInvalidAfterSlotReuse) {
+  // Hold records are recycled through a free list; the generation tag in
+  // the id must keep a settled id invalid even once its slot carries a
+  // NEW active hold (a silent double-commit would corrupt balances).
+  Graph g = make_graph(2, {{0, 1}});
+  NetworkState s(g);
+  set_channel(s, g, 0, 10, 0);
+  const auto stale = s.hold(Path{fwd(g, 0)}, 1);
+  s.commit(*stale);
+  const auto fresh = s.hold(Path{fwd(g, 0)}, 2);  // reuses the slot
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_NE(*fresh, *stale);
+  EXPECT_THROW(s.commit(*stale), std::logic_error);
+  EXPECT_THROW(s.abort(*stale), std::logic_error);
+  EXPECT_EQ(s.active_holds(), 1u);  // the fresh hold is untouched
+  s.commit(*fresh);
+  EXPECT_EQ(s.active_holds(), 0u);
+}
+
+TEST(NetworkState, HoldTableBoundedBySlotRecycling) {
+  // Settled slots are reused, so a long hold/settle sequence keeps the
+  // invariant sweep O(active holds), not O(total payments ever made).
+  Graph g = make_graph(2, {{0, 1}});
+  NetworkState s(g);
+  set_channel(s, g, 0, 10, 10);
+  for (int i = 0; i < 1000; ++i) {
+    // Ping-pong a unit between the directions so the balances round-trip
+    // and every hold succeeds, whatever the settle pattern.
+    const EdgeId e = (i % 2 == 0) ? fwd(g, 0) : g.reverse(fwd(g, 0));
+    const auto id = s.hold(Path{e}, 1);
+    ASSERT_TRUE(id.has_value()) << "payment " << i;
+    if (i % 4 < 2) {
+      s.commit(*id);
+    } else {
+      s.abort(*id);
+    }
+  }
+  EXPECT_EQ(s.active_holds(), 0u);
+  EXPECT_TRUE(s.check_invariants());
+  EXPECT_DOUBLE_EQ(s.balance(fwd(g, 0)) + s.balance(g.reverse(fwd(g, 0))),
+                   20);
+}
+
 TEST(NetworkState, HoldValidatesArguments) {
   Graph g = make_graph(2, {{0, 1}});
   NetworkState s(g);

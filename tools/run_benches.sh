@@ -47,6 +47,12 @@ echo "== graph core benches (allocation-free hot paths) =="
   --benchmark_out_format=json
 
 echo
+echo "== LP core benches (fee-split pipeline) =="
+"${BUILD_DIR}/bench/bench_lp" \
+  --benchmark_out="${OUT_DIR}/BENCH_lp.json" \
+  --benchmark_out_format=json
+
+echo
 echo "== figure benches (FLASH_BENCH_FAST smoke sweeps) =="
 export FLASH_BENCH_FAST=1
 THREADS="${FLASH_BENCH_THREADS:-$(nproc)}"
@@ -103,9 +109,11 @@ for name in ("BENCH_micro_algorithms.json", "BENCH_micro_routing.json"):
 
 # The scratch-based graph-core benches ride along as their own section so
 # the graph layer's perf trajectory is tracked separately from the legacy
-# micro benches.
+# micro benches; the LP fee-split pipeline gets the same treatment.
 with open(out / "BENCH_graph_core.json") as f:
     merged["graph_core"] = json.load(f)["benchmarks"]
+with open(out / "BENCH_lp.json") as f:
+    merged["lp_core"] = json.load(f)["benchmarks"]
 
 sweeps = []
 timings = out / "sweep_timings.txt"
