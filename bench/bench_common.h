@@ -37,6 +37,13 @@ inline bool fast_mode() {
   return v && *v;
 }
 
+/// CI smoke mode (FLASH_BENCH_SMOKE): shrink further than FLASH_BENCH_FAST,
+/// to sizes a pull-request gate can afford. Used by bench_scale.
+inline bool smoke_mode() {
+  const char* v = std::getenv("FLASH_BENCH_SMOKE");
+  return v && *v;
+}
+
 inline std::size_t bench_runs() { return env_size("FLASH_BENCH_RUNS", 3); }
 inline std::size_t bench_tx() { return env_size("FLASH_BENCH_TX", 2000); }
 

@@ -31,11 +31,6 @@ using namespace flash::bench;
 
 namespace {
 
-bool smoke_mode() {
-  const char* v = std::getenv("FLASH_BENCH_SMOKE");
-  return v && *v;
-}
-
 WorkloadFactory sparse_factory(std::size_t nodes, std::size_t tx) {
   return [nodes, tx](std::uint64_t seed) {
     return make_toy_workload(nodes, tx, seed);

@@ -1,7 +1,9 @@
 #include "gossip/gossip.h"
 
-#include <set>
+#include <algorithm>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
 namespace flash::gossip {
 
@@ -51,16 +53,27 @@ void GossipNetwork::announce_full_topology() {
 }
 
 void GossipNetwork::bootstrap_full_topology() {
+  // Build the baseline channel list ONCE (normalized, sorted, deduped) and
+  // share it across every view: O(nodes + channels) instead of the former
+  // O(nodes x channels) per-view materialization — mandatory at 50k nodes.
+  auto channels = std::make_shared<std::vector<std::pair<NodeId, NodeId>>>();
+  channels->reserve(graph_->num_channels());
   for (std::size_t c = 0; c < graph_->num_channels(); ++c) {
     const EdgeId e = graph_->channel_forward_edge(c);
-    Announcement a;
-    a.type = AnnouncementType::kChannelOpen;
-    a.u = graph_->from(e);
-    a.v = graph_->to(e);
-    a.seq = 1;
-    for (NodeId node = 0; node < views_.size(); ++node) {
-      if (views_[node].apply(a)) ++versions_[node];
-    }
+    NodeId u = graph_->from(e);
+    NodeId v = graph_->to(e);
+    if (u > v) std::swap(u, v);
+    channels->emplace_back(u, v);
+  }
+  std::sort(channels->begin(), channels->end());
+  channels->erase(std::unique(channels->begin(), channels->end()),
+                  channels->end());
+  const NodeView::Baseline baseline = std::move(channels);
+  for (NodeId node = 0; node < views_.size(); ++node) {
+    // set_baseline reports how many channels were news to the node — the
+    // same count of version bumps the old per-announcement seeding did
+    // (view versions feed router-rebuild rng seeds, so this must match).
+    versions_[node] += views_[node].set_baseline(baseline);
   }
 }
 

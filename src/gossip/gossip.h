@@ -47,8 +47,11 @@ class GossipNetwork {
   /// Seeds every node's view with the full physical topology (seq = 1)
   /// WITHOUT exchanging any messages: models a network whose gossip
   /// converged long before the experiment starts, so bootstrap knowledge
-  /// does not pollute the churn-announcement message count. O(nodes x
-  /// channels) time and view memory. Bumps every node's view version.
+  /// does not pollute the churn-announcement message count. Builds one
+  /// shared sorted baseline and installs it in every view — O(nodes +
+  /// channels log channels) time, O(channels) memory total (views share
+  /// the baseline; see NodeView). Bumps every node's view version once
+  /// per channel that was news to it.
   void bootstrap_full_topology();
 
   /// Monotone per-node counter, bumped every time `node`'s view adopts an

@@ -1,62 +1,82 @@
 #include "gossip/node_view.h"
 
+#include <algorithm>
+
 namespace flash::gossip {
+
+bool NodeView::in_baseline(const std::pair<NodeId, NodeId>& key) const {
+  return baseline_ &&
+         std::binary_search(baseline_->begin(), baseline_->end(), key);
+}
+
+std::size_t NodeView::set_baseline(Baseline baseline) {
+  baseline_ = std::move(baseline);
+  // Recount opens: baseline entries count unless shadowed by an override,
+  // plus every open override. Walking the (small) override map once also
+  // yields how many baseline channels were already known.
+  std::size_t overlap = 0;
+  std::size_t open_overrides = 0;
+  for (const auto& [key, state] : overrides_) {
+    if (in_baseline(key)) ++overlap;
+    if (state.open) ++open_overrides;
+  }
+  const std::size_t base = baseline_ ? baseline_->size() : 0;
+  open_count_ = base - overlap + open_overrides;
+  return base - overlap;  // channels that were news to this node
+}
 
 bool NodeView::apply(const Announcement& a) {
   // Valid announcements carry seq >= 1; an unknown channel has seq 0.
   const auto key = a.channel();
-  const auto it = channels_.find(key);
-  if (it != channels_.end() && a.seq <= it->second.seq) {
+  const auto it = overrides_.find(key);
+  const bool was_open =
+      it != overrides_.end() ? it->second.open : in_baseline(key);
+  const std::uint64_t cur_seq =
+      it != overrides_.end() ? it->second.seq : (in_baseline(key) ? 1 : 0);
+  if (a.seq <= cur_seq) {
     return false;  // stale or duplicate: do not re-flood
   }
-  ChannelState& state = channels_[key];
+  ChannelState& state = it != overrides_.end() ? it->second : overrides_[key];
   state.seq = a.seq;
   state.open = a.type == AnnouncementType::kChannelOpen;
+  if (state.open && !was_open) ++open_count_;
+  if (!state.open && was_open) --open_count_;
   return true;
-}
-
-std::size_t NodeView::open_channels() const {
-  std::size_t n = 0;
-  for (const auto& [key, state] : channels_) n += state.open;
-  return n;
 }
 
 bool NodeView::knows_channel(NodeId a, NodeId b) const {
   const auto key = a < b ? std::pair{a, b} : std::pair{b, a};
-  const auto it = channels_.find(key);
-  return it != channels_.end() && it->second.open;
+  const auto it = overrides_.find(key);
+  if (it != overrides_.end()) return it->second.open;
+  return in_baseline(key);
 }
 
 std::uint64_t NodeView::seq_of(NodeId a, NodeId b) const {
   const auto key = a < b ? std::pair{a, b} : std::pair{b, a};
-  const auto it = channels_.find(key);
-  return it == channels_.end() ? 0 : it->second.seq;
+  const auto it = overrides_.find(key);
+  if (it != overrides_.end()) return it->second.seq;
+  return in_baseline(key) ? 1 : 0;
 }
 
 Graph NodeView::to_graph(std::size_t num_nodes) const {
   Graph g(num_nodes);
-  for (const auto& [key, state] : channels_) {
-    if (state.open && key.first < num_nodes && key.second < num_nodes) {
-      g.add_channel(key.first, key.second);
-    }
-  }
+  g.reserve_channels(open_count_);
+  for_each_open([&](NodeId u, NodeId v) {
+    if (u < num_nodes && v < num_nodes) g.add_channel(u, v);
+  });
   g.finalize();
   return g;
 }
 
 bool NodeView::agrees_with(const NodeView& other) const {
-  // Compare open-channel sets (closed/unknown are equivalent).
-  for (const auto& [key, state] : channels_) {
-    if (state.open != other.knows_channel(key.first, key.second)) {
-      return false;
-    }
-  }
-  for (const auto& [key, state] : other.channels_) {
-    if (state.open != knows_channel(key.first, key.second)) {
-      return false;
-    }
-  }
-  return true;
+  // Open sets are equal iff they have the same size and one contains the
+  // other (closed/unknown are equivalent).
+  if (open_count_ != other.open_count_) return false;
+  bool subset = true;
+  for_each_open([&](NodeId u, NodeId v) {
+    subset = subset && other.knows_channel(u, v);
+  });
+  return subset;
 }
 
 }  // namespace flash::gossip

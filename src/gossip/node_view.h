@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <utility>
+#include <vector>
 
 #include "gossip/messages.h"
 #include "graph/graph.h"
@@ -14,14 +16,35 @@ namespace flash::gossip {
 /// exist, with the latest sequence number seen per channel. Applying an
 /// announcement returns whether the view changed (i.e. whether the node
 /// should re-flood it to its neighbours).
+///
+/// Memory model: a view is a shared immutable *baseline* (channels every
+/// node learned at bootstrap, all open at seq 1, sorted ascending) plus a
+/// small per-node *override* map holding only the channels this node has
+/// heard announcements about. Before this split every node materialized
+/// the full channel set privately, which is O(nodes x channels) across a
+/// network — at Lightning scale (50k nodes x ~717k channels) that is the
+/// difference between megabytes and terabytes. Gossip churn only ever
+/// touches the overrides, so the baseline stays shared for the whole run.
 class NodeView {
  public:
+  /// Sorted ascending by (u, v) with u < v, no duplicates; every entry is
+  /// an open channel at seq 1. Shared by every view of the same network.
+  using Baseline = std::shared_ptr<const std::vector<std::pair<NodeId, NodeId>>>;
+
+  /// Installs the bootstrap baseline. Channels the node already heard
+  /// announcements about keep their override (any applied announcement has
+  /// seq >= 1, so the seq-1 baseline seed is stale for them — exactly what
+  /// apply() would have decided). Returns the number of channels that were
+  /// NEWS to this node (baseline entries with no prior override), which is
+  /// how much the owner should bump the node's view version.
+  std::size_t set_baseline(Baseline baseline);
+
   /// Applies an announcement. Returns true if it was news (newer seq than
   /// anything seen for that channel), false if stale or duplicate.
   bool apply(const Announcement& a);
 
-  /// Number of channels the node currently believes are open.
-  std::size_t open_channels() const;
+  /// Number of channels the node currently believes are open. O(1).
+  std::size_t open_channels() const noexcept { return open_count_; }
 
   /// True if the node believes a channel between a and b is open.
   bool knows_channel(NodeId a, NodeId b) const;
@@ -37,10 +60,28 @@ class NodeView {
   /// Invokes f(u, v) for every channel the node believes open, with u < v,
   /// in ascending (u, v) order — the same order to_graph adds channels, so
   /// callers can build a graph and a parallel channel index in lockstep.
+  /// Implemented as a two-way merge of the sorted baseline with the sorted
+  /// override map (an override shadows its baseline entry).
   template <typename F>
   void for_each_open(F&& f) const {
-    for (const auto& [key, state] : channels_) {
-      if (state.open) f(key.first, key.second);
+    auto it = overrides_.begin();
+    const auto end = overrides_.end();
+    if (baseline_) {
+      for (const auto& ch : *baseline_) {
+        while (it != end && it->first < ch) {
+          if (it->second.open) f(it->first.first, it->first.second);
+          ++it;
+        }
+        if (it != end && it->first == ch) {
+          if (it->second.open) f(ch.first, ch.second);
+          ++it;
+        } else {
+          f(ch.first, ch.second);
+        }
+      }
+    }
+    for (; it != end; ++it) {
+      if (it->second.open) f(it->first.first, it->first.second);
     }
   }
 
@@ -52,7 +93,13 @@ class NodeView {
     std::uint64_t seq = 0;
     bool open = false;
   };
-  std::map<std::pair<NodeId, NodeId>, ChannelState> channels_;
+
+  /// True if the baseline contains the normalized pair (binary search).
+  bool in_baseline(const std::pair<NodeId, NodeId>& key) const;
+
+  Baseline baseline_;  // may be null (node bootstrapped empty)
+  std::map<std::pair<NodeId, NodeId>, ChannelState> overrides_;
+  std::size_t open_count_ = 0;  // maintained incrementally by apply()
 };
 
 }  // namespace flash::gossip

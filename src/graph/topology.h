@@ -41,6 +41,12 @@ Graph ripple_like(Rng& rng);
 /// Lightning-like topology: 2,511 nodes, 36,016 channels, scale-free.
 Graph lightning_like(Rng& rng);
 
+/// Lightning-density scale-free topology at an arbitrary node count: keeps
+/// the crawled snapshot's ~14.34 channels/node (36,016 / 2,511) so 10k-100k
+/// node synthetics are degree-comparable with `lightning_like`. Precondition:
+/// nodes >= 2.
+Graph scale_free_lightning(std::size_t nodes, Rng& rng);
+
 /// Simple deterministic shapes for unit tests.
 Graph ring_graph(std::size_t n);
 Graph line_graph(std::size_t n);

@@ -38,7 +38,8 @@ void NetworkState::assign_balances(std::span<const Amount> balances) {
 
 void NetworkState::mirror_balance(EdgeId e, Amount amount) {
   if (amount < 0) throw std::invalid_argument("mirror_balance: negative");
-  balance_.at(e) = amount;
+  assert(e < balance_.size());
+  balance_[e] = amount;
 }
 
 void NetworkState::assign_uniform_split(Amount lo, Amount hi, Rng& rng) {
@@ -110,7 +111,8 @@ void NetworkState::scale_all(double factor) {
 }
 
 Amount NetworkState::channel_deposit(EdgeId e) const {
-  return deposit_.at(graph_->channel_of(e));
+  assert(graph_->channel_of(e) < deposit_.size());
+  return deposit_[graph_->channel_of(e)];
 }
 
 Amount NetworkState::total_balance() const {
@@ -130,14 +132,14 @@ Amount NetworkState::total_held() const {
 
 Amount NetworkState::path_bottleneck(const Path& path) const {
   if (path.empty()) return 0;
-  Amount bn = balance_.at(path.front());
-  for (EdgeId e : path) bn = std::min(bn, balance_.at(e));
+  Amount bn = balance(path.front());
+  for (EdgeId e : path) bn = std::min(bn, balance(e));
   return bn;
 }
 
 bool NetworkState::path_can_carry(const Path& path, Amount amount) const {
   for (EdgeId e : path) {
-    if (balance_.at(e) + kEps < amount) return false;
+    if (balance(e) + kEps < amount) return false;
   }
   return true;
 }
@@ -153,7 +155,7 @@ void NetworkState::probe_path_into(const Path& path,
   probe_messages_ += 2 * path.size();  // PROBE forward + PROBE_ACK back
   out.clear();
   out.reserve(path.size());
-  for (EdgeId e : path) out.push_back(balance_.at(e));
+  for (EdgeId e : path) out.push_back(balance(e));
 }
 
 std::optional<HoldId> NetworkState::hold(const Path& path, Amount amount) {
@@ -211,6 +213,7 @@ std::optional<HoldId> NetworkState::hold_flow(
   }
   for (const auto& [e, amt] : h.parts) {
     balance_[e] = std::max<Amount>(0, balance_[e] - amt);
+    if (change_log_enabled_) change_log_.push_back(e);
   }
   h.active = true;
   ++active_holds_;
@@ -231,6 +234,7 @@ void NetworkState::commit(HoldId id) {
   HoldRecord& h = checked_active_record(id);
   for (const auto& [e, amt] : h.parts) {
     balance_[graph_->reverse(e)] += amt;
+    if (change_log_enabled_) change_log_.push_back(graph_->reverse(e));
   }
   h.active = false;
   --active_holds_;
@@ -241,6 +245,7 @@ void NetworkState::abort(HoldId id) {
   HoldRecord& h = checked_active_record(id);
   for (const auto& [e, amt] : h.parts) {
     balance_[e] += amt;
+    if (change_log_enabled_) change_log_.push_back(e);
   }
   h.active = false;
   --active_holds_;

@@ -10,6 +10,7 @@
 // in-flight holds == total deposit, under every sequence of operations.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -95,7 +96,15 @@ class NetworkState {
 
   // --- Introspection ------------------------------------------------------
 
-  Amount balance(EdgeId e) const { return balance_.at(e); }
+  /// Balance of a directed edge. This is the single hottest read in the
+  /// whole simulator (every probe, feasibility check and settle goes
+  /// through it), so indexing is unchecked in Release; Debug/ASan builds
+  /// keep the bounds assert. Edge ids come from the Graph the state was
+  /// built over, so out-of-range ids are programming errors, not inputs.
+  Amount balance(EdgeId e) const {
+    assert(e < balance_.size());
+    return balance_[e];
+  }
 
   /// Total deposit of the channel containing e (both directions + holds).
   Amount channel_deposit(EdgeId e) const;
@@ -156,6 +165,28 @@ class NetworkState {
 
   std::size_t active_holds() const noexcept { return active_holds_; }
 
+  // --- Change log ---------------------------------------------------------
+  //
+  // When enabled, every edge whose balance is modified by the two-phase
+  // payment machinery (hold_flow debits, commit credits, abort refunds) is
+  // appended to a journal. A reader that knew every balance at the last
+  // clear_change_log() can resync by revisiting only the logged edges —
+  // the scenario engine uses this to mirror a stale sender's routing
+  // activity back to the ground-truth ledger in O(edges touched) instead
+  // of O(all edges). Entries may repeat (each modification logs one entry,
+  // deduplication is the reader's business) and deliberately EXCLUDE
+  // direct writes (set_balance / assign_balances / mirror_balance): those
+  // are made by the ledger's owner, who already knows what it wrote.
+
+  /// Starts journaling payment-driven balance changes (off by default, so
+  /// ledgers that never sync pay nothing).
+  void enable_change_log() noexcept { change_log_enabled_ = true; }
+
+  /// Edges modified by hold/commit/abort since the last clear (may repeat).
+  std::span<const EdgeId> change_log() const noexcept { return change_log_; }
+
+  void clear_change_log() noexcept { change_log_.clear(); }
+
   /// Verifies the channel invariant for every channel (O(V+E+holds)).
   /// Returns false and sets `bad_channel` (optional) on violation.
   bool check_invariants(std::size_t* bad_channel = nullptr) const;
@@ -189,6 +220,8 @@ class NetworkState {
   std::vector<EdgeAmount> hold_path_scratch_;  // hold() path expansion
   std::size_t active_holds_ = 0;
   std::uint64_t probe_messages_ = 0;
+  std::vector<EdgeId> change_log_;
+  bool change_log_enabled_ = false;
 
   void recompute_deposits();
 };

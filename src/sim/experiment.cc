@@ -33,8 +33,11 @@ std::vector<Scheme> all_schemes() {
 std::unique_ptr<Router> make_router(Scheme scheme, const Workload& workload,
                                     const FlashOptions& opts,
                                     std::uint64_t seed) {
-  return make_router(scheme, workload.graph(), workload.fees(),
-                     workload.size_quantile(opts.mice_quantile), opts, seed);
+  const Amount threshold = opts.elephant_threshold > 0
+                               ? opts.elephant_threshold
+                               : workload.size_quantile(opts.mice_quantile);
+  return make_router(scheme, workload.graph(), workload.fees(), threshold,
+                     opts, seed);
 }
 
 std::unique_ptr<Router> make_router(Scheme scheme, const Graph& graph,

@@ -39,6 +39,11 @@ struct FlashOptions {
   /// FlashConfig::table_recompute_on_exhaustion). Default off — keeps the
   /// static figure sweeps bit-identical.
   bool table_recompute_on_exhaustion = false;
+  /// Explicit mice/elephant classification threshold. 0 (default) derives
+  /// it from the workload's mice_quantile — which requires a materialized
+  /// trace; streaming runs (whose Workload carries no transactions) set it
+  /// directly instead.
+  Amount elephant_threshold = 0;
 };
 
 /// Builds a fresh router for a scheme against a workload. Thread-safe for

@@ -12,7 +12,7 @@ namespace flash {
 // directed edge to the corresponding ground-truth edge (orientation
 // preserved); `mirror` is a ledger over `local` that is re-synced from the
 // truth before every payment and mirrored back after settlement.
-struct ScenarioEngine::SenderContext {
+struct ScenarioEngine::SenderContext : SenderCacheable {
   static constexpr std::uint64_t kNever = ~std::uint64_t{0};
 
   std::uint64_t view_version = kNever;
@@ -22,6 +22,14 @@ struct ScenarioEngine::SenderContext {
   std::unique_ptr<NetworkState> mirror;
   std::unique_ptr<Router> router;
   std::vector<Amount> synced;  // truth balances at the last pre-route sync
+  // Inverse of to_physical: physical edge -> local edge + 1 (0 = not in
+  // this sender's view). Lets journal replay translate truth changes.
+  std::vector<std::uint32_t> phys_to_local;
+  // Position in the engine's truth journal this mirror has replayed up
+  // to, valid for journal generation `journal_gen` (0 = never synced;
+  // engine generations start at 1, so a fresh context always full-syncs).
+  std::size_t journal_pos = 0;
+  std::uint64_t journal_gen = 0;
   // view_diverged memo, valid for one (truth, view) version pair.
   std::uint64_t div_truth_version = kNever;
   std::uint64_t div_view_version = kNever;
@@ -57,7 +65,27 @@ ScenarioEngine::ScenarioEngine(const Workload& workload, Scheme scheme,
                                const FlashOptions& opts, const SimConfig& sim,
                                const ScenarioConfig& scenario,
                                std::uint64_t seed)
+    : ScenarioEngine(workload, scheme, opts, sim, scenario, seed,
+                     std::make_unique<VectorWorkloadStream>(
+                         workload.transactions())) {}
+
+ScenarioEngine::ScenarioEngine(const Workload& workload,
+                               WorkloadStream& stream, Scheme scheme,
+                               const FlashOptions& opts, const SimConfig& sim,
+                               const ScenarioConfig& scenario,
+                               std::uint64_t seed)
+    : ScenarioEngine(workload, scheme, opts, sim, scenario, seed, nullptr) {
+  stream_ = &stream;
+}
+
+ScenarioEngine::ScenarioEngine(const Workload& workload, Scheme scheme,
+                               const FlashOptions& opts, const SimConfig& sim,
+                               const ScenarioConfig& scenario,
+                               std::uint64_t seed,
+                               std::unique_ptr<WorkloadStream> owned_stream)
     : workload_(&workload),
+      stream_(owned_stream.get()),
+      owned_stream_(std::move(owned_stream)),
       scheme_(scheme),
       opts_(opts),
       sim_(sim),
@@ -65,7 +93,8 @@ ScenarioEngine::ScenarioEngine(const Workload& workload, Scheme scheme,
       seed_(seed),
       truth_(workload.make_state(sim.capacity_scale)),
       gossip_(workload.graph()),
-      dyn_rng_(0) {
+      dyn_rng_(0),
+      contexts_(scenario.max_sender_routers) {
   validate(cfg_);
   const Graph& g = workload.graph();
 
@@ -75,7 +104,9 @@ ScenarioEngine::ScenarioEngine(const Workload& workload, Scheme scheme,
   }
   class_threshold_ = sim_.class_threshold > 0 ? sim_.class_threshold
                                               : workload.size_quantile(0.9);
-  elephant_threshold_ = workload.size_quantile(opts_.mice_quantile);
+  elephant_threshold_ = opts_.elephant_threshold > 0
+                            ? opts_.elephant_threshold
+                            : workload.size_quantile(opts_.mice_quantile);
   // The pristine-mode router: exactly the router run_simulation would use
   // (same construction, same seed), so the zero-dynamics scenario is
   // bit-identical to the static path.
@@ -83,6 +114,7 @@ ScenarioEngine::ScenarioEngine(const Workload& workload, Scheme scheme,
 
   channel_seq_.assign(g.num_channels(), 1);  // seq 1 = bootstrap open
   open_.assign(g.num_channels(), 1);
+  ever_churned_.assign(g.num_channels(), 0);
   open_list_.resize(g.num_channels());
   for (std::size_t c = 0; c < g.num_channels(); ++c) {
     open_list_[c] = c;
@@ -116,15 +148,16 @@ ScenarioResult ScenarioEngine::run() {
   if (ran_) throw std::logic_error("ScenarioEngine: run() is single-use");
   ran_ = true;
 
-  const auto& txs = workload_->transactions();
-  double prev = 0;
-  for (std::size_t i = 0; i < txs.size(); ++i) {
-    const double t = i == 0 ? txs[i].timestamp
-                            : std::max(prev, txs[i].timestamp);
-    schedule(t, EventType::kArrival, i);
-    prev = t;
-  }
-  outstanding_ = txs.size();
+  // Arrivals are staged LAZILY, one at a time: arrival i enters the heap
+  // only when arrival i-1 is popped (arrivals are chronological, so the
+  // staged arrival is always the earliest outstanding one — heap pop order
+  // is exactly what scheduling every arrival up front produced). Each
+  // arrival keeps its historical sequence number i and event_seq_ starts
+  // past the reserved block, so every event's (time, seq) heap key — and
+  // therefore the whole run — is unchanged by the streaming rewrite.
+  outstanding_ = stream_->size();
+  event_seq_ = stream_->size();
+  stage_next_arrival();
   if (cfg_.churn.close_rate > 0) {
     schedule(dyn_rng_.exponential(cfg_.churn.close_rate), EventType::kClose);
   }
@@ -138,6 +171,8 @@ ScenarioResult ScenarioEngine::run() {
     now_ = ev.time;
     switch (ev.type) {
       case EventType::kArrival:
+        pending_[ev.a].tx = staged_tx_;
+        stage_next_arrival();
         attempt_payment(ev.a, 0);
         break;
       case EventType::kRetry:
@@ -166,12 +201,31 @@ ScenarioResult ScenarioEngine::run() {
                            scheme_name(scheme_) + ")");
   }
   result_.gossip_messages = gossip_.total_messages();
+  result_.router_cache_hits = contexts_.hits();
+  result_.router_cache_misses = contexts_.misses();
+  result_.router_cache_evictions = contexts_.evictions();
   return result_;
+}
+
+void ScenarioEngine::stage_next_arrival() {
+  if (next_arrival_ >= stream_->size()) return;
+  Transaction tx;
+  if (!stream_->next(tx)) return;  // stream shorter than advertised
+  // Arrival order is always the trace order: a timestamp that runs
+  // backwards is clamped to the previous arrival, like run_simulation's
+  // sequential replay.
+  const double t = next_arrival_ == 0
+                       ? tx.timestamp
+                       : std::max(prev_arrival_time_, tx.timestamp);
+  prev_arrival_time_ = t;
+  events_.push(Event{t, next_arrival_, EventType::kArrival, next_arrival_});
+  staged_tx_ = tx;
+  ++next_arrival_;
 }
 
 void ScenarioEngine::attempt_payment(std::size_t tx_index,
                                      std::size_t attempt) {
-  const Transaction& tx = workload_->transactions()[tx_index];
+  const Transaction tx = pending_.at(tx_index).tx;
   RouteResult r;
   bool diverged = false;
   if (pristine_) {
@@ -185,25 +239,26 @@ void ScenarioEngine::attempt_payment(std::size_t tx_index,
     // balances (probing is a network operation), only the topology is
     // stale. A truth-closed channel the view still believes in carries
     // balance 0 — sends over it fail, probes report it dead.
-    const std::size_t local_edges = ctx.local.num_edges();
-    ctx.synced.resize(local_edges);
-    for (EdgeId e = 0; e < local_edges; ++e) {
-      ctx.synced[e] = truth_.balance(ctx.to_physical[e]);
-    }
-    ctx.mirror->assign_balances(ctx.synced);
+    sync_context(ctx);
     r = ctx.router->route(tx, *ctx.mirror);
     if (ctx.mirror->active_holds() != 0) {
       throw std::logic_error("scenario: router " + ctx.router->name() +
                              " leaked holds after tx " +
                              std::to_string(tx_index));
     }
-    // Mirror the settlement back onto the truth. Channel totals are
-    // conserved by construction (commit credits what hold debited), which
-    // the periodic invariant sweep verifies.
-    for (EdgeId e = 0; e < local_edges; ++e) {
-      const Amount nb = ctx.mirror->balance(e);
-      if (nb != ctx.synced[e]) truth_.mirror_balance(ctx.to_physical[e], nb);
+    // Mirror the settlement back onto the truth — only the edges the
+    // router's holds/commits actually touched (the mirror's change log),
+    // not an O(local_edges) sweep. Channel totals are conserved by
+    // construction (commit credits what hold debited), which the periodic
+    // invariant sweep verifies.
+    for (const EdgeId le : ctx.mirror->change_log()) {
+      const Amount nb = ctx.mirror->balance(le);
+      if (nb != ctx.synced[le]) {
+        truth_.mirror_balance(ctx.to_physical[le], nb);
+        record_truth_change(ctx.to_physical[le]);
+      }
     }
+    ctx.mirror->clear_change_log();
     diverged = view_diverged(ctx, tx.sender);
   }
 
@@ -260,6 +315,44 @@ void ScenarioEngine::check_invariants_if_due() {
   }
 }
 
+void ScenarioEngine::sync_context(SenderContext& ctx) {
+  const std::size_t local_edges = ctx.local.num_edges();
+  if (ctx.journal_gen != journal_gen_) {
+    // Full resync: fresh/rebuilt context, rebalance drift, or journal
+    // overflow. O(local_edges), the pre-journal cost of EVERY sync.
+    ctx.synced.resize(local_edges);
+    for (EdgeId e = 0; e < local_edges; ++e) {
+      ctx.synced[e] = truth_.balance(ctx.to_physical[e]);
+    }
+    ctx.mirror->assign_balances(ctx.synced);
+    ctx.journal_gen = journal_gen_;
+    ctx.journal_pos = truth_journal_.size();
+    return;
+  }
+  // Replay the journal suffix this mirror has not seen. Edges outside the
+  // sender's view are skipped; repeats overwrite idempotently. After the
+  // loop every local edge equals the truth again: untouched edges were
+  // already equal, and every touched edge is in the journal.
+  for (; ctx.journal_pos < truth_journal_.size(); ++ctx.journal_pos) {
+    const EdgeId phys = truth_journal_[ctx.journal_pos];
+    const std::uint32_t le1 = ctx.phys_to_local[phys];
+    if (le1 == 0) continue;
+    const Amount b = truth_.balance(phys);
+    ctx.synced[le1 - 1] = b;
+    ctx.mirror->mirror_balance(le1 - 1, b);
+  }
+}
+
+void ScenarioEngine::record_truth_change(EdgeId physical_edge) {
+  truth_journal_.push_back(physical_edge);
+  if (truth_journal_.size() > 4 * workload_->graph().num_edges()) {
+    // Journal replay would cost more than full resyncs; start a fresh
+    // generation (mirrors full-sync on their next payment).
+    truth_journal_.clear();
+    ++journal_gen_;
+  }
+}
+
 void ScenarioEngine::handle_close() {
   if (!open_list_.empty()) {
     const std::size_t pick = dyn_rng_.next_below(open_list_.size());
@@ -270,12 +363,18 @@ void ScenarioEngine::handle_close() {
     ++truth_version_;
     pristine_ = false;
     ++result_.channels_closed;
+    if (!ever_churned_[c]) {
+      ever_churned_[c] = 1;
+      churned_list_.push_back(c);
+    }
 
     // The channel settles on-chain: its funds leave the network.
     const Graph& g = workload_->graph();
     const EdgeId fe = g.channel_forward_edge(c);
     truth_.set_balance(fe, 0);
     truth_.set_balance(g.reverse(fe), 0);
+    record_truth_change(fe);
+    record_truth_change(g.reverse(fe));
 
     gossip_.announce_channel_close(c, ++channel_seq_[c]);
     flush_gossip_or_schedule_hop();
@@ -301,6 +400,8 @@ void ScenarioEngine::handle_reopen(std::size_t channel) {
   const EdgeId fe = g.channel_forward_edge(channel);
   truth_.set_balance(fe, initial_balance_[fe]);
   truth_.set_balance(g.reverse(fe), initial_balance_[g.reverse(fe)]);
+  record_truth_change(fe);
+  record_truth_change(g.reverse(fe));
 
   gossip_.announce_channel_open(channel, ++channel_seq_[channel]);
   flush_gossip_or_schedule_hop();
@@ -347,18 +448,33 @@ void ScenarioEngine::handle_rebalance() {
     drift_buf_[be] = total - fwd;  // conserves the channel total exactly
   }
   truth_.assign_balances(drift_buf_);
+  // A full-ledger rewrite: journal replay cannot express it compactly, so
+  // advance the generation and let every mirror full-sync once.
+  truth_journal_.clear();
+  ++journal_gen_;
   ++result_.rebalance_events;
   schedule(now_ + cfg_.rebalance.interval, EventType::kRebalance);
 }
 
 ScenarioEngine::SenderContext& ScenarioEngine::context_for(NodeId sender) {
-  auto& slot = contexts_[sender];
-  if (!slot) slot = std::make_unique<SenderContext>();
-  SenderContext& ctx = *slot;
-  if (!ctx.router || ctx.view_version != gossip_.view_version(sender)) {
-    rebuild_context(ctx, sender);
+  auto* ctx = static_cast<SenderContext*>(contexts_.find(sender));
+  if (!ctx) {
+    std::unique_ptr<SenderCacheable> slot = contexts_.evict_for_insert();
+    if (slot) {
+      // Recycled evictee: it belonged to another sender, so force a
+      // rebuild — which overwrites every field but keeps the buffer
+      // capacities (graph vectors, edge maps, synced balances).
+      static_cast<SenderContext&>(*slot).router.reset();
+    } else {
+      slot = std::make_unique<SenderContext>();
+    }
+    ctx = static_cast<SenderContext*>(slot.get());
+    contexts_.insert(sender, std::move(slot));
   }
-  return ctx;
+  if (!ctx->router || ctx->view_version != gossip_.view_version(sender)) {
+    rebuild_context(*ctx, sender);
+  }
+  return *ctx;
 }
 
 void ScenarioEngine::rebuild_context(SenderContext& ctx, NodeId sender) {
@@ -410,6 +526,16 @@ void ScenarioEngine::rebuild_context(SenderContext& ctx, NodeId sender) {
   ctx.view_version = gossip_.view_version(sender);
   ctx.div_truth_version = SenderContext::kNever;
   ctx.div_view_version = SenderContext::kNever;
+  // Inverse edge map for journal replay, and a fresh change log on the
+  // new mirror; generation 0 forces the next sync_context to full-sync.
+  ctx.phys_to_local.assign(pg.num_edges(), 0);
+  for (std::size_t le = 0; le < ctx.to_physical.size(); ++le) {
+    ctx.phys_to_local[ctx.to_physical[le]] =
+        static_cast<std::uint32_t>(le) + 1;
+  }
+  ctx.mirror->enable_change_log();
+  ctx.journal_gen = 0;
+  ctx.journal_pos = 0;
 }
 
 bool ScenarioEngine::view_diverged(SenderContext& ctx, NodeId sender) {
@@ -422,7 +548,11 @@ bool ScenarioEngine::view_diverged(SenderContext& ctx, NodeId sender) {
   ctx.divergent = false;
   const Graph& pg = workload_->graph();
   const gossip::NodeView& view = gossip_.view(sender);
-  for (std::size_t c = 0; c < pg.num_channels(); ++c) {
+  // Only ever-churned channels can disagree: bootstrap seeds every view
+  // with every channel open, the truth only flips open_ through churn,
+  // and gossip only carries churn announcements — so un-churned channels
+  // are open on both sides forever. O(churned), not O(channels).
+  for (const std::size_t c : churned_list_) {
     const EdgeId fe = pg.channel_forward_edge(c);
     if (static_cast<bool>(open_[c]) !=
         view.knows_channel(pg.from(fe), pg.to(fe))) {

@@ -32,9 +32,17 @@
 // one shared perfectly-informed router against the truth — and the results
 // are pinned bit-identical by tests/scenario_test.cc.
 //
-// Memory note: per-node gossip views cost O(nodes x channels) once churn
-// is enabled; the engine is meant for testbed-scale topologies (tens to a
-// few hundred nodes), not the 2,511-node Lightning graph.
+// Memory model (Lightning-scale since the streaming refactor):
+//   - Transactions arrive through a WorkloadStream and are scheduled
+//     lazily, one staged arrival at a time: O(1) workload memory for
+//     generated streams of any length.
+//   - Gossip views share one bootstrap baseline (see gossip/node_view.h):
+//     O(channels) total, not O(nodes x channels).
+//   - Per-sender routing state lives in a bounded LRU
+//     (ScenarioConfig::max_sender_routers = K): O(network x K), not
+//     O(network x senders). K = 0 keeps the original unbounded behavior.
+//   - Mirror ledgers resync from the truth via change journals (O(edges
+//     actually touched) per payment) instead of full O(network) sweeps.
 #pragma once
 
 #include <cstdint>
@@ -48,8 +56,10 @@
 #include "routing/router.h"
 #include "sim/experiment.h"
 #include "sim/metrics.h"
+#include "sim/sender_cache.h"
 #include "sim/simulator.h"
 #include "trace/workload.h"
+#include "trace/workload_stream.h"
 #include "util/rng.h"
 
 namespace flash {
@@ -97,6 +107,11 @@ struct ScenarioConfig {
   ChurnConfig churn;
   RebalanceConfig rebalance;
   GossipTiming gossip;
+  /// Cap on live per-sender stale-view routers (LRU-evicted beyond; see
+  /// sim/sender_cache.h). 0 = unbounded — one router per sender forever,
+  /// the original behavior, bit-identical. Evicted senders rebuild on
+  /// their next payment, so any K > 0 trades rebuild work for memory.
+  std::size_t max_sender_routers = 0;
 };
 
 /// Simulation metrics plus scenario-level counters.
@@ -112,8 +127,14 @@ struct ScenarioResult {
   std::size_t gossip_rounds = 0;
   std::uint64_t gossip_messages = 0;
   /// Stale-view router (re)builds: one per sender whose view changed since
-  /// its last payment (plus its first payment after churn begins).
+  /// its last payment (plus its first payment after churn begins, and one
+  /// per cache-evicted sender's return).
   std::size_t router_rebuilds = 0;
+  /// Sender-router cache traffic (see ScenarioConfig::max_sender_routers);
+  /// all zero while the scenario stays pristine (no churn yet).
+  std::uint64_t router_cache_hits = 0;
+  std::uint64_t router_cache_misses = 0;
+  std::uint64_t router_cache_evictions = 0;
   /// Sim-time at which the last payment settled or finally failed.
   double duration = 0;
 };
@@ -131,10 +152,23 @@ struct ScenarioResult {
 class ScenarioEngine {
  public:
   /// Validates the config (throws std::invalid_argument on negative rates,
-  /// delays, intervals, or strength outside [0, 1]).
+  /// delays, intervals, or strength outside [0, 1]). Payments replay the
+  /// workload's materialized transaction vector.
   ScenarioEngine(const Workload& workload, Scheme scheme,
                  const FlashOptions& opts, const SimConfig& sim,
                  const ScenarioConfig& scenario, std::uint64_t seed);
+
+  /// Streaming variant: payments come from `stream` (borrowed; must
+  /// outlive the engine), consumed lazily one arrival at a time — O(1)
+  /// workload memory regardless of stream length. `workload` supplies
+  /// topology, balances, and fees and may carry an empty transaction
+  /// vector; set SimConfig::class_threshold and
+  /// FlashOptions::elephant_threshold explicitly in that case (an empty
+  /// trace has no size quantiles).
+  ScenarioEngine(const Workload& workload, WorkloadStream& stream,
+                 Scheme scheme, const FlashOptions& opts,
+                 const SimConfig& sim, const ScenarioConfig& scenario,
+                 std::uint64_t seed);
   ~ScenarioEngine();
 
   ScenarioEngine(const ScenarioEngine&) = delete;
@@ -152,6 +186,14 @@ class ScenarioEngine {
   // map used to mirror settlement back. Heap-allocated so the Graph (and
   // everything pointing into it) has a stable address.
   struct SenderContext;
+
+  /// Delegation target of both public constructors: a non-null
+  /// `owned_stream` is adopted (vector ctor), otherwise the public stream
+  /// ctor assigns the borrowed stream afterwards.
+  ScenarioEngine(const Workload& workload, Scheme scheme,
+                 const FlashOptions& opts, const SimConfig& sim,
+                 const ScenarioConfig& scenario, std::uint64_t seed,
+                 std::unique_ptr<WorkloadStream> owned_stream);
 
   enum class EventType : std::uint8_t {
     kArrival,    // a = transaction index
@@ -173,14 +215,18 @@ class ScenarioEngine {
       return x.time != y.time ? x.time > y.time : x.seq > y.seq;
     }
   };
-  // Attempt bookkeeping for payments awaiting a retry.
+  // Attempt bookkeeping for payments in flight (from arrival until final
+  // settlement/failure). Carries the transaction itself: with a streaming
+  // source there is no materialized vector to re-read it from on retries.
   struct PendingPayment {
+    Transaction tx;
     std::uint64_t probe_messages = 0;
     std::uint32_t probes = 0;
   };
 
   void schedule(double time, EventType type, std::size_t a = 0,
                 std::size_t b = 0);
+  void stage_next_arrival();
   void attempt_payment(std::size_t tx_index, std::size_t attempt);
   void finish_payment(const Transaction& tx, const RouteResult& final_attempt,
                       std::size_t attempt, const PendingPayment& totals);
@@ -191,10 +237,14 @@ class ScenarioEngine {
   void flush_gossip_or_schedule_hop();
   SenderContext& context_for(NodeId sender);
   void rebuild_context(SenderContext& ctx, NodeId sender);
+  void sync_context(SenderContext& ctx);
+  void record_truth_change(EdgeId physical_edge);
   bool view_diverged(SenderContext& ctx, NodeId sender);
   void check_invariants_if_due();
 
   const Workload* workload_;
+  WorkloadStream* stream_;                        // arrival source
+  std::unique_ptr<WorkloadStream> owned_stream_;  // vector-ctor adapter
   Scheme scheme_;
   FlashOptions opts_;
   SimConfig sim_;
@@ -217,10 +267,26 @@ class ScenarioEngine {
   bool hop_scheduled_ = false;
   Rng dyn_rng_;
 
-  std::unordered_map<NodeId, std::unique_ptr<SenderContext>> contexts_;
+  // Truth-ledger change journal: every post-pristine balance write to the
+  // truth (mirror-backs, closes, reopens) appends the edge here, so sender
+  // mirrors resync by replaying only the suffix they have not seen
+  // (SenderContext::journal_pos). A full rewrite (rebalance drift) or a
+  // journal grown past ~4x the edge count bumps the generation instead,
+  // forcing affected mirrors through one full resync.
+  std::vector<EdgeId> truth_journal_;
+  std::uint64_t journal_gen_ = 1;
+  // Channels that ever churned — the only ones a view can disagree with
+  // the truth about (bootstrap seeds every view open; see view_diverged).
+  std::vector<char> ever_churned_;
+  std::vector<std::size_t> churned_list_;
+
+  SenderRouterCache contexts_;
   std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
   std::uint64_t event_seq_ = 0;
   std::unordered_map<std::size_t, PendingPayment> pending_;
+  std::size_t next_arrival_ = 0;      // index of the next stream payment
+  double prev_arrival_time_ = 0;      // arrival-time monotonicity clamp
+  Transaction staged_tx_;             // payment of the staged arrival event
   std::size_t outstanding_ = 0;  // payments not yet settled/failed
   std::size_t completed_ = 0;    // drives the invariant stride
   double now_ = 0;

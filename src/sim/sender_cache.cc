@@ -1,0 +1,78 @@
+#include "sim/sender_cache.h"
+
+#include <cassert>
+#include <utility>
+
+namespace flash {
+
+void SenderRouterCache::unlink(std::uint32_t i) {
+  Slot& s = slots_[i];
+  if (s.prev != kNil) {
+    slots_[s.prev].next = s.next;
+  } else {
+    head_ = s.next;
+  }
+  if (s.next != kNil) {
+    slots_[s.next].prev = s.prev;
+  } else {
+    tail_ = s.prev;
+  }
+  s.prev = s.next = kNil;
+}
+
+void SenderRouterCache::push_front(std::uint32_t i) {
+  Slot& s = slots_[i];
+  s.prev = kNil;
+  s.next = head_;
+  if (head_ != kNil) slots_[head_].prev = i;
+  head_ = i;
+  if (tail_ == kNil) tail_ = i;
+}
+
+SenderCacheable* SenderRouterCache::find(NodeId sender) {
+  const auto it = index_.find(sender);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  const std::uint32_t i = it->second;
+  if (i != head_) {
+    unlink(i);
+    push_front(i);
+  }
+  return slots_[i].value.get();
+}
+
+std::unique_ptr<SenderCacheable> SenderRouterCache::evict_for_insert() {
+  if (capacity_ == 0 || index_.size() < capacity_ || tail_ == kNil) {
+    return nullptr;
+  }
+  const std::uint32_t i = tail_;
+  unlink(i);
+  index_.erase(slots_[i].sender);
+  slots_[i].sender = kInvalidNode;
+  free_slots_.push_back(i);
+  ++evictions_;
+  return std::move(slots_[i].value);
+}
+
+void SenderRouterCache::insert(NodeId sender,
+                               std::unique_ptr<SenderCacheable> value) {
+  assert(index_.find(sender) == index_.end());
+  std::uint32_t i;
+  if (!free_slots_.empty()) {
+    i = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    i = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[i];
+  s.sender = sender;
+  s.value = std::move(value);
+  push_front(i);
+  index_.emplace(sender, i);
+}
+
+}  // namespace flash

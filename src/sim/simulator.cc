@@ -13,13 +13,21 @@ SimResult run_simulation(const Workload& workload, Router& router,
 SimResult run_simulation(const Workload& workload, Router& router,
                          const SimConfig& config,
                          const SimObserver& observer) {
+  VectorWorkloadStream stream(workload.transactions());
+  return run_simulation(workload, stream, router, config, observer);
+}
+
+SimResult run_simulation(const Workload& workload, WorkloadStream& stream,
+                         Router& router, const SimConfig& config,
+                         const SimObserver& observer) {
   NetworkState state = workload.make_state(config.capacity_scale);
   const Amount threshold = config.class_threshold > 0
                                ? config.class_threshold
                                : workload.size_quantile(0.9);
   SimResult result;
   std::size_t index = 0;
-  for (const Transaction& tx : workload.transactions()) {
+  Transaction tx;
+  while (stream.next(tx)) {
     const RouteResult r = router.route(tx, state);
     result.add(tx, r, tx.amount < threshold);
     if (observer) observer(index, tx, r);

@@ -10,6 +10,7 @@
 
 #include "sim/metrics.h"
 #include "trace/workload.h"
+#include "trace/workload_stream.h"
 
 namespace flash {
 
@@ -39,5 +40,16 @@ using SimObserver =
     std::function<void(std::size_t, const Transaction&, const RouteResult&)>;
 SimResult run_simulation(const Workload& workload, Router& router,
                          const SimConfig& config, const SimObserver& observer);
+
+/// Streaming variant: transactions come from `stream` (consumed once, in
+/// order, O(1) workload memory); `workload` supplies only topology,
+/// balances, and fees and may carry an empty transaction vector. The
+/// materialized overloads above are thin wrappers over this one via
+/// VectorWorkloadStream. Note the class threshold: with an empty trace
+/// size_quantile(0.9) is 0, so streaming callers set
+/// SimConfig::class_threshold explicitly for per-class metrics.
+SimResult run_simulation(const Workload& workload, WorkloadStream& stream,
+                         Router& router, const SimConfig& config = {},
+                         const SimObserver& observer = {});
 
 }  // namespace flash

@@ -1,14 +1,11 @@
 #include "trace/workload.h"
 
 #include <algorithm>
-#include <numeric>
-#include <optional>
 #include <stdexcept>
 
-#include "graph/bfs.h"
 #include "graph/topology.h"
-#include "trace/pair_gen.h"
 #include "trace/size_dist.h"
+#include "trace/workload_stream.h"
 #include "util/stats.h"
 
 namespace flash {
@@ -47,61 +44,39 @@ Amount Workload::size_quantile(double q) const {
   return value;
 }
 
+std::span<const Transaction> Workload::head(std::size_t n) const noexcept {
+  return {transactions_.data(), std::min(n, transactions_.size())};
+}
+
 Workload Workload::truncated(std::size_t n) const {
-  std::vector<Transaction> head(
-      transactions_.begin(),
-      transactions_.begin() +
-          static_cast<long>(std::min(n, transactions_.size())));
-  return Workload(graph_, initial_balances_, fees_, std::move(head), name_);
+  const auto h = head(n);
+  return Workload(graph_, initial_balances_, fees_,
+                  std::vector<Transaction>(h.begin(), h.end()), name_);
 }
 
 namespace {
 
-/// How generate_transactions draws sender/receiver pairs.
-enum class PairMode {
-  /// Recurrent pairs (Fig. 4), activity ranked by node degree — the
-  /// simulation workloads.
-  kRecurrentByDegree,
-  /// Independent uniform pairs — the testbed workload (§5.2).
-  kUniform,
-};
+using PairMode = StreamPairMode;
 
+/// Materializes `count` transactions by draining a GeneratedWorkloadStream
+/// (the single source of truth for the generation algorithm; streaming
+/// consumers use it directly). The caller's rng is advanced exactly as if
+/// the draws had happened in place, so factory draw sequences are
+/// unchanged.
 std::vector<Transaction> generate_transactions(
     const Graph& g, const SizeDistribution& sizes, std::size_t count,
     bool ensure_connectivity, PairMode mode, Rng& rng) {
-  // On a connected topology every pair is reachable; skip per-pair BFS.
-  const bool check_pairs = ensure_connectivity && !is_connected(g);
-  std::optional<RecurrentPairGenerator> pairs;
-  if (mode == PairMode::kRecurrentByDegree) {
-    // Activity follows connectivity: the most active senders are the
-    // highest-degree nodes (gateways), as in the real credit network.
-    std::vector<NodeId> by_degree(g.num_nodes());
-    std::iota(by_degree.begin(), by_degree.end(), NodeId{0});
-    std::stable_sort(by_degree.begin(), by_degree.end(),
-                     [&g](NodeId a, NodeId b) {
-                       return g.out_degree(a) > g.out_degree(b);
-                     });
-    pairs.emplace(std::move(by_degree), PairGenConfig{});
-  }
+  GeneratedStreamConfig config;
+  config.count = count;
+  config.mode = mode;
+  config.sizes = sizes;
+  config.ensure_connectivity = ensure_connectivity;
+  GeneratedWorkloadStream stream(g, rng, std::move(config));
   std::vector<Transaction> txs;
   txs.reserve(count);
-  while (txs.size() < count) {
-    NodeId s, r;
-    if (pairs) {
-      std::tie(s, r) = pairs->next(rng);
-    } else {
-      s = static_cast<NodeId>(rng.next_below(g.num_nodes()));
-      r = static_cast<NodeId>(rng.next_below(g.num_nodes()));
-      if (s == r) continue;
-    }
-    if (check_pairs && !reachable(g, s, r)) continue;
-    Transaction tx;
-    tx.sender = s;
-    tx.receiver = r;
-    tx.amount = sizes.sample(rng);
-    tx.timestamp = static_cast<double>(txs.size());
-    txs.push_back(tx);
-  }
+  Transaction tx;
+  while (stream.next(tx)) txs.push_back(tx);
+  rng = stream.rng();
   return txs;
 }
 
@@ -178,6 +153,24 @@ Workload make_toy_workload(std::size_t nodes, std::size_t num_transactions,
                                    PairMode::kRecurrentByDegree, rng);
   return Workload(g, balances_of(init, g), std::move(fees), std::move(txs),
                   "toy");
+}
+
+Workload make_snapshot_workload(const LightningSnapshot& snapshot,
+                                std::string name) {
+  Graph g = snapshot.to_graph();
+  std::vector<Amount> balances(g.num_edges(), 0);
+  FeeSchedule fees(g);
+  for (std::size_t c = 0; c < snapshot.channels.size(); ++c) {
+    const SnapshotChannel& ch = snapshot.channels[c];
+    const EdgeId fwd = g.channel_forward_edge(c);
+    const EdgeId rev = g.reverse(fwd);
+    balances[fwd] = ch.balance_uv;
+    balances[rev] = ch.balance_vu;
+    fees.set_policy(fwd, FeePolicy{ch.base_uv, ch.rate_uv});
+    fees.set_policy(rev, FeePolicy{ch.base_vu, ch.rate_vu});
+  }
+  return Workload(std::move(g), std::move(balances), std::move(fees), {},
+                  std::move(name));
 }
 
 }  // namespace flash

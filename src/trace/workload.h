@@ -6,10 +6,12 @@
 // per run so multi-seed experiments always start from identical balances.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/graph_io.h"
 #include "ledger/fee_policy.h"
 #include "ledger/network_state.h"
 #include "trace/transaction.h"
@@ -43,7 +45,14 @@ class Workload {
   /// every concurrent run its own workload (see sim/sweep.h).
   Amount size_quantile(double q) const;
 
+  /// View of the first n transactions (clamped to the trace length). No
+  /// copy — the span aliases this workload's storage and is invalidated by
+  /// destroying/moving it. Prefer this over truncated() when only the
+  /// transaction prefix is needed.
+  std::span<const Transaction> head(std::size_t n) const noexcept;
+
   /// Restricts to the first n transactions (for load sweeps, Fig. 7).
+  /// Materializes a full Workload copy; thin wrapper over head().
   Workload truncated(std::size_t n) const;
 
  private:
@@ -86,5 +95,14 @@ Workload make_testbed_workload(std::size_t nodes, Amount cap_lo,
 /// Small deterministic workload for unit tests and the quickstart example.
 Workload make_toy_workload(std::size_t nodes, std::size_t num_transactions,
                            std::uint64_t seed);
+
+/// Materializes a Lightning snapshot (graph/graph_io.h) into a Workload:
+/// topology in snapshot channel order, per-directed-edge balances and fee
+/// policies from the snapshot's directional fields, and an *empty* trace —
+/// pair it with a WorkloadStream (trace/workload_stream.h) for payments,
+/// and set the class/elephant thresholds explicitly (an empty trace has no
+/// size quantiles).
+Workload make_snapshot_workload(const LightningSnapshot& snapshot,
+                                std::string name = "snapshot");
 
 }  // namespace flash

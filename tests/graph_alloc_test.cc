@@ -35,6 +35,15 @@ namespace {
 std::atomic<std::uint64_t> g_allocations{0};
 }  // namespace
 
+// The replaced operators below back ALL of new/new[]/aligned new with
+// malloc/aligned_alloc, both of which free() releases legally (C11/POSIX).
+// GCC pairs new-expressions with the inlined free() call and reports a
+// mismatched allocation function; that analysis doesn't apply to a
+// replaced global allocator, so silence it for this file.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
 // Counting global allocator: every path through operator new lands here.
 void* operator new(std::size_t size) {
   g_allocations.fetch_add(1, std::memory_order_relaxed);

@@ -32,23 +32,35 @@ cmake --build "${BUILD_DIR}" --target bench_all -j "$(nproc)"
 
 mkdir -p "${OUT_DIR}"
 
+# Peak-RSS log: every bench below runs under tools/with_rss.py, which
+# appends "name kib" lines here; the merge step attaches them to
+# BENCH_micro.json so memory rides the perf trajectory alongside time.
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+RSS_LOG="${OUT_DIR}/peak_rss.txt"
+: >"${RSS_LOG}"
+with_rss() { # with_rss NAME CMD...
+  local name="$1"
+  shift
+  python3 "${REPO_ROOT}/tools/with_rss.py" "${RSS_LOG}" "${name}" -- "$@"
+}
+
 echo "== micro benches (Google Benchmark) =="
-"${BUILD_DIR}/bench/micro_algorithms" \
+with_rss micro_algorithms "${BUILD_DIR}/bench/micro_algorithms" \
   --benchmark_out="${OUT_DIR}/BENCH_micro_algorithms.json" \
   --benchmark_out_format=json
-"${BUILD_DIR}/bench/micro_routing" \
+with_rss micro_routing "${BUILD_DIR}/bench/micro_routing" \
   --benchmark_out="${OUT_DIR}/BENCH_micro_routing.json" \
   --benchmark_out_format=json
 
 echo
 echo "== graph core benches (allocation-free hot paths) =="
-"${BUILD_DIR}/bench/bench_graph_core" \
+with_rss bench_graph_core "${BUILD_DIR}/bench/bench_graph_core" \
   --benchmark_out="${OUT_DIR}/BENCH_graph_core.json" \
   --benchmark_out_format=json
 
 echo
 echo "== LP core benches (fee-split pipeline) =="
-"${BUILD_DIR}/bench/bench_lp" \
+with_rss bench_lp "${BUILD_DIR}/bench/bench_lp" \
   --benchmark_out="${OUT_DIR}/BENCH_lp.json" \
   --benchmark_out_format=json
 
@@ -70,7 +82,7 @@ for bin in "${BUILD_DIR}"/bench/fig* "${BUILD_DIR}"/bench/ablation_*; do
   start="$(date +%s.%N)"
   # A failing figure bench must not abort the script before the canonical
   # BENCH_micro.json merge below; record the failure and keep going.
-  if ! FLASH_BENCH_JSON="${OUT_DIR}/${name}.json" "${bin}" \
+  if ! FLASH_BENCH_JSON="${OUT_DIR}/${name}.json" with_rss "${name}" "${bin}" \
       >"${OUT_DIR}/${name}.log" 2>&1; then
     echo "warning: ${name} failed (see ${OUT_DIR}/${name}.log)" >&2
     FIG_FAILURES=$((FIG_FAILURES + 1))
@@ -81,12 +93,28 @@ for bin in "${BUILD_DIR}"/bench/fig* "${BUILD_DIR}"/bench/ablation_*; do
     'BEGIN { printf "%.3f", b - a }')" >>"${TIMINGS}"
 done
 
+echo
+echo "== scale bench (Lightning-scale streaming) =="
+# Defaults to the FLASH_BENCH_FAST cell exported above; set
+# FLASH_BENCH_SCALE_FULL=1 to run the full 10k/50k-node grid (minutes).
+rm -f "${OUT_DIR}/bench_scale.json"
+if [[ -n "${FLASH_BENCH_SCALE_FULL:-}" ]]; then
+  unset FLASH_BENCH_FAST FLASH_BENCH_SMOKE  # fig loop above is done with them
+fi
+if ! FLASH_BENCH_JSON="${OUT_DIR}/bench_scale.json" \
+    with_rss bench_scale "${BUILD_DIR}/bench/bench_scale" \
+    >"${OUT_DIR}/bench_scale.log" 2>&1; then
+  echo "warning: bench_scale failed (see ${OUT_DIR}/bench_scale.log)" >&2
+  FIG_FAILURES=$((FIG_FAILURES + 1))
+fi
+tail -n +4 "${OUT_DIR}/bench_scale.log" | sed -n '1,8p'
+
 # Merge the two micro-bench JSON reports into the canonical BENCH_micro.json
 # at the repo root (the committed perf-trajectory snapshot). family_index
 # values are per-binary, so the second report's are rebased to stay unique.
 # The figure benches' wall-clock timings and the sweep thread count ride
-# along under "sweep_benches".
-REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+# along under "sweep_benches"; bench_scale's cells under "scale"; per-bench
+# peak RSS under "peak_rss_kib".
 python3 - "${OUT_DIR}" "${REPO_ROOT}/BENCH_micro.json" "${THREADS}" <<'EOF'
 import json, sys, pathlib
 out = pathlib.Path(sys.argv[1])
@@ -115,6 +143,17 @@ with open(out / "BENCH_graph_core.json") as f:
 with open(out / "BENCH_lp.json") as f:
     merged["lp_core"] = json.load(f)["benchmarks"]
 
+# Peak RSS per bench binary (tools/with_rss.py lines: "name kib"; keep
+# the max if a bench ran more than once).
+rss = {}
+rss_log = out / "peak_rss.txt"
+if rss_log.exists():
+    for line in rss_log.read_text().splitlines():
+        name, _, kib = line.partition(" ")
+        if kib:
+            rss[name] = max(rss.get(name, 0), int(kib))
+merged["peak_rss_kib"] = rss
+
 sweeps = []
 timings = out / "sweep_timings.txt"
 if timings.exists():
@@ -124,6 +163,8 @@ if timings.exists():
             continue
         entry = {"name": name, "wall_seconds": float(secs),
                  "threads": threads}
+        if name in rss:
+            entry["peak_rss_kib"] = rss[name]
         # Engine-reported stats (cells, engine wall clock) when the bench
         # emitted a structured sweep report.
         report_path = out / f"{name}.json"
@@ -135,6 +176,13 @@ if timings.exists():
             entry["cells"] = len(sweep.get("cells", []))
         sweeps.append(entry)
 merged["sweep_benches"] = sweeps
+
+# Lightning-scale streaming bench: per-cell payments/sec, router-cache
+# stats and peak RSS (see bench/bench_scale.cc).
+scale_path = out / "bench_scale.json"
+if scale_path.exists():
+    with open(scale_path) as f:
+        merged["scale"] = json.load(f)["cells"]
 
 with open(dest, "w") as f:
     json.dump(merged, f, indent=1)

@@ -1,0 +1,29 @@
+#!/usr/bin/env python3
+"""Runs a command and records its peak RSS.
+
+Usage: with_rss.py RSS_LOG NAME -- CMD [ARGS...]
+
+Appends "NAME <peak_rss_kib>" to RSS_LOG after the command exits, and
+propagates the command's exit code. Uses getrusage(RUSAGE_CHILDREN), which
+on Linux reports the high-water resident set of the (single) child in KiB
+-- this wrapper exists because the bench container ships no /usr/bin/time.
+"""
+import resource
+import subprocess
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 5 or sys.argv[3] != "--":
+        sys.stderr.write(__doc__)
+        return 2
+    log_path, name, cmd = sys.argv[1], sys.argv[2], sys.argv[4:]
+    rc = subprocess.call(cmd)
+    rss_kib = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    with open(log_path, "a") as log:
+        log.write(f"{name} {rss_kib}\n")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())
