@@ -13,6 +13,9 @@
 // FLASH_BENCH_FAST one 10k-node cell; the default runs 10k and 50k nodes
 // at 10^5 streamed payments each. FLASH_BENCH_JSON writes the structured
 // report run_benches.sh folds into BENCH_micro.json under "scale".
+// FLASH_BENCH_MAINTENANCE=full|strict|lazy picks the router maintenance
+// mode (default lazy: the O(delta) patch path this bench is sized to show
+// off; "full" is the pre-incremental O(network)-rebuild baseline for A/B).
 #include <sys/resource.h>
 
 #include <chrono>
@@ -90,6 +93,29 @@ LightningSnapshot make_snapshot(std::size_t nodes, Rng& rng) {
   return snap;
 }
 
+RouterMaintenance maintenance_mode() {
+  const char* env = std::getenv("FLASH_BENCH_MAINTENANCE");
+  const std::string mode = env ? env : "lazy";
+  if (mode == "full") return RouterMaintenance::kFullRebuild;
+  if (mode == "strict") return RouterMaintenance::kIncrementalStrict;
+  if (mode != "lazy") {
+    std::fprintf(stderr,
+                 "warning: FLASH_BENCH_MAINTENANCE=%s not in "
+                 "{full,strict,lazy}; using lazy\n",
+                 mode.c_str());
+  }
+  return RouterMaintenance::kIncrementalLazy;
+}
+
+const char* maintenance_name(RouterMaintenance m) {
+  switch (m) {
+    case RouterMaintenance::kFullRebuild: return "full";
+    case RouterMaintenance::kIncrementalStrict: return "strict";
+    case RouterMaintenance::kIncrementalLazy: return "lazy";
+  }
+  return "?";
+}
+
 ScaleRow run_cell(const ScaleCell& cell) {
   Rng rng(1);
   const LightningSnapshot snap = make_snapshot(cell.nodes, rng);
@@ -114,6 +140,7 @@ ScaleRow run_cell(const ScaleCell& cell) {
   scenario.churn.mean_downtime = static_cast<double>(cell.payments) / 5.0;
   scenario.gossip.hop_delay = 3;
   scenario.max_sender_routers = cell.max_routers;
+  scenario.maintenance = maintenance_mode();
 
   ScenarioEngine engine(w, stream, Scheme::kShortestPath, opts, sim, scenario,
                         /*seed=*/7);
@@ -166,6 +193,10 @@ void write_json(const std::string& path, const std::vector<ScaleRow>& rows,
         << ", \"cache_misses\": " << r.result.router_cache_misses
         << ", \"cache_evictions\": " << r.result.router_cache_evictions
         << ", \"router_rebuilds\": " << r.result.router_rebuilds
+        << ", \"router_patches\": " << r.result.router_patches
+        << ", \"entries_invalidated\": " << r.result.entries_invalidated
+        << ", \"maintenance\": \"" << maintenance_name(maintenance_mode())
+        << "\""
         << ", \"channels_closed\": " << r.result.channels_closed
         << ", \"peak_rss_kib\": " << r.peak_rss_kib << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
@@ -187,6 +218,8 @@ int run() {
 
   print_header("bench_scale",
                "streaming payments through Lightning-scale topologies");
+  std::printf("router maintenance: %s (FLASH_BENCH_MAINTENANCE)\n",
+              maintenance_name(maintenance_mode()));
   const auto start = std::chrono::steady_clock::now();
   std::vector<ScaleRow> rows;
   rows.reserve(cells.size());
@@ -200,7 +233,8 @@ int run() {
 
   TextTable t;
   t.header({"topo", "nodes", "channels", "payments", "K", "pay/s", "success",
-            "hit rate", "evict", "rebuilds", "peakRSS MiB"});
+            "hit rate", "evict", "rebuilds", "patches", "invalidated",
+            "peakRSS MiB"});
   for (const ScaleRow& r : rows) {
     t.row({r.cell.label, std::to_string(r.cell.nodes),
            std::to_string(r.channels), std::to_string(r.cell.payments),
@@ -208,6 +242,8 @@ int run() {
            fmt_pct(r.success_ratio), fmt_pct(r.cache_hit_rate),
            std::to_string(r.result.router_cache_evictions),
            std::to_string(r.result.router_rebuilds),
+           std::to_string(r.result.router_patches),
+           std::to_string(r.result.entries_invalidated),
            fmt(static_cast<double>(r.peak_rss_kib) / 1024.0, 1)});
   }
   print_table(t);

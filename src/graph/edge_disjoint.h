@@ -22,11 +22,15 @@ namespace flash {
 /// the scratch is warm.
 inline void edge_disjoint_core(const Graph& g, NodeId s, NodeId t,
                                std::size_t k, GraphScratch& scratch,
-                               std::vector<Path>& out) {
+                               std::vector<Path>& out,
+                               const unsigned char* open_mask = nullptr) {
   std::size_t found = 0;
   if (s != t && s < g.num_nodes() && t < g.num_nodes()) {
     scratch.edge_ban.reset(g.num_edges());
-    auto admit = [&scratch](EdgeId e) {
+    // Optional open mask (incremental maintenance): masked-closed edges are
+    // treated exactly like edges consumed by an earlier path — invisible.
+    auto admit = [&scratch, open_mask](EdgeId e) {
+      if (open_mask != nullptr && open_mask[e] == 0) return false;
       return !scratch.edge_ban.get_or(e, 0);
     };
     Path& p = scratch.pool.alloc();

@@ -6,13 +6,14 @@ namespace flash {
 
 AtomicPayment::~AtomicPayment() {
   if (!settled_) abort();
+  if (holds_ != &owned_holds_) state_->release_payment_holds();
 }
 
 bool AtomicPayment::add_part(const Path& path, Amount amount) {
   if (settled_) throw std::logic_error("add_part after settle");
   const auto id = state_->hold(path, amount);
   if (!id) return false;
-  holds_.push_back(*id);
+  holds_->push_back(*id);
   held_amount_ += amount;
   return true;
 }
@@ -22,21 +23,21 @@ bool AtomicPayment::add_flow(std::span<const EdgeAmount> edge_amounts,
   if (settled_) throw std::logic_error("add_flow after settle");
   const auto id = state_->hold_flow(edge_amounts);
   if (!id) return false;
-  holds_.push_back(*id);
+  holds_->push_back(*id);
   held_amount_ += amount;
   return true;
 }
 
 void AtomicPayment::commit() {
   if (settled_) throw std::logic_error("double settle");
-  for (HoldId id : holds_) state_->commit(id);
+  for (HoldId id : *holds_) state_->commit(id);
   settled_ = true;
 }
 
 void AtomicPayment::abort() {
   if (settled_) return;
-  for (HoldId id : holds_) state_->abort(id);
-  holds_.clear();
+  for (HoldId id : *holds_) state_->abort(id);
+  holds_->clear();
   held_amount_ = 0;
   settled_ = true;
 }

@@ -17,7 +17,12 @@ namespace flash {
 
 class AtomicPayment {
  public:
-  explicit AtomicPayment(NetworkState& state) : state_(&state) {}
+  explicit AtomicPayment(NetworkState& state)
+      : state_(&state), holds_(state.acquire_payment_holds()) {
+    // Leased-out buffer (a nested payment on the same ledger): fall back
+    // to private storage, paying allocations on that rare path only.
+    if (!holds_) holds_ = &owned_holds_;
+  }
 
   AtomicPayment(const AtomicPayment&) = delete;
   AtomicPayment& operator=(const AtomicPayment&) = delete;
@@ -39,7 +44,7 @@ class AtomicPayment {
   /// Total end-to-end amount held so far across all parts.
   Amount held_amount() const noexcept { return held_amount_; }
 
-  std::size_t parts() const noexcept { return holds_.size(); }
+  std::size_t parts() const noexcept { return holds_->size(); }
 
   /// Commits every part. May be called once; no further add_part allowed.
   void commit();
@@ -49,7 +54,8 @@ class AtomicPayment {
 
  private:
   NetworkState* state_;
-  std::vector<HoldId> holds_;
+  std::vector<HoldId>* holds_;        // leased from the ledger, usually
+  std::vector<HoldId> owned_holds_;   // nested-payment fallback storage
   Amount held_amount_ = 0;
   bool settled_ = false;  // committed or aborted
 };

@@ -191,6 +191,23 @@ class NetworkState {
   /// Returns false and sets `bad_channel` (optional) on violation.
   bool check_invariants(std::size_t* bad_channel = nullptr) const;
 
+  // --- Payment holds-list lease -------------------------------------------
+
+  /// Borrows the ledger-owned HoldId list AtomicPayment uses to track its
+  /// parts, cleared and ready. Returns nullptr if already leased (a nested
+  /// payment on the same ledger), in which case the caller must fall back
+  /// to its own storage. Keeping the list here makes the per-payment
+  /// hold/commit cycle allocation-free in steady state: the buffer's
+  /// capacity survives across payments instead of dying with each
+  /// AtomicPayment.
+  std::vector<HoldId>* acquire_payment_holds() noexcept {
+    if (payment_holds_leased_) return nullptr;
+    payment_holds_leased_ = true;
+    payment_holds_buf_.clear();
+    return &payment_holds_buf_;
+  }
+  void release_payment_holds() noexcept { payment_holds_leased_ = false; }
+
   // --- Snapshots ----------------------------------------------------------
 
   /// Captures balances. Throws if holds are in flight.
@@ -222,6 +239,8 @@ class NetworkState {
   std::uint64_t probe_messages_ = 0;
   std::vector<EdgeId> change_log_;
   bool change_log_enabled_ = false;
+  std::vector<HoldId> payment_holds_buf_;  // AtomicPayment lease (above)
+  bool payment_holds_leased_ = false;
 
   void recompute_deposits();
 };

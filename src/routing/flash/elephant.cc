@@ -15,7 +15,8 @@ constexpr Amount kEps = 1e-9;
 void elephant_find_paths_into(const Graph& g, NodeId s, NodeId t,
                               Amount demand, std::size_t max_paths,
                               NetworkState& state, GraphScratch& scratch,
-                              ElephantProbeResult& result) {
+                              ElephantProbeResult& result,
+                              const unsigned char* open_mask) {
   result.feasible = false;
   result.bottlenecks.clear();
   // O(1) epoch reset; entries accumulate in probe order, which is the fee
@@ -46,7 +47,12 @@ void elephant_find_paths_into(const Graph& g, NodeId s, NodeId t,
   // visible — the view aliases the same storage and the epoch does not
   // change until the next reset().
   const auto rview = residual.view();
-  auto residual_admits = [rview](EdgeId e) {
+  // The mask test stays ahead of the residual read: a masked-closed edge
+  // must look absent (never probed, never entered in C'), exactly like an
+  // edge the sender's compacted view graph would not contain.
+  const unsigned char* mask = open_mask;
+  auto residual_admits = [rview, mask](EdgeId e) {
+    if (mask != nullptr && mask[e] == 0) return false;
     return rview.stamp[e] != rview.epoch || rview.vals[e] > kEps;
   };
 
@@ -127,7 +133,8 @@ RouteResult route_elephant(const Graph& g, const Transaction& tx,
   const std::uint64_t msgs_before = state.probe_messages();
   ElephantProbeResult& probe = probe_buf;
   elephant_find_paths_into(g, tx.sender, tx.receiver, tx.amount,
-                           config.max_paths, state, scratch, probe);
+                           config.max_paths, state, scratch, probe,
+                           config.open_mask);
   result.probes = probe.probes;
   result.probe_messages = state.probe_messages() - msgs_before;
   if (!probe.feasible) return result;  // Algorithm 1 returns empty set

@@ -30,6 +30,10 @@ struct ElephantConfig {
   /// When false, skip the LP and fill paths in discovery order (Fig. 9
   /// baseline).
   bool optimize_fees = true;
+  /// Optional per-directed-edge open mask (borrowed; null = all open):
+  /// the residual BFS refuses masked-closed edges, so probing behaves as
+  /// if they were absent (incremental maintenance, sim/scenario.h).
+  const unsigned char* open_mask = nullptr;
 };
 
 /// Outcome of the probing phase (Algorithm 1).
@@ -62,7 +66,8 @@ ElephantProbeResult elephant_find_paths(const Graph& g, NodeId s, NodeId t,
 void elephant_find_paths_into(const Graph& g, NodeId s, NodeId t,
                               Amount demand, std::size_t max_paths,
                               NetworkState& state, GraphScratch& scratch,
-                              ElephantProbeResult& result);
+                              ElephantProbeResult& result,
+                              const unsigned char* open_mask = nullptr);
 
 /// Full elephant pipeline: find paths, split (LP or sequential), execute
 /// atomically against the ledger. Mutates only `state`; safe to call

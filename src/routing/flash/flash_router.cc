@@ -21,6 +21,7 @@ RouteResult FlashRouter::route(const Transaction& tx, NetworkState& state) {
     ElephantConfig ec;
     ec.max_paths = config_.k_elephant_paths;
     ec.optimize_fees = config_.optimize_fees;
+    ec.open_mask = open_mask_;
     RouteResult r = route_elephant(*graph_, tx, state, *fees_, ec, scratch_,
                                    probe_buf_, split_ws_);
     r.elephant = is_elephant(tx.amount);
@@ -32,6 +33,22 @@ RouteResult FlashRouter::route(const Transaction& tx, NetworkState& state) {
           : route_mice(*graph_, tx, state, *fees_, table_, rng_, scratch_);
   r.elephant = false;
   return r;
+}
+
+std::size_t FlashRouter::apply_topology_delta(std::span<const EdgeId> closed,
+                                              std::span<const EdgeId> reopened,
+                                              bool strict) {
+  (void)reopened;  // lazy mode keeps entries stale-but-usable on reopen
+  if (strict) {
+    const std::size_t n = table_.size();
+    table_.clear();
+    return n;
+  }
+  // Elephant probing is stateless per payment (it re-runs the residual BFS
+  // against the masked graph every time), so only the mice table holds
+  // state to patch — and only closes can make a cached path invalid.
+  if (closed.empty()) return 0;
+  return table_.invalidate_closed_paths();
 }
 
 }  // namespace flash

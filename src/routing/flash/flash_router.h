@@ -72,6 +72,22 @@ class FlashRouter : public Router {
   /// Drops all cached routing-table paths (recomputed on next lookup).
   void on_topology_update() override { table_.clear(); }
 
+  bool supports_incremental_maintenance() const override { return true; }
+  /// Masks both pipelines: the mice table's Yen weights closed edges out,
+  /// the elephant probe's residual BFS refuses to traverse them.
+  void set_open_mask(const unsigned char* mask) override {
+    open_mask_ = mask;
+    table_.set_open_mask(mask);
+  }
+  std::size_t apply_topology_delta(std::span<const EdgeId> closed,
+                                   std::span<const EdgeId> reopened,
+                                   bool strict) override;
+  /// Mirrors make_router's FlashConfig::seed derivation (sim/experiment.cc)
+  /// so reseeding equals constructing afresh with the same seed.
+  void reseed(std::uint64_t seed) override {
+    rng_ = Rng(seed * 0x9e3779b9ULL + 7);
+  }
+
   /// Classification rule: amount >= elephant_threshold is an elephant.
   bool is_elephant(Amount amount) const noexcept {
     return amount >= config_.elephant_threshold;
@@ -86,6 +102,7 @@ class FlashRouter : public Router {
   const Graph* graph_;
   const FeeSchedule* fees_;
   FlashConfig config_;
+  const unsigned char* open_mask_ = nullptr;  // borrowed; null = all open
   MiceRoutingTable table_;
   Rng rng_;
   // Per-router workspaces so a long simulation performs no graph-algorithm

@@ -65,6 +65,18 @@ class MiceRoutingTable {
   /// recompute on the fresh topology (periodic refresh, §3.3).
   void clear();
 
+  /// Installs (or clears) the open-edge mask: when set, lookup's Yen runs
+  /// with closed edges weighted out (kEdgeBanned), so computed paths only
+  /// use open channels. Borrowed; caller keeps it alive and current.
+  void set_open_mask(const unsigned char* mask) noexcept { open_mask_ = mask; }
+
+  /// Drops every entry holding a cached path (active or unconsumed spare)
+  /// that traverses a masked-closed edge — the affected set of a channel
+  /// close. Entries whose paths all stay open survive untouched; affected
+  /// pairs re-Yen lazily on their next lookup. Returns entries dropped.
+  /// Precondition: an open mask is installed.
+  std::size_t invalidate_closed_paths();
+
   std::size_t size() const noexcept { return entries_.size(); }
 
   /// Total Yen invocations (path computations), an overhead metric.
@@ -80,6 +92,7 @@ class MiceRoutingTable {
 
   const Graph* graph_;
   RoutingTableConfig config_;
+  const unsigned char* open_mask_ = nullptr;  // per directed edge; borrowed
   std::unordered_map<std::uint64_t, Entry> entries_;
   std::uint64_t clock_ = 0;
   std::uint64_t computations_ = 0;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "ledger/network_state.h"
@@ -46,6 +47,45 @@ class Router {
   /// (the paper's routing tables are refreshed when the gossiped topology
   /// updates, §3.3).
   virtual void on_topology_update() {}
+
+  // --- Incremental maintenance (scenario engine; see sim/scenario.h) ---
+  //
+  // A router that supports it is constructed over a FIXED full-shape graph
+  // whose closed channels are masked out via set_open_mask: mask[e] != 0
+  // means directed edge e is currently traversable. Search cores skip
+  // masked edges, so the router behaves exactly as if built over the
+  // subgraph of open channels, without ever rebuilding the CSR. On a view
+  // change the owner updates the mask and calls apply_topology_delta with
+  // the flipped channels instead of reconstructing the router.
+
+  /// Whether this router honors set_open_mask/apply_topology_delta.
+  /// Routers that return false (e.g. SpeedyMurmurs, whose embeddings are
+  /// baked from the raw adjacency) must be fully rebuilt on view changes.
+  virtual bool supports_incremental_maintenance() const { return false; }
+
+  /// Installs (or clears, with nullptr) the per-directed-edge open mask.
+  /// Borrowed: the caller keeps it alive and in sync with the topology.
+  virtual void set_open_mask(const unsigned char* /*mask*/) {}
+
+  /// Reacts to a mask delta. `closed`/`reopened` hold the forward edge ids
+  /// of channels that flipped since the last call (the mask is already
+  /// updated). `strict` drops every cached entry — bit-identical to a
+  /// freshly built router; otherwise only entries whose cached paths
+  /// traverse a now-closed edge are dropped (Ramalingam-Reps-style
+  /// affected set) and reopens leave entries stale-but-usable. Returns the
+  /// number of invalidated cache entries.
+  virtual std::size_t apply_topology_delta(std::span<const EdgeId> /*closed*/,
+                                           std::span<const EdgeId> /*reopened*/,
+                                           bool /*strict*/) {
+    on_topology_update();
+    return 0;
+  }
+
+  /// Re-derives the router's internal randomness exactly as constructing
+  /// it through make_router(..., seed) would. No-op for deterministic
+  /// routers. Lets a patched router match a freshly built one stream-for-
+  /// stream (the scenario engine reseeds per (sender, view version)).
+  virtual void reseed(std::uint64_t /*seed*/) {}
 };
 
 }  // namespace flash

@@ -15,9 +15,47 @@ const Path& ShortestPathRouter::shortest_path(NodeId s, NodeId t) {
   const auto key = pair_key(s, t);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
-    it = cache_.emplace(key, bfs_path(*graph_, s, t)).first;
+    if (open_mask_) {
+      const unsigned char* mask = open_mask_;
+      Path p;
+      LegacyScratchLease lease;
+      bfs_path_core(*graph_, s, t, lease.get(),
+                    [mask](EdgeId e) { return mask[e] != 0; }, p);
+      it = cache_.emplace(key, std::move(p)).first;
+    } else {
+      it = cache_.emplace(key, bfs_path(*graph_, s, t)).first;
+    }
   }
   return it->second;
+}
+
+std::size_t ShortestPathRouter::apply_topology_delta(
+    std::span<const EdgeId> closed, std::span<const EdgeId> reopened,
+    bool strict) {
+  (void)reopened;
+  if (strict) {
+    const std::size_t n = cache_.size();
+    cache_.clear();
+    return n;
+  }
+  if (closed.empty()) return 0;
+  std::size_t dropped = 0;
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    bool dead = false;
+    for (const EdgeId e : it->second) {
+      if (!open_mask_[e]) {
+        dead = true;
+        break;
+      }
+    }
+    if (dead) {
+      it = cache_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
 }
 
 RouteResult ShortestPathRouter::route(const Transaction& tx,

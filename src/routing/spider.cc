@@ -18,12 +18,52 @@ const std::vector<Path>& SpiderRouter::paths_for(NodeId s, NodeId t) {
   const auto key = pair_key(s, t);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
-    it = cache_
-             .emplace(key, edge_disjoint_shortest_paths(*graph_, s, t,
-                                                        config_.num_paths))
-             .first;
+    if (open_mask_) {
+      std::vector<Path> paths;
+      LegacyScratchLease lease;
+      edge_disjoint_core(*graph_, s, t, config_.num_paths, lease.get(), paths,
+                         open_mask_);
+      it = cache_.emplace(key, std::move(paths)).first;
+    } else {
+      it = cache_
+               .emplace(key, edge_disjoint_shortest_paths(*graph_, s, t,
+                                                          config_.num_paths))
+               .first;
+    }
   }
   return it->second;
+}
+
+std::size_t SpiderRouter::apply_topology_delta(std::span<const EdgeId> closed,
+                                               std::span<const EdgeId> reopened,
+                                               bool strict) {
+  (void)reopened;
+  if (strict) {
+    const std::size_t n = cache_.size();
+    cache_.clear();
+    return n;
+  }
+  if (closed.empty()) return 0;
+  std::size_t dropped = 0;
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    bool dead = false;
+    for (const Path& p : it->second) {
+      for (const EdgeId e : p) {
+        if (!open_mask_[e]) {
+          dead = true;
+          break;
+        }
+      }
+      if (dead) break;
+    }
+    if (dead) {
+      it = cache_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
 }
 
 std::vector<Amount> SpiderRouter::waterfill(const std::vector<Amount>& caps,

@@ -31,6 +31,16 @@ class SpiderRouter : public Router {
   std::string name() const override { return "Spider"; }
   void on_topology_update() override { cache_.clear(); }
 
+  bool supports_incremental_maintenance() const override { return true; }
+  void set_open_mask(const unsigned char* mask) override { open_mask_ = mask; }
+  /// Same invalidation rule as ShortestPathRouter, applied to the whole
+  /// edge-disjoint set: a pair is dropped iff any of its cached paths
+  /// crosses a now-closed edge (the greedy BFS sequence is stable under
+  /// deleting edges no cached path uses; see docs/ARCHITECTURE.md).
+  std::size_t apply_topology_delta(std::span<const EdgeId> closed,
+                                   std::span<const EdgeId> reopened,
+                                   bool strict) override;
+
   /// Waterfilling split of `demand` across paths with available capacities
   /// `caps`: repeatedly pours into the path(s) with the most remaining
   /// capacity, leveling them downward. Returns per-path amounts summing to
@@ -42,6 +52,7 @@ class SpiderRouter : public Router {
   const Graph* graph_;
   const FeeSchedule* fees_;
   SpiderConfig config_;
+  const unsigned char* open_mask_ = nullptr;  // borrowed; null = all open
   /// Edge-disjoint shortest paths are static per pair; cache them.
   std::unordered_map<std::uint64_t, std::vector<Path>> cache_;
 

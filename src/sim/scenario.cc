@@ -1,30 +1,47 @@
 #include "sim/scenario.h"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
 namespace flash {
 
-// The per-sender stale routing state (see scenario.h). `local` is the
-// sender's materialized gossip view; `to_physical` maps each local
-// directed edge to the corresponding ground-truth edge (orientation
-// preserved); `mirror` is a ledger over `local` that is re-synced from the
-// truth before every payment and mirrored back after settlement.
+// The per-sender stale routing state (see scenario.h). In full-rebuild
+// (oracle) mode `local` is the sender's materialized gossip view and
+// `to_physical` maps each local directed edge to the corresponding
+// ground-truth edge (orientation preserved). In incremental mode the
+// routing surface is the engine's shared full-shape view graph instead
+// and the per-sender state shrinks to an open-edge mask; `graph`/
+// `to_phys`/`phys_map` point at whichever of the two applies. `mirror` is
+// a ledger over the routing graph that is re-synced from the truth before
+// every payment and mirrored back after settlement.
 struct ScenarioEngine::SenderContext : SenderCacheable {
   static constexpr std::uint64_t kNever = ~std::uint64_t{0};
 
   std::uint64_t view_version = kNever;
+  // Oracle-mode storage (unused by incremental contexts).
   Graph local;
   FeeSchedule fees;
   std::vector<EdgeId> to_physical;
-  std::unique_ptr<NetworkState> mirror;
-  std::unique_ptr<Router> router;
-  std::vector<Amount> synced;  // truth balances at the last pre-route sync
   // Inverse of to_physical: physical edge -> local edge + 1 (0 = not in
   // this sender's view). Lets journal replay translate truth changes.
   std::vector<std::uint32_t> phys_to_local;
+  // Routing surface selectors: &local/&to_physical/&phys_to_local in
+  // oracle mode, the engine's shared view-graph members in incremental.
+  const Graph* graph = nullptr;
+  const std::vector<EdgeId>* to_phys = nullptr;
+  const std::vector<std::uint32_t>* phys_map = nullptr;
+  // Incremental mode: per-directed-edge open flags over the shared graph.
+  std::vector<unsigned char> open_mask;
+  // Set when a cache eviction recycles this slot for a different sender:
+  // the mask and router caches belong to someone else, so the next use
+  // must rebuild them from the new sender's view — never patch.
+  bool recycled = false;
+  std::unique_ptr<NetworkState> mirror;
+  std::unique_ptr<Router> router;
+  std::vector<Amount> synced;  // truth balances at the last pre-route sync
   // Position in the engine's truth journal this mirror has replayed up
   // to, valid for journal generation `journal_gen` (0 = never synced;
   // engine generations start at 1, so a fresh context always full-syncs).
@@ -37,6 +54,12 @@ struct ScenarioEngine::SenderContext : SenderCacheable {
 };
 
 namespace {
+
+/// Order-sensitive 64-bit fold (boost-style hash combine) driving
+/// ScenarioResult::payment_digest.
+inline void fold64(std::uint64_t& h, std::uint64_t v) noexcept {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+}
 
 void validate(const ScenarioConfig& cfg) {
   if (cfg.retry.delay < 0) {
@@ -116,19 +139,77 @@ ScenarioEngine::ScenarioEngine(const Workload& workload, Scheme scheme,
   open_.assign(g.num_channels(), 1);
   ever_churned_.assign(g.num_channels(), 0);
   open_list_.resize(g.num_channels());
-  for (std::size_t c = 0; c < g.num_channels(); ++c) {
-    open_list_[c] = c;
-    const EdgeId fe = g.channel_forward_edge(c);
-    const NodeId u = std::min(g.from(fe), g.to(fe));
-    const NodeId v = std::max(g.from(fe), g.to(fe));
-    // Parallel channels collapse onto one gossip identity; the first one
-    // carries the view mapping (the generators build simple graphs).
-    channel_index_.emplace(pair_key(u, v), c);
+  for (std::size_t c = 0; c < g.num_channels(); ++c) open_list_[c] = c;
+
+  // Channels sorted by normalized pair — the order for_each_open emits —
+  // so view-channel -> truth-channel mapping is one merge cursor per
+  // rebuild instead of a hash lookup per channel (the old channel_index_).
+  {
+    std::vector<std::pair<std::pair<NodeId, NodeId>, std::size_t>> order;
+    order.reserve(g.num_channels());
+    for (std::size_t c = 0; c < g.num_channels(); ++c) {
+      const EdgeId fe = g.channel_forward_edge(c);
+      const NodeId u = std::min(g.from(fe), g.to(fe));
+      const NodeId v = std::max(g.from(fe), g.to(fe));
+      order.emplace_back(std::pair<NodeId, NodeId>{u, v}, c);
+    }
+    std::sort(order.begin(), order.end());
+    truth_to_view_channel_.assign(g.num_channels(), 0);
+    sorted_pairs_.reserve(order.size());
+    sorted_channels_.reserve(order.size());
+    for (const auto& [pair, c] : order) {
+      if (sorted_pairs_.empty() || sorted_pairs_.back() != pair) {
+        // Parallel channels collapse onto one gossip identity; the lowest
+        // channel id carries the view mapping (first-emplace-wins, like
+        // the hash map this replaced; the generators build simple graphs).
+        sorted_pairs_.push_back(pair);
+        sorted_channels_.push_back(c);
+      }
+      truth_to_view_channel_[c] = sorted_pairs_.size() - 1;
+    }
   }
 
   // Dynamics randomness: independent of the workload/router streams.
   std::uint64_t mix = seed_ ^ (cfg_.churn.seed * 0x9e3779b97f4a7c15ULL);
   dyn_rng_ = Rng(splitmix64(mix));
+
+  incremental_ = cfg_.maintenance != RouterMaintenance::kFullRebuild &&
+                 base_router_->supports_incremental_maintenance() &&
+                 cfg_.churn.close_rate > 0;
+
+  if (incremental_) {
+    // The shared full-shape view graph: every sender's gossip view is a
+    // subset of the truth channel set (bootstrap seeds everything open and
+    // gossip only flips open state), so ONE immutable graph holding every
+    // channel in sorted-pair order serves all senders; closed channels are
+    // masked per sender. Edge ids here are an order-preserving renaming of
+    // any compacted per-view graph's ids, which is what makes masked
+    // search results identical to the oracle's (see ARCHITECTURE.md).
+    view_graph_ = Graph(g.num_nodes());
+    view_graph_.reserve_channels(sorted_channels_.size());
+    view_to_physical_.reserve(2 * sorted_channels_.size());
+    for (std::size_t i = 0; i < sorted_channels_.size(); ++i) {
+      const EdgeId pf = g.channel_forward_edge(sorted_channels_[i]);
+      const auto [u, v] = sorted_pairs_[i];
+      view_graph_.add_channel(u, v);
+      if (g.from(pf) == u) {
+        view_to_physical_.push_back(pf);
+        view_to_physical_.push_back(g.reverse(pf));
+      } else {
+        view_to_physical_.push_back(g.reverse(pf));
+        view_to_physical_.push_back(pf);
+      }
+    }
+    view_graph_.finalize();
+    view_fees_ = FeeSchedule(view_graph_);
+    view_phys_to_local_.assign(g.num_edges(), 0);
+    for (std::size_t le = 0; le < view_to_physical_.size(); ++le) {
+      view_fees_.set_policy(static_cast<EdgeId>(le),
+                            workload.fees().policy(view_to_physical_[le]));
+      view_phys_to_local_[view_to_physical_[le]] =
+          static_cast<std::uint32_t>(le) + 1;
+    }
+  }
 
   if (cfg_.churn.close_rate > 0) {
     // Views start fully converged (the network existed long before t = 0);
@@ -204,6 +285,14 @@ ScenarioResult ScenarioEngine::run() {
   result_.router_cache_hits = contexts_.hits();
   result_.router_cache_misses = contexts_.misses();
   result_.router_cache_evictions = contexts_.evictions();
+  // Seal the digest with the final truth ledger: two runs that agreed on
+  // every per-payment outcome but left different balances behind (a
+  // mirror-sync bug would do exactly that) must not share a digest.
+  const Graph& g = workload_->graph();
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    fold64(result_.payment_digest,
+           std::bit_cast<std::uint64_t>(truth_.balance(e)));
+  }
   return result_;
 }
 
@@ -251,11 +340,12 @@ void ScenarioEngine::attempt_payment(std::size_t tx_index,
     // not an O(local_edges) sweep. Channel totals are conserved by
     // construction (commit credits what hold debited), which the periodic
     // invariant sweep verifies.
+    const std::vector<EdgeId>& to_phys = *ctx.to_phys;
     for (const EdgeId le : ctx.mirror->change_log()) {
       const Amount nb = ctx.mirror->balance(le);
       if (nb != ctx.synced[le]) {
-        truth_.mirror_balance(ctx.to_physical[le], nb);
-        record_truth_change(ctx.to_physical[le]);
+        truth_.mirror_balance(to_phys[le], nb);
+        record_truth_change(to_phys[le]);
       }
     }
     ctx.mirror->clear_change_log();
@@ -287,6 +377,20 @@ void ScenarioEngine::finish_payment(const Transaction& tx,
   combined.probe_messages = totals.probe_messages;
   combined.probes = totals.probes;
   result_.sim.add(tx, combined, tx.amount < class_threshold_);
+  // Event-level equality pin for the differential harness: every completed
+  // payment folds its full outcome, in completion order, into the digest.
+  fold64(result_.payment_digest, tx.sender);
+  fold64(result_.payment_digest, tx.receiver);
+  fold64(result_.payment_digest, std::bit_cast<std::uint64_t>(tx.amount));
+  fold64(result_.payment_digest, combined.success ? 1 : 0);
+  fold64(result_.payment_digest,
+         std::bit_cast<std::uint64_t>(combined.delivered));
+  fold64(result_.payment_digest, std::bit_cast<std::uint64_t>(combined.fee));
+  fold64(result_.payment_digest, combined.probe_messages);
+  fold64(result_.payment_digest, combined.probes);
+  fold64(result_.payment_digest, combined.paths_used);
+  fold64(result_.payment_digest, attempt);
+  fold64(result_.payment_digest, std::bit_cast<std::uint64_t>(now_));
   if (final_attempt.success) {
     if (attempt > 0) ++result_.sim.retry_successes;
     result_.sim.time_to_success_total += now_ - tx.timestamp;
@@ -316,13 +420,14 @@ void ScenarioEngine::check_invariants_if_due() {
 }
 
 void ScenarioEngine::sync_context(SenderContext& ctx) {
-  const std::size_t local_edges = ctx.local.num_edges();
+  const std::size_t local_edges = ctx.graph->num_edges();
+  const std::vector<EdgeId>& to_phys = *ctx.to_phys;
   if (ctx.journal_gen != journal_gen_) {
     // Full resync: fresh/rebuilt context, rebalance drift, or journal
     // overflow. O(local_edges), the pre-journal cost of EVERY sync.
     ctx.synced.resize(local_edges);
     for (EdgeId e = 0; e < local_edges; ++e) {
-      ctx.synced[e] = truth_.balance(ctx.to_physical[e]);
+      ctx.synced[e] = truth_.balance(to_phys[e]);
     }
     ctx.mirror->assign_balances(ctx.synced);
     ctx.journal_gen = journal_gen_;
@@ -333,9 +438,10 @@ void ScenarioEngine::sync_context(SenderContext& ctx) {
   // sender's view are skipped; repeats overwrite idempotently. After the
   // loop every local edge equals the truth again: untouched edges were
   // already equal, and every touched edge is in the journal.
+  const std::vector<std::uint32_t>& phys_map = *ctx.phys_map;
   for (; ctx.journal_pos < truth_journal_.size(); ++ctx.journal_pos) {
     const EdgeId phys = truth_journal_[ctx.journal_pos];
-    const std::uint32_t le1 = ctx.phys_to_local[phys];
+    const std::uint32_t le1 = phys_map[phys];
     if (le1 == 0) continue;
     const Amount b = truth_.balance(phys);
     ctx.synced[le1 - 1] = b;
@@ -463,15 +569,29 @@ ScenarioEngine::SenderContext& ScenarioEngine::context_for(NodeId sender) {
     if (slot) {
       // Recycled evictee: it belonged to another sender, so force a
       // rebuild — which overwrites every field but keeps the buffer
-      // capacities (graph vectors, edge maps, synced balances).
-      static_cast<SenderContext&>(*slot).router.reset();
+      // capacities (graph vectors, edge maps, synced balances). In
+      // incremental mode the router object itself is reusable (a strict
+      // clear + reseed + mask rebuild is equivalent to constructing it
+      // fresh), so only flag it; never patch from another sender's state.
+      if (incremental_) {
+        static_cast<SenderContext&>(*slot).recycled = true;
+      } else {
+        static_cast<SenderContext&>(*slot).router.reset();
+      }
     } else {
       slot = std::make_unique<SenderContext>();
     }
     ctx = static_cast<SenderContext*>(slot.get());
     contexts_.insert(sender, std::move(slot));
   }
-  if (!ctx->router || ctx->view_version != gossip_.view_version(sender)) {
+  if (incremental_) {
+    if (!ctx->router || ctx->recycled) {
+      build_incremental_context(*ctx, sender);
+    } else if (ctx->view_version != gossip_.view_version(sender)) {
+      patch_context(*ctx, sender);
+    }
+  } else if (!ctx->router ||
+             ctx->view_version != gossip_.view_version(sender)) {
     rebuild_context(*ctx, sender);
   }
   return *ctx;
@@ -486,10 +606,19 @@ void ScenarioEngine::rebuild_context(SenderContext& ctx, NodeId sender) {
 
   Graph local(pg.num_nodes());
   ctx.to_physical.clear();
+  // for_each_open emits channels in ascending normalized-pair order — a
+  // subsequence of sorted_pairs_ — so one monotone cursor resolves every
+  // view channel to its truth channel with no per-channel hash lookup.
+  std::size_t cursor = 0;
   gossip_.view(sender).for_each_open([&](NodeId u, NodeId v) {
-    const auto it = channel_index_.find(pair_key(u, v));
-    if (it == channel_index_.end()) return;  // unknown to the truth
-    const EdgeId pf = pg.channel_forward_edge(it->second);
+    const std::pair<NodeId, NodeId> key{u, v};
+    while (cursor < sorted_pairs_.size() && sorted_pairs_[cursor] < key) {
+      ++cursor;
+    }
+    if (cursor == sorted_pairs_.size() || sorted_pairs_[cursor] != key) {
+      return;  // unknown to the truth
+    }
+    const EdgeId pf = pg.channel_forward_edge(sorted_channels_[cursor]);
     local.add_channel(u, v);
     if (pg.from(pf) == u) {
       ctx.to_physical.push_back(pf);
@@ -514,15 +643,8 @@ void ScenarioEngine::rebuild_context(SenderContext& ctx, NodeId sender) {
   // refresh.
   FlashOptions stale_opts = opts_;
   stale_opts.table_recompute_on_exhaustion = true;
-  // Fresh deterministic entropy per (sender, view version): a rebuilt
-  // router must not restart the same randomized-path-order stream, or
-  // frequently-refreshed senders would replay one frozen shuffle forever.
-  std::uint64_t mix =
-      seed_ ^
-      (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(sender) + 1)) ^
-      (0xbf58476d1ce4e5b9ULL * (gossip_.view_version(sender) + 1));
   ctx.router = make_router(scheme_, ctx.local, ctx.fees, elephant_threshold_,
-                           stale_opts, splitmix64(mix));
+                           stale_opts, context_router_seed(sender));
   ctx.view_version = gossip_.view_version(sender);
   ctx.div_truth_version = SenderContext::kNever;
   ctx.div_view_version = SenderContext::kNever;
@@ -536,6 +658,109 @@ void ScenarioEngine::rebuild_context(SenderContext& ctx, NodeId sender) {
   ctx.mirror->enable_change_log();
   ctx.journal_gen = 0;
   ctx.journal_pos = 0;
+  ctx.graph = &ctx.local;
+  ctx.to_phys = &ctx.to_physical;
+  ctx.phys_map = &ctx.phys_to_local;
+  ctx.recycled = false;
+}
+
+std::uint64_t ScenarioEngine::context_router_seed(NodeId sender) const {
+  // Fresh deterministic entropy per (sender, view version): a rebuilt or
+  // reseeded router must not restart the same randomized-path-order
+  // stream, or frequently-refreshed senders would replay one frozen
+  // shuffle forever. Shared by the oracle rebuild and the incremental
+  // patch path — identical seeds are what keep strict mode bit-identical.
+  std::uint64_t mix =
+      seed_ ^
+      (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(sender) + 1)) ^
+      (0xbf58476d1ce4e5b9ULL * (gossip_.view_version(sender) + 1));
+  return splitmix64(mix);
+}
+
+void ScenarioEngine::build_incremental_context(SenderContext& ctx,
+                                               NodeId sender) {
+  // Counted as a rebuild: this is the incremental engine's from-scratch
+  // path (first use of a sender, or a slot recycled from another sender),
+  // the moral equivalent of the oracle's rebuild_context.
+  ++result_.router_rebuilds;
+  const Graph& pg = workload_->graph();
+  ctx.graph = &view_graph_;
+  ctx.to_phys = &view_to_physical_;
+  ctx.phys_map = &view_phys_to_local_;
+
+  // The sender's view, as a mask over the shared full-shape graph. Only
+  // ever-churned channels can be absent from a view (bootstrap seeds every
+  // channel open), so start all-open and walk the churned list.
+  ctx.open_mask.assign(view_graph_.num_edges(), 1);
+  const gossip::NodeView& view = gossip_.view(sender);
+  for (const std::size_t c : churned_list_) {
+    const EdgeId fe = pg.channel_forward_edge(c);
+    if (!view.knows_channel(pg.from(fe), pg.to(fe))) {
+      const EdgeId vf =
+          view_graph_.channel_forward_edge(truth_to_view_channel_[c]);
+      ctx.open_mask[vf] = 0;
+      ctx.open_mask[view_graph_.reverse(vf)] = 0;
+    }
+  }
+
+  if (ctx.router) {
+    // Recycled slot: a strict clear plus a reseed leaves the router in
+    // exactly the state a fresh construction would produce, minus the
+    // allocations.
+    ctx.router->apply_topology_delta({}, {}, /*strict=*/true);
+    ctx.router->reseed(context_router_seed(sender));
+  } else {
+    FlashOptions stale_opts = opts_;
+    stale_opts.table_recompute_on_exhaustion = true;
+    ctx.router = make_router(scheme_, view_graph_, view_fees_,
+                             elephant_threshold_, stale_opts,
+                             context_router_seed(sender));
+  }
+  ctx.router->set_open_mask(ctx.open_mask.data());
+
+  if (!ctx.mirror) {
+    ctx.mirror = std::make_unique<NetworkState>(view_graph_);
+    ctx.mirror->enable_change_log();
+  } else {
+    ctx.mirror->clear_change_log();
+  }
+  ctx.view_version = gossip_.view_version(sender);
+  ctx.div_truth_version = SenderContext::kNever;
+  ctx.div_view_version = SenderContext::kNever;
+  ctx.journal_gen = 0;
+  ctx.journal_pos = 0;
+  ctx.recycled = false;
+}
+
+void ScenarioEngine::patch_context(SenderContext& ctx, NodeId sender) {
+  ++result_.router_patches;
+  const Graph& pg = workload_->graph();
+  const gossip::NodeView& view = gossip_.view(sender);
+  // Diff the mask against the refreshed view. Only ever-churned channels
+  // can have moved; everything else stays open on both sides forever.
+  closed_buf_.clear();
+  reopened_buf_.clear();
+  for (const std::size_t c : churned_list_) {
+    const EdgeId fe = pg.channel_forward_edge(c);
+    const bool believed_open = view.knows_channel(pg.from(fe), pg.to(fe));
+    const EdgeId vf =
+        view_graph_.channel_forward_edge(truth_to_view_channel_[c]);
+    if (static_cast<bool>(ctx.open_mask[vf]) == believed_open) continue;
+    const unsigned char bit = believed_open ? 1 : 0;
+    ctx.open_mask[vf] = bit;
+    ctx.open_mask[view_graph_.reverse(vf)] = bit;
+    (believed_open ? reopened_buf_ : closed_buf_).push_back(vf);
+  }
+  // Even an empty delta (a newer-sequence announcement that restated the
+  // known state) reseeds and applies: the oracle rebuilds on every view
+  // VERSION change, and strict mode must trigger exactly when it does.
+  ctx.router->reseed(context_router_seed(sender));
+  result_.entries_invalidated += ctx.router->apply_topology_delta(
+      closed_buf_, reopened_buf_,
+      cfg_.maintenance == RouterMaintenance::kIncrementalStrict);
+  ctx.view_version = gossip_.view_version(sender);
+  ctx.div_truth_version = SenderContext::kNever;
+  ctx.div_view_version = SenderContext::kNever;
 }
 
 bool ScenarioEngine::view_diverged(SenderContext& ctx, NodeId sender) {

@@ -100,6 +100,29 @@ struct GossipTiming {
   double hop_delay = 0;
 };
 
+/// How per-sender routers react to gossip view changes.
+enum class RouterMaintenance : std::uint8_t {
+  /// Reconstruct the sender's local graph, fees, mirror and router from
+  /// scratch on every view change — O(network) per change. The original
+  /// behavior and the oracle the differential fuzz harness pins the
+  /// incremental modes against.
+  kFullRebuild,
+  /// Keep one engine-shared full-shape view graph and patch the sender's
+  /// open-edge mask for the delta only, then drop ALL router caches and
+  /// reseed — O(churned channels) per change, provably bit-identical to
+  /// kFullRebuild for every scheme (masked search over the full-shape
+  /// graph equals search over the compacted open subgraph; see
+  /// docs/ARCHITECTURE.md "Incremental router maintenance").
+  kIncrementalStrict,
+  /// Patch the mask AND keep router caches, dropping only entries whose
+  /// cached paths cross a closed channel; reopens leave entries
+  /// stale-but-usable. Cheapest. Identical to the oracle for SP/Spider
+  /// under closes-only churn; deterministic but not path-identical for
+  /// Flash (dijkstra heap tie-breaks may differ from a fresh table — the
+  /// PR 6-style documented caveat).
+  kIncrementalLazy,
+};
+
 /// Everything dynamic about a scenario. The default-constructed config has
 /// every dynamic switched off and reproduces run_simulation bit-for-bit.
 struct ScenarioConfig {
@@ -112,6 +135,10 @@ struct ScenarioConfig {
   /// the original behavior, bit-identical. Evicted senders rebuild on
   /// their next payment, so any K > 0 trades rebuild work for memory.
   std::size_t max_sender_routers = 0;
+  /// View-change reaction (see RouterMaintenance). Defaults to the full
+  /// rebuild so existing pinned results stay bit-identical; schemes whose
+  /// router cannot mask edges (SpeedyMurmurs) silently fall back to it.
+  RouterMaintenance maintenance = RouterMaintenance::kFullRebuild;
 };
 
 /// Simulation metrics plus scenario-level counters.
@@ -128,8 +155,22 @@ struct ScenarioResult {
   std::uint64_t gossip_messages = 0;
   /// Stale-view router (re)builds: one per sender whose view changed since
   /// its last payment (plus its first payment after churn begins, and one
-  /// per cache-evicted sender's return).
+  /// per cache-evicted sender's return). Under incremental maintenance
+  /// only first builds and cache-evicted returns count here; view changes
+  /// on live contexts land in router_patches instead.
   std::size_t router_rebuilds = 0;
+  /// Incremental O(delta) view patches applied to live sender contexts
+  /// (mask update + router delta) in place of full rebuilds.
+  std::size_t router_patches = 0;
+  /// Router cache entries dropped by those patches (affected-set
+  /// invalidation in lazy mode; whole-cache clears in strict mode).
+  std::size_t entries_invalidated = 0;
+  /// Order-sensitive fold of every settled payment's outcome (success,
+  /// amount delivered, fee, probe counts, attempt, settle time) in completion
+  /// order, plus a final fold of the ground-truth ledger. Two runs agree
+  /// on this iff they agree payment-for-payment and balance-for-balance —
+  /// the differential fuzz harness's event-level equality pin.
+  std::uint64_t payment_digest = 0;
   /// Sender-router cache traffic (see ScenarioConfig::max_sender_routers);
   /// all zero while the scenario stays pristine (no churn yet).
   std::uint64_t router_cache_hits = 0;
@@ -237,6 +278,9 @@ class ScenarioEngine {
   void flush_gossip_or_schedule_hop();
   SenderContext& context_for(NodeId sender);
   void rebuild_context(SenderContext& ctx, NodeId sender);
+  void build_incremental_context(SenderContext& ctx, NodeId sender);
+  void patch_context(SenderContext& ctx, NodeId sender);
+  std::uint64_t context_router_seed(NodeId sender) const;
   void sync_context(SenderContext& ctx);
   void record_truth_change(EdgeId physical_edge);
   bool view_diverged(SenderContext& ctx, NodeId sender);
@@ -261,7 +305,12 @@ class ScenarioEngine {
   std::vector<std::uint64_t> channel_seq_;   // per-channel announcement seq
   std::vector<char> open_;                   // truth open flag per channel
   std::vector<std::size_t> open_list_;       // open channels (unordered)
-  std::unordered_map<std::uint64_t, std::size_t> channel_index_;  // pair_key
+  // Truth channels sorted ascending by their normalized (u, v) pair — the
+  // exact order NodeView::for_each_open emits — so rebuild_context maps
+  // view channels to truth channels with one merge cursor instead of a
+  // hash lookup per channel per rebuild. Built once per engine.
+  std::vector<std::pair<NodeId, NodeId>> sorted_pairs_;
+  std::vector<std::size_t> sorted_channels_;
   std::uint64_t truth_version_ = 0;          // bumped per churn event
   bool pristine_ = true;                     // no churn happened yet
   bool hop_scheduled_ = false;
@@ -279,6 +328,21 @@ class ScenarioEngine {
   // the truth about (bootstrap seeds every view open; see view_diverged).
   std::vector<char> ever_churned_;
   std::vector<std::size_t> churned_list_;
+
+  // Incremental maintenance (cfg_.maintenance != kFullRebuild and the
+  // scheme's router supports masking): every sender's view is a subset of
+  // the truth channel set, so all senders share ONE immutable full-shape
+  // "view graph" (every truth channel, added in the sorted (u, v) order
+  // for_each_open emits) with per-sender open-edge masks. The fee schedule
+  // and the view-edge <-> truth-edge maps are identical across senders and
+  // shared too; per-sender state shrinks to mask + mirror + router.
+  bool incremental_ = false;
+  Graph view_graph_;
+  FeeSchedule view_fees_;
+  std::vector<EdgeId> view_to_physical_;          // view edge -> truth edge
+  std::vector<std::uint32_t> view_phys_to_local_; // truth edge -> view edge+1
+  std::vector<std::size_t> truth_to_view_channel_;
+  std::vector<EdgeId> closed_buf_, reopened_buf_; // patch delta scratch
 
   SenderRouterCache contexts_;
   std::priority_queue<Event, std::vector<Event>, EventAfter> events_;

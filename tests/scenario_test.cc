@@ -285,5 +285,53 @@ TEST(Scenario, RejectsNonsenseConfigs) {
                std::invalid_argument);
 }
 
+TEST(Scenario, EvictedSenderRebuildsNeverPatchesFromForeignState) {
+  // A recycled LRU slot carries another sender's mask and router caches;
+  // patching it forward from that state (instead of a full rebuild) would
+  // leak one sender's view into another's. With the cache capped at one
+  // slot, every sender change recycles, so any such leak diverges the run
+  // from the oracle almost immediately.
+  const Workload w = make_toy_workload(30, 250, 12);
+  SimConfig sim;
+  sim.capacity_scale = 2.0;
+  ScenarioConfig cfg;
+  cfg.retry.max_retries = 1;
+  cfg.churn.close_rate = 0.15;
+  cfg.churn.mean_downtime = 30;
+  cfg.gossip.hop_delay = 3;
+  cfg.max_sender_routers = 1;
+  ScenarioConfig inc_cfg = cfg;
+  inc_cfg.maintenance = RouterMaintenance::kIncrementalStrict;
+  for (const Scheme scheme : {Scheme::kFlash, Scheme::kShortestPath}) {
+    const ScenarioResult oracle = run_scenario(w, scheme, {}, sim, cfg, 13);
+    const ScenarioResult inc = run_scenario(w, scheme, {}, sim, inc_cfg, 13);
+    expect_identical(inc.sim, oracle.sim);
+    EXPECT_EQ(inc.payment_digest, oracle.payment_digest);
+    EXPECT_GT(inc.router_cache_evictions, 0u);  // the cap must bite
+    // Telemetry invariant: incremental contexts rebuild exactly on cache
+    // misses (first use / post-eviction return) and patch on every view
+    // change of a live context — never the other way around.
+    EXPECT_EQ(inc.router_rebuilds, inc.router_cache_misses);
+    EXPECT_EQ(oracle.router_patches, 0u);
+  }
+}
+
+TEST(Scenario, RebuildCountPinnedAcrossViewMappingRefactor) {
+  // Regression pin for the sorted-pair merge cursor that replaced the
+  // per-channel hash lookup in rebuild_context: the mapping refactor must
+  // not change WHEN rebuilds fire or what they build. The exact count on
+  // this fixed scenario is part of the pin; if it moves, the view-change
+  // detection itself changed.
+  const Workload w = make_toy_workload(30, 300, 6);
+  SimConfig sim;
+  sim.capacity_scale = 3.0;
+  ScenarioConfig cfg;
+  cfg.churn.close_rate = 0.1;
+  cfg.churn.mean_downtime = 40;
+  const ScenarioResult got = run_scenario(w, Scheme::kFlash, {}, sim, cfg, 4);
+  EXPECT_EQ(got.router_rebuilds, 189u);
+  EXPECT_EQ(got.router_patches, 0u);  // oracle mode never patches
+}
+
 }  // namespace
 }  // namespace flash
