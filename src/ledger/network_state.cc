@@ -206,14 +206,15 @@ std::optional<HoldId> NetworkState::hold_flow(
       free_hold_slots_.push_back(slot);
       throw std::out_of_range("hold_flow: bad edge id");
     }
+    log_read(e);
     if (balance_[e] + kEps < amt) {
       free_hold_slots_.push_back(slot);
       return std::nullopt;
     }
   }
   for (const auto& [e, amt] : h.parts) {
+    log_write(e);
     balance_[e] = std::max<Amount>(0, balance_[e] - amt);
-    if (change_log_enabled_) change_log_.push_back(e);
   }
   h.active = true;
   ++active_holds_;
@@ -233,8 +234,10 @@ NetworkState::HoldRecord& NetworkState::checked_active_record(HoldId id) {
 void NetworkState::commit(HoldId id) {
   HoldRecord& h = checked_active_record(id);
   for (const auto& [e, amt] : h.parts) {
-    balance_[graph_->reverse(e)] += amt;
-    if (change_log_enabled_) change_log_.push_back(graph_->reverse(e));
+    const EdgeId rev = graph_->reverse(e);
+    log_read(rev);  // credit is a read-modify-write
+    log_write(rev);
+    balance_[rev] += amt;
   }
   h.active = false;
   --active_holds_;
@@ -244,8 +247,9 @@ void NetworkState::commit(HoldId id) {
 void NetworkState::abort(HoldId id) {
   HoldRecord& h = checked_active_record(id);
   for (const auto& [e, amt] : h.parts) {
+    log_read(e);  // refund is a read-modify-write
+    log_write(e);
     balance_[e] += amt;
-    if (change_log_enabled_) change_log_.push_back(e);
   }
   h.active = false;
   --active_holds_;

@@ -1,0 +1,1038 @@
+// Concurrent payment engine: the two parallel execution modes of
+// ScenarioEngine (see ScenarioExecution in sim/scenario.h and the
+// "Concurrent payment engine" section of docs/ARCHITECTURE.md).
+//
+// kReplay — speculative routing, logical-order settlement:
+//
+//   The sequential event loop stays the single source of ordering truth.
+//   Worker threads (one per `sender % workers` shard) route upcoming
+//   payments ahead of time against private mirror ledgers; when the event
+//   loop reaches a payment's arrival, the coordinator *consumes* the
+//   speculation: if every balance the route READ is still current (checked
+//   against per-edge write stamps), the speculated writes are applied to
+//   the truth verbatim — by induction they are exactly the writes the
+//   sequential engine would have produced — otherwise every unconsumed
+//   speculation of that worker is rolled back (router undo journal +
+//   mirror refresh) and the payment re-routes inline on the same router.
+//   Accept/abort only needs to be SOUND, not deterministic: an aborted
+//   speculation leaves no trace, so thread count and timing cannot leak
+//   into results. Replay is therefore bit-identical to the sequential
+//   engine (with payment_indexed_rng on) at ANY worker count.
+//
+//   All cross-thread happens-before comes from two BoundedQueue families
+//   (per-worker dispatch inboxes, one shared completion queue); workers
+//   and coordinator share no atomics. State published before a push is
+//   safely read after the matching pop — which covers the speculation
+//   frames, the truth-write replay log, and the per-worker cursors.
+//
+// kFreeOrder — maximum throughput, conservation-only guarantees:
+//
+//   No event loop at all. Workers pull sender-sharded batches, route on
+//   private mirrors, and commit settlement deltas directly to the shared
+//   truth under channel-striped locks taken in sorted stripe order
+//   (deadlock-free by the standard total-order argument). A commit
+//   revalidates feasibility against the live truth and retries the route
+//   on conflict. Only the channel-conservation invariant is guaranteed;
+//   results are deterministic only at workers == 1.
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/scenario.h"
+#include "util/bounded_queue.h"
+#include "util/thread_pool.h"
+
+namespace flash {
+
+namespace {
+
+/// Same fold as scenario.cc's payment-digest combine (the two TUs must
+/// agree so free-order's per-worker digests compose with the shared seal).
+inline void fold64(std::uint64_t& h, std::uint64_t v) noexcept {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ConcurrentRuntime: all kReplay pipeline state.
+// ---------------------------------------------------------------------------
+
+struct ScenarioEngine::ConcurrentRuntime {
+  // Truth-write replay log entries live in fixed-size chunks behind a
+  // never-reallocated pointer table, so workers can read any entry below
+  // their dispatch watermark with plain loads: the coordinator writes the
+  // chunk-table slot (and the entries) before publishing the watermark
+  // through an inbox push, and the queue mutex carries the happens-before.
+  static constexpr std::size_t kChunkBits = 13;  // 8192 entries per chunk
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
+  static constexpr std::size_t kChunkMask = kChunkSize - 1;
+  static constexpr std::size_t kMaxChunks = std::size_t{1} << 15;
+  /// Stamp source for non-speculative truth writes (inline re-routes,
+  /// rebalance publishes): conflicts with every in-flight speculation.
+  static constexpr std::uint32_t kExternalSrc = 0xffffffffu;
+
+  struct LogEntry {
+    EdgeId edge = 0;
+    std::uint32_t src = kExternalSrc;
+    Amount value = 0;
+  };
+
+  struct SpecTask {
+    std::size_t index = 0;
+    Transaction tx;
+    std::uint64_t rng_seed = 0;
+  };
+
+  struct SpecBatch {
+    std::uint64_t id = 0;
+    std::vector<SpecTask> tasks;
+    /// Replay-log watermark: the worker syncs its mirror to here before
+    /// speculating (every entry below is an applied truth write).
+    std::size_t log_len = 0;
+    /// Router undo records below this mark are permanent; free them.
+    std::uint64_t release_mark = 0;
+  };
+
+  struct Completion {
+    std::uint32_t worker = 0;
+    std::uint64_t batch_id = 0;
+  };
+
+  // One speculation per payment index, living in a ring slot. The slot is
+  // coordinator-owned except between the dispatch push and the completion
+  // pop of its batch, when the worker fills it in.
+  struct Frame {
+    enum class State : std::uint8_t {
+      kEmpty,    // slot free / consumed
+      kDone,     // speculated; result + read/write sets valid
+      kInvalid,  // rolled back; consume must re-route inline
+    };
+    State state = State::kEmpty;
+    std::size_t index = 0;
+    Transaction tx;  // kept for re-dispatch after a rollback
+    RouteResult result;
+    std::vector<EdgeId> reads;        // sorted, deduplicated
+    std::vector<EdgeId> write_edges;  // first-touch order, no-ops dropped
+    std::vector<Amount> write_post;   // final value per write edge
+    std::vector<Amount> write_pre;    // pre-images (accept-time cross-check)
+    std::uint64_t router_mark = 0;    // undo journal position before route
+    std::size_t log_len = 0;          // mirror watermark at route time
+    std::chrono::steady_clock::time_point spec_start{};
+    std::exception_ptr error;
+  };
+
+  struct Worker {
+    // Worker-owned between dispatch and completion; coordinator-owned
+    // (for rollback / inline routes) while the worker is idle.
+    std::uint32_t id = 0;
+    std::unique_ptr<BoundedQueue<SpecBatch>> inbox;
+    std::unique_ptr<Router> router;
+    std::unique_ptr<NetworkState> mirror;
+    std::size_t sync_pos = 0;               // log position mirror reflects
+    std::vector<std::uint32_t> write_slot;  // dedup scratch (zeros at rest)
+    std::vector<Amount> pre_scratch;        // first-touch pre-images
+
+    // Coordinator-owned bookkeeping.
+    std::uint64_t batch_seq = 0;        // batches dispatched
+    std::uint64_t last_completed = 0;   // highest completed batch id
+    std::size_t outstanding = 0;        // dispatched minus completed
+    std::deque<std::size_t> inflight;   // unconsumed speculated indices
+    std::uint64_t release_mark = 0;     // journal prefix known-permanent
+  };
+
+  ~ConcurrentRuntime() {
+    // Unblock parked workers before joining the pool: a worker waits only
+    // on its inbox pop (or, never in practice, a completions push).
+    for (Worker& w : workers) {
+      if (w.inbox) w.inbox->close();
+    }
+    if (completions) completions->close();
+    pool.reset();  // joins
+  }
+
+  ScenarioEngine* eng = nullptr;
+  std::size_t window = 0;  // speculation window (payments)
+  std::size_t ring = 0;    // frame ring size = 2 * window
+
+  std::vector<Worker> workers;
+  std::vector<std::vector<SpecTask>> pending_tasks;  // dispatch scratch
+  std::unique_ptr<BoundedQueue<Completion>> completions;
+  std::unique_ptr<ThreadPool> pool;
+
+  std::vector<Frame> frames;            // ring, indexed by index % ring
+  std::vector<std::uint64_t> slot_batch;  // batch id per ring slot
+
+  // Per-edge write stamps (coordinator-owned): position-in-log + 1 of the
+  // last truth write to the edge, and which worker's accepted speculation
+  // produced it (kExternalSrc for inline/rebalance writes). A frame of
+  // worker w with watermark L is valid iff every read edge's stamp is
+  // <= L or sourced by w itself (w's own accepted writes are layered into
+  // its mirror by construction).
+  std::vector<std::size_t> stamp_pos;
+  std::vector<std::uint32_t> stamp_src;
+
+  // The truth-write replay log (see kChunkBits above).
+  std::vector<std::unique_ptr<LogEntry[]>> chunk_store;
+  std::vector<LogEntry*> chunk_table;  // sized kMaxChunks once, no realloc
+  std::size_t log_size = 0;
+
+  // Stream read-ahead shared by dispatch and arrival staging: the deque
+  // holds transactions [preread_base, preread_base + preread.size()).
+  std::deque<Transaction> preread;
+  std::size_t preread_base = 0;
+
+  std::size_t dispatched_end = 0;  // payments dispatched for speculation
+  std::size_t next_consume = 0;    // next arrival index to settle
+  bool spec_on = false;            // dispatch active (pristine era only)
+  bool stream_dead = false;        // stream ended earlier than advertised
+
+  std::vector<Amount> truth_snapshot;  // full-resync scratch
+  std::vector<EdgeId> inline_edges;    // inline-route write scratch
+  std::vector<Amount> inline_pre;
+  std::vector<std::size_t> rolled_back;  // last rollback's frame indices
+
+  // --- Log -----------------------------------------------------------------
+
+  void log_append(EdgeId e, std::uint32_t src, Amount v) {
+    const std::size_t i = log_size;
+    const std::size_t c = i >> kChunkBits;
+    if (c >= chunk_store.size()) {
+      if (c >= kMaxChunks) {
+        throw std::logic_error("concurrent engine: replay log overflow");
+      }
+      chunk_store.push_back(std::make_unique<LogEntry[]>(kChunkSize));
+      chunk_table[c] = chunk_store.back().get();
+    }
+    chunk_table[c][i & kChunkMask] = LogEntry{e, src, v};
+    log_size = i + 1;
+    stamp_pos[e] = log_size;
+    stamp_src[e] = src;
+  }
+
+  /// Replays log entries [sync_pos, upto) into the mirror — EXCEPT the
+  /// worker's own accepted writes. Those are already in the mirror (they
+  /// were layered there when the frame was speculated and are never
+  /// clobbered), and replaying one would be a time-travel bug: an entry
+  /// this worker's frame F produced is OLDER than the layered writes of
+  /// frames speculated after F, so re-applying it would roll those layers
+  /// back. Foreign entries may clobber a layer, but then the layer's
+  /// frame reads a foreign-stamped edge and fails validation at consume,
+  /// which invalidates every later frame of this worker with it.
+  void sync_mirror(Worker& w, std::size_t upto) const {
+    for (; w.sync_pos < upto; ++w.sync_pos) {
+      const LogEntry& le =
+          chunk_table[w.sync_pos >> kChunkBits][w.sync_pos & kChunkMask];
+      if (le.src != w.id) w.mirror->mirror_balance(le.edge, le.value);
+    }
+  }
+
+  // --- Stream read-ahead ---------------------------------------------------
+
+  bool ensure_preread(std::size_t idx, WorkloadStream& s) {
+    while (preread_base + preread.size() <= idx) {
+      Transaction tx;
+      if (!s.next(tx)) {
+        stream_dead = true;
+        return false;
+      }
+      preread.push_back(tx);
+    }
+    return true;
+  }
+
+  const Transaction& preread_at(std::size_t idx) const {
+    return preread[idx - preread_base];
+  }
+
+  /// Drops entries both cursors have passed. `staged` is the engine's
+  /// next_arrival_; while dispatch is live its cursor holds entries too.
+  void trim_preread(std::size_t staged) {
+    const std::size_t keep = spec_on ? std::min(staged, dispatched_end)
+                                     : staged;
+    while (preread_base < keep && !preread.empty()) {
+      preread.pop_front();
+      ++preread_base;
+    }
+  }
+
+  // --- Coordinator-side completion tracking --------------------------------
+
+  void drain_one() {
+    const auto c = completions->pop();
+    if (!c) {
+      throw std::logic_error("concurrent engine: completion queue closed");
+    }
+    Worker& w = workers[c->worker];
+    w.last_completed = c->batch_id;
+    --w.outstanding;
+  }
+
+  void wait_for_batch(Worker& w, std::uint64_t batch_id) {
+    while (w.last_completed < batch_id) drain_one();
+  }
+
+  void wait_idle(Worker& w) {
+    while (w.outstanding > 0) drain_one();
+  }
+
+  void wait_all_idle() {
+    for (Worker& w : workers) wait_idle(w);
+  }
+
+  // --- Validation / rollback ----------------------------------------------
+
+  bool frame_valid(const Frame& f, std::uint32_t wid) const {
+    for (const EdgeId e : f.reads) {
+      if (stamp_pos[e] > f.log_len && stamp_src[e] != wid) return false;
+    }
+    return true;
+  }
+
+  /// Coordinator, worker idle: discards every unconsumed speculation of
+  /// `w` — undoes the router back to the OLDEST in-flight frame's mark
+  /// (per-worker consume order means everything above it is speculative)
+  /// and refreshes the mirror wholesale from the truth. Frames flip to
+  /// kInvalid so their consume re-routes inline.
+  void rollback_worker(Worker& w) {
+    rolled_back.clear();
+    if (w.inflight.empty()) return;
+    const Frame& oldest = frames[w.inflight.front() % ring];
+    w.router->speculation_rollback(oldest.router_mark);
+    w.release_mark = oldest.router_mark;
+    for (const std::size_t i : w.inflight) {
+      frames[i % ring].state = Frame::State::kInvalid;
+      rolled_back.push_back(i);
+    }
+    w.inflight.clear();
+    full_resync(w);
+  }
+
+  /// Coordinator, worker idle: re-dispatches the frames the preceding
+  /// rollback_worker invalidated (minus `consumed`, which just routed
+  /// inline) for a fresh speculation against the post-rollback truth.
+  /// Without this, one stale consume degrades the worker's whole
+  /// outstanding window to inline routes; with it, only payments whose
+  /// re-speculation ALSO goes stale pay the sequential price. Purely a
+  /// throughput device — accept/abort stays sound either way, so replay
+  /// results are unchanged.
+  void redispatch_rolled_back(Worker& w, std::size_t consumed) {
+    if (!spec_on || rolled_back.empty()) return;
+    SpecBatch batch;
+    for (const std::size_t idx : rolled_back) {
+      if (idx == consumed) continue;
+      const Frame& f = frames[idx % ring];
+      batch.tasks.push_back({idx, f.tx, eng->payment_rng_seed(idx, 0)});
+    }
+    rolled_back.clear();
+    if (batch.tasks.empty()) return;
+    batch.id = ++w.batch_seq;
+    batch.log_len = log_size;
+    batch.release_mark = w.release_mark;
+    for (const SpecTask& t : batch.tasks) {
+      slot_batch[t.index % ring] = batch.id;
+      w.inflight.push_back(t.index);
+    }
+    ++w.outstanding;
+    // Never blocks: the worker is idle, so its inbox is empty.
+    w.inbox->push(std::move(batch));
+  }
+
+  /// Coordinator, worker idle: mirror := truth (the log-suffix shortcut is
+  /// unsound after a rollback — a rolled-back frame may have overwritten a
+  /// synced-in value that no suffix entry repeats).
+  void full_resync(Worker& w) {
+    const Graph& g = eng->workload_->graph();
+    truth_snapshot.resize(g.num_edges());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      truth_snapshot[e] = eng->truth_.balance(e);
+    }
+    w.mirror->assign_balances(truth_snapshot);
+    w.sync_pos = log_size;
+  }
+
+  // --- Inline (non-speculative) routing ------------------------------------
+
+  /// Coordinator, worker idle, no in-flight speculations on `w` (caller
+  /// rolled them back): routes on w's mirror (== truth after the sync),
+  /// applies the settlement to the truth, publishes it through the log.
+  /// This is exactly the sequential pristine route, executed on the shard
+  /// router — identical to the oracle by the sender-sharding argument.
+  RouteResult inline_route(Worker& w, const Transaction& tx, std::size_t idx,
+                           std::size_t attempt) {
+    sync_mirror(w, log_size);
+    NetworkState& m = *w.mirror;
+    m.clear_read_log();
+    m.clear_change_log();
+    w.router->begin_payment(eng->payment_rng_seed(idx, attempt));
+    const RouteResult r = w.router->route(tx, m);
+    if (m.active_holds() != 0) {
+      throw std::logic_error("scenario: router " + w.router->name() +
+                             " leaked holds after tx " + std::to_string(idx));
+    }
+    // Inline routes are permanent: drop their undo records immediately.
+    w.release_mark = w.router->speculation_mark();
+    w.router->speculation_release(w.release_mark);
+    // First-touch pre / final post per touched edge; apply non-no-ops.
+    const auto cl = m.change_log();
+    const auto pre = m.change_log_pre();
+    inline_edges.clear();
+    inline_pre.clear();
+    auto& slot = w.write_slot;
+    for (std::size_t i = 0; i < cl.size(); ++i) {
+      const EdgeId e = cl[i];
+      if (slot[e] == 0) {
+        inline_edges.push_back(e);
+        inline_pre.push_back(pre[i]);
+        slot[e] = static_cast<std::uint32_t>(inline_edges.size());
+      }
+    }
+    for (std::size_t j = 0; j < inline_edges.size(); ++j) {
+      const EdgeId e = inline_edges[j];
+      slot[e] = 0;
+      const Amount post = m.balance(e);
+      if (post != inline_pre[j]) {
+        eng->truth_.mirror_balance(e, post);
+        log_append(e, kExternalSrc, post);
+      }
+    }
+    eng->truth_.charge_messages(r.probe_messages);
+    m.clear_read_log();
+    m.clear_change_log();
+    return r;
+  }
+
+  // --- Worker side ---------------------------------------------------------
+
+  void collect_frame(Worker& w, Frame& f) {
+    NetworkState& m = *w.mirror;
+    // Writes: first-touch pre-image, final post-value; drop edges whose
+    // final value equals their pre-route value (applying a no-op write is
+    // observationally identical to skipping it — the sequential engine
+    // routing on the truth leaves such edges at the same value — and
+    // skipping avoids stamping false conflicts onto other speculations).
+    f.write_edges.clear();
+    f.write_post.clear();
+    f.write_pre.clear();
+    w.pre_scratch.clear();
+    const auto cl = m.change_log();
+    const auto pre = m.change_log_pre();
+    auto& slot = w.write_slot;
+    for (std::size_t i = 0; i < cl.size(); ++i) {
+      const EdgeId e = cl[i];
+      if (slot[e] == 0) {
+        f.write_edges.push_back(e);
+        w.pre_scratch.push_back(pre[i]);
+        slot[e] = static_cast<std::uint32_t>(f.write_edges.size());
+      }
+    }
+    std::size_t out = 0;
+    for (std::size_t j = 0; j < f.write_edges.size(); ++j) {
+      const EdgeId e = f.write_edges[j];
+      slot[e] = 0;
+      const Amount post = m.balance(e);
+      if (post != w.pre_scratch[j]) {
+        f.write_edges[out] = e;
+        f.write_post.push_back(post);
+        f.write_pre.push_back(w.pre_scratch[j]);
+        ++out;
+      }
+    }
+    f.write_edges.resize(out);
+    // Reads, sorted + deduplicated. NetworkState funnels every balance
+    // read — probes, hold feasibility, and the commit/abort RMW reads —
+    // through the read log, so this set is a superset of the write set
+    // and one membership check covers write-write conflicts too.
+    const auto rl = m.read_log();
+    f.reads.assign(rl.begin(), rl.end());
+    std::sort(f.reads.begin(), f.reads.end());
+    f.reads.erase(std::unique(f.reads.begin(), f.reads.end()),
+                  f.reads.end());
+  }
+
+  void spec_one(Worker& w, const SpecTask& t, Frame& f) {
+    f.index = t.index;
+    f.tx = t.tx;
+    f.error = nullptr;
+    f.log_len = w.sync_pos;
+    f.spec_start = std::chrono::steady_clock::now();
+    NetworkState& m = *w.mirror;
+    m.clear_read_log();
+    m.clear_change_log();
+    try {
+      f.router_mark = w.router->speculation_mark();
+      w.router->begin_payment(t.rng_seed);
+      f.result = w.router->route(t.tx, m);
+      if (m.active_holds() != 0) {
+        throw std::logic_error("scenario: router " + w.router->name() +
+                               " leaked holds during speculation of tx " +
+                               std::to_string(t.index));
+      }
+      collect_frame(w, f);
+    } catch (...) {
+      f.error = std::current_exception();
+    }
+    f.state = Frame::State::kDone;
+  }
+
+  void worker_loop(std::uint32_t wid) {
+    Worker& w = workers[wid];
+    while (auto batch = w.inbox->pop()) {
+      w.router->speculation_release(batch->release_mark);
+      sync_mirror(w, batch->log_len);
+      for (const SpecTask& t : batch->tasks) {
+        spec_one(w, t, frames[t.index % ring]);
+      }
+      completions->push(Completion{wid, batch->id});
+    }
+  }
+};
+
+// Defined here (not scenario.h/.cc) so ConcurrentRuntime is complete only
+// where it must be.
+void ScenarioEngine::ConcurrentRuntimeDeleter::operator()(
+    ConcurrentRuntime* rt) const {
+  delete rt;
+}
+
+ScenarioEngine::~ScenarioEngine() = default;
+
+// ---------------------------------------------------------------------------
+// kReplay: engine-side coordinator.
+// ---------------------------------------------------------------------------
+
+void ScenarioEngine::begin_replay() {
+  // The determinism argument requires per-payment rng pinning: worker
+  // routers must draw exactly like the oracle's shared router would for
+  // the same payment. The equality oracle is the sequential engine with
+  // this same knob on.
+  cfg_.payment_indexed_rng = true;
+
+  concurrent_.reset(new ConcurrentRuntime());
+  ConcurrentRuntime& rt = *concurrent_;
+  rt.eng = this;
+  const std::size_t n = cfg_.concurrency.workers
+                            ? cfg_.concurrency.workers
+                            : ThreadPool::hardware_threads();
+  rt.window = cfg_.concurrency.batch ? cfg_.concurrency.batch : 8 * n;
+  if (rt.window == 0) rt.window = 1;
+  rt.ring = 2 * rt.window;
+
+  const Graph& g = workload_->graph();
+  rt.frames.resize(rt.ring);
+  rt.slot_batch.assign(rt.ring, 0);
+  rt.stamp_pos.assign(g.num_edges(), 0);
+  rt.stamp_src.assign(g.num_edges(), ConcurrentRuntime::kExternalSrc);
+  rt.chunk_table.assign(ConcurrentRuntime::kMaxChunks, nullptr);
+  rt.pending_tasks.resize(n);
+  // Deadlock-freedom: outstanding batches carry disjoint non-empty sets of
+  // unconsumed dispatched indices (pump batches are disjoint by
+  // construction; a re-dispatch batch's indices left their previous batch
+  // when it completed), and unconsumed dispatched indices number at most
+  // `ring`. Sizing the completion queue past that means a worker's
+  // completion push NEVER blocks, so workers always return to their inbox
+  // and every coordinator dispatch push eventually completes.
+  rt.completions =
+      std::make_unique<BoundedQueue<ConcurrentRuntime::Completion>>(
+          std::max(rt.ring, 2 * n) + 1);
+  rt.truth_snapshot.resize(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    rt.truth_snapshot[e] = truth_.balance(e);
+  }
+
+  rt.workers.resize(n);
+  for (std::size_t wid = 0; wid < n; ++wid) {
+    ConcurrentRuntime::Worker& w = rt.workers[wid];
+    w.id = static_cast<std::uint32_t>(wid);
+    w.inbox =
+        std::make_unique<BoundedQueue<ConcurrentRuntime::SpecBatch>>(4);
+    // Identical construction to base_router_, so with payment-indexed rng
+    // a shard router routes any given payment exactly like the oracle.
+    w.router = make_router(scheme_, *workload_, opts_, seed_);
+    w.router->speculation_mark();  // arm the undo journal on this thread
+    w.mirror = std::make_unique<NetworkState>(g);
+    w.mirror->assign_balances(rt.truth_snapshot);
+    w.mirror->enable_change_log(/*with_pre_images=*/true);
+    w.mirror->enable_read_log();
+    w.write_slot.assign(g.num_edges(), 0);
+  }
+
+  rt.spec_on = stream_->size() > 0;
+  result_.workers_used = n;
+  rt.pool = std::make_unique<ThreadPool>(n);
+  for (std::size_t wid = 0; wid < n; ++wid) {
+    ConcurrentRuntime* rtp = &rt;
+    rt.pool->submit(
+        [rtp, wid] { rtp->worker_loop(static_cast<std::uint32_t>(wid)); });
+  }
+}
+
+void ScenarioEngine::end_replay() {
+  ConcurrentRuntime& rt = *concurrent_;
+  rt.spec_on = false;
+  for (ConcurrentRuntime::Worker& w : rt.workers) {
+    if (w.inbox) w.inbox->close();
+  }
+  if (rt.completions) rt.completions->close();
+  if (rt.pool) rt.pool->wait_idle();
+}
+
+void ScenarioEngine::replay_pump() {
+  ConcurrentRuntime& rt = *concurrent_;
+  if (!rt.spec_on || rt.stream_dead) {
+    rt.trim_preread(next_arrival_);
+    return;
+  }
+  const std::size_t total = stream_->size();
+  while (rt.dispatched_end < total) {
+    const std::size_t chunk = std::min(rt.window, total - rt.dispatched_end);
+    // Ring-slot safety: never let in-flight indices span more than `ring`
+    // (a slot is reused only after its previous occupant was consumed).
+    if (rt.dispatched_end + chunk - rt.next_consume > rt.ring) break;
+    std::size_t actual = 0;
+    for (; actual < chunk; ++actual) {
+      const std::size_t idx = rt.dispatched_end + actual;
+      if (!rt.ensure_preread(idx, *stream_)) break;
+      const Transaction& tx = rt.preread_at(idx);
+      const std::uint32_t wid =
+          static_cast<std::uint32_t>(tx.sender % rt.workers.size());
+      rt.pending_tasks[wid].push_back(
+          {idx, tx, payment_rng_seed(idx, 0)});
+    }
+    for (std::size_t wid = 0; wid < rt.workers.size(); ++wid) {
+      auto& tasks = rt.pending_tasks[wid];
+      if (tasks.empty()) continue;
+      ConcurrentRuntime::Worker& w = rt.workers[wid];
+      ConcurrentRuntime::SpecBatch batch;
+      batch.id = ++w.batch_seq;
+      batch.log_len = rt.log_size;
+      batch.release_mark = w.release_mark;
+      batch.tasks = std::move(tasks);
+      tasks = {};
+      for (const ConcurrentRuntime::SpecTask& t : batch.tasks) {
+        rt.slot_batch[t.index % rt.ring] = batch.id;
+        w.inflight.push_back(t.index);
+      }
+      ++w.outstanding;
+      // May block transiently if the inbox is full, but never deadlocks:
+      // completion pushes can't block (see the completion-queue sizing in
+      // begin_replay), so the worker always drains its inbox.
+      w.inbox->push(std::move(batch));
+    }
+    rt.dispatched_end += actual;
+    if (actual < chunk) break;  // stream exhausted early
+  }
+  rt.trim_preread(next_arrival_);
+}
+
+bool ScenarioEngine::preread_pop(Transaction& tx) {
+  ConcurrentRuntime& rt = *concurrent_;
+  if (!rt.ensure_preread(next_arrival_, *stream_)) return false;
+  tx = rt.preread_at(next_arrival_);
+  if (!rt.spec_on) {
+    // Dispatch is dead (post-churn): nothing else will trim, so drop
+    // everything up to and including this entry right away.
+    rt.trim_preread(next_arrival_ + 1);
+  }
+  return true;
+}
+
+RouteResult ScenarioEngine::replay_route(std::size_t tx_index,
+                                         std::size_t attempt) {
+  ConcurrentRuntime& rt = *concurrent_;
+  const Transaction tx = pending_.at(tx_index).tx;
+  const std::uint32_t wid =
+      static_cast<std::uint32_t>(tx.sender % rt.workers.size());
+  ConcurrentRuntime::Worker& w = rt.workers[wid];
+
+  if (attempt == 0 && tx_index >= rt.next_consume) {
+    rt.next_consume = tx_index + 1;
+  }
+
+  if (attempt == 0 && rt.spec_on && tx_index < rt.dispatched_end) {
+    rt.wait_for_batch(w, rt.slot_batch[tx_index % rt.ring]);
+    ConcurrentRuntime::Frame& f = rt.frames[tx_index % rt.ring];
+    if (f.error) {
+      rt.spec_on = false;
+      std::rethrow_exception(f.error);
+    }
+    if (f.state == ConcurrentRuntime::Frame::State::kDone &&
+        rt.frame_valid(f, wid)) {
+      // Accept: the speculation read only current values, so its writes
+      // are bit-for-bit the sequential engine's writes. Apply + publish.
+      // Validation soundness implies every speculative pre-image equals
+      // the live truth; a mismatch means silent divergence, so fail loud.
+      for (std::size_t j = 0; j < f.write_edges.size(); ++j) {
+        if (truth_.balance(f.write_edges[j]) != f.write_pre[j]) {
+          throw std::logic_error(
+              "concurrent engine: accepted speculation diverged from truth "
+              "at edge " + std::to_string(f.write_edges[j]));
+        }
+        truth_.mirror_balance(f.write_edges[j], f.write_post[j]);
+        rt.log_append(f.write_edges[j], wid, f.write_post[j]);
+      }
+      truth_.charge_messages(f.result.probe_messages);
+      pending_.at(tx_index).started = f.spec_start;
+      w.inflight.pop_front();  // == tx_index: consume order is index order
+      w.release_mark = f.router_mark;
+      f.state = ConcurrentRuntime::Frame::State::kEmpty;
+      ++result_.spec_accepted;
+      return f.result;
+    }
+    // Stale (or already rolled back): every later speculation of this
+    // worker is layered above this one (mirror values and router undo
+    // records), so discard them all and re-route inline.
+    rt.wait_idle(w);
+    rt.rollback_worker(w);
+    ++result_.spec_rerouted;
+    const RouteResult r = rt.inline_route(w, tx, tx_index, attempt);
+    rt.redispatch_rolled_back(w, tx_index);
+    return r;
+  }
+
+  // Retries, and arrivals past the speculation era: inline on the shard
+  // router. In-flight speculations (if any) must go first — an inline
+  // route's permanent router mutations may not interleave above their
+  // undo marks.
+  rt.wait_idle(w);
+  rt.rollback_worker(w);
+  const RouteResult r = rt.inline_route(w, tx, tx_index, attempt);
+  rt.redispatch_rolled_back(w, tx_index);
+  return r;
+}
+
+void ScenarioEngine::replay_quiesce(bool permanent) {
+  ConcurrentRuntime& rt = *concurrent_;
+  if (!rt.spec_on) return;
+  rt.wait_all_idle();
+  if (permanent) {
+    // Speculated frames are abandoned un-applied; the routers and mirrors
+    // are never consulted again on the accept path (post-churn arrivals
+    // route through sender contexts). Lazy rollback_worker calls from
+    // replay_route's inline path clean up any shard that still gets
+    // pristine-path traffic (possible only if no channel actually closed).
+    rt.spec_on = false;
+    return;
+  }
+  for (ConcurrentRuntime::Worker& w : rt.workers) rt.rollback_worker(w);
+}
+
+void ScenarioEngine::replay_publish_all_edges() {
+  ConcurrentRuntime& rt = *concurrent_;
+  if (!rt.spec_on) return;
+  const Graph& g = workload_->graph();
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    rt.log_append(e, ConcurrentRuntime::kExternalSrc, truth_.balance(e));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// kFreeOrder.
+// ---------------------------------------------------------------------------
+
+ScenarioResult ScenarioEngine::run_free_order() {
+  const Graph& g = workload_->graph();
+  const std::size_t n = cfg_.concurrency.workers
+                            ? cfg_.concurrency.workers
+                            : ThreadPool::hardware_threads();
+  const std::size_t stripes_n = cfg_.concurrency.stripes;
+  const std::size_t batch_sz =
+      cfg_.concurrency.batch ? cfg_.concurrency.batch : 64;
+  const std::size_t conflict_retries = cfg_.concurrency.conflict_retries;
+  const std::size_t resync_stride =
+      std::max<std::size_t>(1, cfg_.concurrency.resync_stride);
+  cfg_.payment_indexed_rng = true;
+  result_.workers_used = n;
+
+  struct FoTask {
+    std::size_t index = 0;
+    Transaction tx;
+  };
+  struct FoWorker {
+    std::unique_ptr<BoundedQueue<std::vector<FoTask>>> inbox;
+    std::unique_ptr<Router> router;
+    std::unique_ptr<NetworkState> mirror;
+    SimResult sim;
+    std::uint64_t digest = 0;
+    LogHistogram lat{1e-8, 1e3, 8};
+    double lat_sum = 0;
+    double lat_max = 0;
+    std::uint64_t conflicts = 0;
+    std::size_t since_resync = 0;
+    double max_time = 0;
+    std::exception_ptr error;
+    // Scratch (worker-private).
+    std::vector<EdgeId> wedges;
+    std::vector<Amount> wpre;
+    std::vector<Amount> wpost;
+    std::vector<Amount> wnew;
+    std::vector<std::uint32_t> slot;
+    std::vector<std::size_t> stripe_ids;
+  };
+
+  std::vector<std::mutex> stripe_locks(stripes_n);
+  std::vector<Amount> snap(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) snap[e] = truth_.balance(e);
+
+  std::vector<FoWorker> ws(n);
+  for (std::size_t wid = 0; wid < n; ++wid) {
+    FoWorker& w = ws[wid];
+    w.inbox = std::make_unique<BoundedQueue<std::vector<FoTask>>>(4);
+    w.router = make_router(scheme_, *workload_, opts_, seed_);
+    w.mirror = std::make_unique<NetworkState>(g);
+    w.mirror->assign_balances(snap);
+    w.mirror->enable_change_log(/*with_pre_images=*/true);
+    w.slot.assign(g.num_edges(), 0);
+  }
+
+  // Sorted-stripe commit: revalidate the settlement delta against the
+  // live truth under every stripe lock it touches (ascending stripe order
+  // across all workers => no deadlock), then apply it and refresh the
+  // mirror's view of those edges. Channel totals are conserved because the
+  // delta came from a conserving hold/commit/abort cycle on the mirror.
+  auto try_commit = [&](FoWorker& w) -> bool {
+    auto& st = w.stripe_ids;
+    st.clear();
+    for (const EdgeId e : w.wedges) st.push_back(g.channel_of(e) % stripes_n);
+    std::sort(st.begin(), st.end());
+    st.erase(std::unique(st.begin(), st.end()), st.end());
+    for (const std::size_t s : st) stripe_locks[s].lock();
+    bool ok = true;
+    w.wnew.resize(w.wedges.size());
+    for (std::size_t j = 0; j < w.wedges.size(); ++j) {
+      const Amount t = truth_.balance_relaxed(w.wedges[j]);
+      const Amount nv = t + (w.wpost[j] - w.wpre[j]);
+      if (nv < -1e-6) {
+        ok = false;
+        break;
+      }
+      w.wnew[j] = nv < 0 ? 0 : nv;
+    }
+    if (ok) {
+      for (std::size_t j = 0; j < w.wedges.size(); ++j) {
+        truth_.store_balance_relaxed(w.wedges[j], w.wnew[j]);
+        w.mirror->mirror_balance(w.wedges[j], w.wnew[j]);
+      }
+    }
+    for (std::size_t k = st.size(); k-- > 0;) stripe_locks[st[k]].unlock();
+    return ok;
+  };
+
+  auto worker_fn = [&](std::size_t wid) {
+    FoWorker& w = ws[wid];
+    NetworkState& m = *w.mirror;
+    try {
+      while (auto batch = w.inbox->pop()) {
+        for (const FoTask& task : *batch) {
+          const auto t0 = std::chrono::steady_clock::now();
+          // A single worker's mirror never drifts (no foreign commits:
+          // every committed post-value is mirrored back verbatim), so the
+          // periodic full refresh is pure O(edges) waste at n == 1.
+          if (n > 1 && ++w.since_resync >= resync_stride) {
+            for (EdgeId e = 0; e < g.num_edges(); ++e) {
+              m.mirror_balance(e, truth_.balance_relaxed(e));
+            }
+            w.since_resync = 0;
+          }
+          RouteResult r;
+          std::uint64_t probe_acc = 0;
+          std::uint32_t probes_acc = 0;
+          bool committed = false;
+          for (std::size_t att = 0;; ++att) {
+            w.router->begin_payment(payment_rng_seed(task.index, 0));
+            m.clear_change_log();
+            r = w.router->route(task.tx, m);
+            if (m.active_holds() != 0) {
+              throw std::logic_error("scenario: router " +
+                                     w.router->name() +
+                                     " leaked holds (free-order)");
+            }
+            probe_acc += r.probe_messages;
+            probes_acc += r.probes;
+            // First-touch pre / final post per touched edge, no-ops out.
+            w.wedges.clear();
+            w.wpre.clear();
+            w.wpost.clear();
+            const auto cl = m.change_log();
+            const auto pre = m.change_log_pre();
+            for (std::size_t i = 0; i < cl.size(); ++i) {
+              const EdgeId e = cl[i];
+              if (w.slot[e] == 0) {
+                w.wedges.push_back(e);
+                w.wpre.push_back(pre[i]);
+                w.slot[e] = static_cast<std::uint32_t>(w.wedges.size());
+              }
+            }
+            std::size_t out = 0;
+            for (std::size_t j = 0; j < w.wedges.size(); ++j) {
+              const EdgeId e = w.wedges[j];
+              w.slot[e] = 0;
+              const Amount post = m.balance(e);
+              if (post != w.wpre[j]) {
+                w.wedges[out] = e;
+                w.wpre[out] = w.wpre[j];
+                w.wpost.push_back(post);
+                ++out;
+              }
+            }
+            w.wedges.resize(out);
+            w.wpre.resize(out);
+            if (!r.success) {
+              // Routing failed on the mirror: restore it exactly (no
+              // settlement to commit) and report the failure.
+              for (std::size_t j = out; j-- > 0;) {
+                m.mirror_balance(w.wedges[j], w.wpre[j]);
+              }
+              break;
+            }
+            if (try_commit(w)) {
+              committed = true;
+              break;
+            }
+            ++w.conflicts;
+            // The truth moved under us: roll the mirror back, refresh the
+            // contested edges from the live truth, and re-route.
+            for (std::size_t j = out; j-- > 0;) {
+              m.mirror_balance(w.wedges[j], w.wpre[j]);
+            }
+            for (std::size_t j = 0; j < out; ++j) {
+              m.mirror_balance(w.wedges[j],
+                               truth_.balance_relaxed(w.wedges[j]));
+            }
+            if (att >= conflict_retries) break;
+          }
+          if (r.success && !committed) {
+            r.success = false;
+            r.delivered = 0;
+            r.fee = 0;
+            r.paths_used = 0;
+          }
+          r.probe_messages = probe_acc;
+          r.probes = probes_acc;
+          w.sim.add(task.tx, r, task.tx.amount < class_threshold_);
+          fold64(w.digest, task.tx.sender);
+          fold64(w.digest, task.tx.receiver);
+          fold64(w.digest, std::bit_cast<std::uint64_t>(task.tx.amount));
+          fold64(w.digest, r.success ? 1 : 0);
+          fold64(w.digest, std::bit_cast<std::uint64_t>(r.delivered));
+          fold64(w.digest, std::bit_cast<std::uint64_t>(r.fee));
+          fold64(w.digest, r.probe_messages);
+          fold64(w.digest, r.probes);
+          fold64(w.digest, r.paths_used);
+          fold64(w.digest, 0);  // attempt: free-order never retries
+          fold64(w.digest, std::bit_cast<std::uint64_t>(task.tx.timestamp));
+          const double lat = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+          w.lat.add(lat);
+          w.lat_sum += lat;
+          w.lat_max = std::max(w.lat_max, lat);
+          w.max_time = std::max(w.max_time, task.tx.timestamp);
+        }
+      }
+    } catch (...) {
+      w.error = std::current_exception();
+      // Unblock the dispatcher: its pushes to this inbox now fail fast.
+      w.inbox->close();
+    }
+  };
+
+  ThreadPool pool(n);
+  for (std::size_t wid = 0; wid < n; ++wid) {
+    pool.submit([&worker_fn, wid] { worker_fn(wid); });
+  }
+
+  // Dispatch: sender-sharded batches, in stream order per worker (which
+  // is what makes workers == 1 bit-deterministic for a fixed seed).
+  {
+    std::vector<std::vector<FoTask>> buf(n);
+    const std::size_t total = stream_->size();
+    Transaction tx;
+    for (std::size_t i = 0; i < total && stream_->next(tx); ++i) {
+      const std::size_t wid = tx.sender % n;
+      buf[wid].push_back({i, tx});
+      if (buf[wid].size() >= batch_sz) {
+        ws[wid].inbox->push(std::move(buf[wid]));
+        buf[wid] = {};
+      }
+    }
+    for (std::size_t wid = 0; wid < n; ++wid) {
+      if (!buf[wid].empty()) ws[wid].inbox->push(std::move(buf[wid]));
+      ws[wid].inbox->close();
+    }
+  }
+  pool.wait_idle();
+
+  for (std::size_t wid = 0; wid < n; ++wid) {
+    if (ws[wid].error) std::rethrow_exception(ws[wid].error);
+  }
+
+  // Merge in worker order (deterministic given deterministic workers).
+  for (std::size_t wid = 0; wid < n; ++wid) {
+    const FoWorker& w = ws[wid];
+    SimResult& s = result_.sim;
+    s.transactions += w.sim.transactions;
+    s.successes += w.sim.successes;
+    s.volume_attempted += w.sim.volume_attempted;
+    s.volume_succeeded += w.sim.volume_succeeded;
+    s.fees_paid += w.sim.fees_paid;
+    s.probe_messages += w.sim.probe_messages;
+    s.probes += w.sim.probes;
+    s.mice_transactions += w.sim.mice_transactions;
+    s.mice_successes += w.sim.mice_successes;
+    s.mice_volume_succeeded += w.sim.mice_volume_succeeded;
+    s.mice_probe_messages += w.sim.mice_probe_messages;
+    s.elephant_transactions += w.sim.elephant_transactions;
+    s.elephant_successes += w.sim.elephant_successes;
+    s.elephant_volume_succeeded += w.sim.elephant_volume_succeeded;
+    s.elephant_probe_messages += w.sim.elephant_probe_messages;
+    fold64(result_.payment_digest, w.digest);
+    result_.commit_conflicts += w.conflicts;
+    latency_hist_.merge(w.lat);
+    latency_sum_ += w.lat_sum;
+    latency_max_ = std::max(latency_max_, w.lat_max);
+    result_.duration = std::max(result_.duration, w.max_time);
+  }
+
+  // Conservation sweep, parallelized with the chunked claim mode: the
+  // per-channel checks are tiny, so claiming 1024 at a time keeps the
+  // atomic counter off the critical path. Mirrors check_invariants'
+  // tolerances exactly.
+  parallel_for_chunked(pool, g.num_channels(), 1024, [&](std::size_t c) {
+    const EdgeId fe = g.channel_forward_edge(c);
+    const EdgeId be = g.reverse(fe);
+    const Amount fwd = truth_.balance(fe);
+    const Amount bwd = truth_.balance(be);
+    const Amount dep = truth_.channel_deposit(fe);
+    const Amount tolerance = 1e-4 * std::max<Amount>(1, std::abs(dep));
+    if (std::abs(fwd + bwd - dep) > tolerance || fwd < -1e-6 ||
+        bwd < -1e-6) {
+      throw std::logic_error(
+          "free-order conservation violated at channel " +
+          std::to_string(c) + " (scheme " + scheme_name(scheme_) + ")");
+    }
+  });
+  if (truth_.active_holds() != 0) {
+    throw std::logic_error("free-order left holds in flight");
+  }
+
+  // Seal the digest with the final ledger, like the sequential engine.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    fold64(result_.payment_digest,
+           std::bit_cast<std::uint64_t>(truth_.balance(e)));
+  }
+  finalize_latency();
+  return result_;
+}
+
+}  // namespace flash

@@ -80,6 +80,18 @@ void validate(const ScenarioConfig& cfg) {
   if (cfg.gossip.hop_delay < 0) {
     throw std::invalid_argument("scenario: gossip.hop_delay must be >= 0");
   }
+  if (cfg.concurrency.stripes == 0) {
+    throw std::invalid_argument("scenario: concurrency.stripes must be >= 1");
+  }
+  if (cfg.concurrency.execution == ScenarioExecution::kFreeOrder &&
+      (cfg.retry.max_retries > 0 || cfg.churn.close_rate > 0 ||
+       cfg.rebalance.interval > 0)) {
+    // Free-order has no event loop: retries, churn, and rebalancing have
+    // no defined interleaving against out-of-order settlement.
+    throw std::invalid_argument(
+        "scenario: free-order execution requires a zero-dynamics, "
+        "zero-retry config (no churn, no rebalance, no retries)");
+  }
 }
 
 }  // namespace
@@ -218,7 +230,8 @@ ScenarioEngine::ScenarioEngine(const Workload& workload, Scheme scheme,
   }
 }
 
-ScenarioEngine::~ScenarioEngine() = default;
+// ~ScenarioEngine lives in sim/concurrent.cc, where ConcurrentRuntime is
+// a complete type (unique_ptr member destruction).
 
 void ScenarioEngine::schedule(double time, EventType type, std::size_t a,
                               std::size_t b) {
@@ -228,6 +241,13 @@ void ScenarioEngine::schedule(double time, EventType type, std::size_t a,
 ScenarioResult ScenarioEngine::run() {
   if (ran_) throw std::logic_error("ScenarioEngine: run() is single-use");
   ran_ = true;
+
+  if (cfg_.concurrency.execution == ScenarioExecution::kFreeOrder) {
+    return run_free_order();
+  }
+  if (cfg_.concurrency.execution == ScenarioExecution::kReplay) {
+    begin_replay();
+  }
 
   // Arrivals are staged LAZILY, one at a time: arrival i enters the heap
   // only when arrival i-1 is popped (arrivals are chronological, so the
@@ -247,6 +267,7 @@ ScenarioResult ScenarioEngine::run() {
   }
 
   while (outstanding_ > 0 && !events_.empty()) {
+    if (concurrent_) replay_pump();
     const Event ev = events_.top();
     events_.pop();
     now_ = ev.time;
@@ -274,6 +295,7 @@ ScenarioResult ScenarioEngine::run() {
         break;
     }
   }
+  if (concurrent_) end_replay();
 
   std::size_t bad = 0;
   if (!truth_.check_invariants(&bad)) {
@@ -293,13 +315,18 @@ ScenarioResult ScenarioEngine::run() {
     fold64(result_.payment_digest,
            std::bit_cast<std::uint64_t>(truth_.balance(e)));
   }
+  finalize_latency();
   return result_;
 }
 
 void ScenarioEngine::stage_next_arrival() {
   if (next_arrival_ >= stream_->size()) return;
   Transaction tx;
-  if (!stream_->next(tx)) return;  // stream shorter than advertised
+  // Replay reads the stream ahead of staging (speculative dispatch), so
+  // staging must pull from the shared read-ahead buffer, not the stream.
+  if (concurrent_ ? !preread_pop(tx) : !stream_->next(tx)) {
+    return;  // stream shorter than advertised
+  }
   // Arrival order is always the trace order: a timestamp that runs
   // backwards is clamped to the previous arrival, like run_simulation's
   // sequential replay.
@@ -314,6 +341,10 @@ void ScenarioEngine::stage_next_arrival() {
 
 void ScenarioEngine::attempt_payment(std::size_t tx_index,
                                      std::size_t attempt) {
+  {
+    PendingPayment& first = pending_.at(tx_index);
+    if (attempt == 0) first.started = std::chrono::steady_clock::now();
+  }
   const Transaction tx = pending_.at(tx_index).tx;
   RouteResult r;
   bool diverged = false;
@@ -321,7 +352,14 @@ void ScenarioEngine::attempt_payment(std::size_t tx_index,
     // No churn has happened yet: every view still equals the truth, so the
     // shared perfectly-informed router is exact (and this fast path is what
     // makes the zero-dynamics scenario bit-identical to run_simulation).
-    r = base_router_->route(tx, truth_);
+    if (concurrent_) {
+      r = replay_route(tx_index, attempt);
+    } else {
+      if (cfg_.payment_indexed_rng) {
+        base_router_->begin_payment(payment_rng_seed(tx_index, attempt));
+      }
+      r = base_router_->route(tx, truth_);
+    }
   } else {
     SenderContext& ctx = context_for(tx.sender);
     // Sync the mirror from the truth: probes during routing read live
@@ -329,6 +367,9 @@ void ScenarioEngine::attempt_payment(std::size_t tx_index,
     // stale. A truth-closed channel the view still believes in carries
     // balance 0 — sends over it fail, probes report it dead.
     sync_context(ctx);
+    if (cfg_.payment_indexed_rng) {
+      ctx.router->begin_payment(payment_rng_seed(tx_index, attempt));
+    }
     r = ctx.router->route(tx, *ctx.mirror);
     if (ctx.mirror->active_holds() != 0) {
       throw std::logic_error("scenario: router " + ctx.router->name() +
@@ -395,10 +436,43 @@ void ScenarioEngine::finish_payment(const Transaction& tx,
     if (attempt > 0) ++result_.sim.retry_successes;
     result_.sim.time_to_success_total += now_ - tx.timestamp;
   }
+  note_latency(std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - totals.started)
+                   .count());
   --outstanding_;
   ++completed_;
   result_.duration = now_;
   check_invariants_if_due();
+}
+
+std::uint64_t ScenarioEngine::payment_rng_seed(std::size_t tx_index,
+                                               std::size_t attempt) const {
+  // Unique deterministic entropy per (payment, attempt): with
+  // payment_indexed_rng on, a route's randomness depends only on WHICH
+  // payment it serves — not on which payments the router instance served
+  // before — which is what lets worker-local routers draw exactly like the
+  // sequential oracle's shared router.
+  std::uint64_t mix =
+      seed_ ^
+      (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(tx_index) + 1)) ^
+      (0xd6e8feb86659fd93ULL * (static_cast<std::uint64_t>(attempt) + 1));
+  return splitmix64(mix);
+}
+
+void ScenarioEngine::note_latency(double seconds) {
+  latency_hist_.add(seconds);
+  latency_sum_ += seconds;
+  latency_max_ = std::max(latency_max_, seconds);
+}
+
+void ScenarioEngine::finalize_latency() {
+  result_.latency.count = latency_hist_.total();
+  if (result_.latency.count == 0) return;
+  result_.latency.mean_seconds =
+      latency_sum_ / static_cast<double>(result_.latency.count);
+  result_.latency.p50_seconds = latency_hist_.percentile(0.50);
+  result_.latency.p99_seconds = latency_hist_.percentile(0.99);
+  result_.latency.max_seconds = latency_max_;
 }
 
 void ScenarioEngine::check_invariants_if_due() {
@@ -460,6 +534,12 @@ void ScenarioEngine::record_truth_change(EdgeId physical_edge) {
 }
 
 void ScenarioEngine::handle_close() {
+  // Churn ends speculation for good: the pristine fast path is over, and
+  // the stale-view machinery that takes its place is inherently
+  // sequential. In-flight speculations are abandoned un-applied (their
+  // arrivals will route through sender contexts like any post-churn
+  // payment), which is why the flip needs no rollback.
+  if (concurrent_) replay_quiesce(/*permanent=*/true);
   if (!open_list_.empty()) {
     const std::size_t pick = dyn_rng_.next_below(open_list_.size());
     const std::size_t c = open_list_[pick];
@@ -537,6 +617,12 @@ void ScenarioEngine::handle_gossip_hop() {
 }
 
 void ScenarioEngine::handle_rebalance() {
+  // Rebalance rewrites every balance but keeps the network pristine, so
+  // speculation may continue afterwards: park the pipeline, roll back
+  // every in-flight speculation (their ledger views are about to be
+  // wholesale wrong), apply the drift, and let replay_quiesce's caller
+  // publish the new balances through the replay log.
+  if (concurrent_) replay_quiesce(/*permanent=*/false);
   const Graph& g = workload_->graph();
   drift_buf_.resize(g.num_edges());
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
@@ -558,6 +644,7 @@ void ScenarioEngine::handle_rebalance() {
   // advance the generation and let every mirror full-sync once.
   truth_journal_.clear();
   ++journal_gen_;
+  if (concurrent_) replay_publish_all_edges();
   ++result_.rebalance_events;
   schedule(now_ + cfg_.rebalance.interval, EventType::kRebalance);
 }

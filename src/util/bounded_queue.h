@@ -1,0 +1,140 @@
+// Bounded MPMC queue for pipeline stages (FlashRoute-style decoupling).
+//
+// The concurrent payment engine (sim/concurrent.cc) uses one instance per
+// route worker for dispatch and one shared instance for completions, so a
+// slow settle stage backpressures routing instead of queueing unboundedly.
+// Mutex + two condvars rather than a lock-free ring: every handoff in the
+// engine is batch-granular (tens of payments), so queue operations are far
+// off the hot path, and the mutex gives the happens-before edges the
+// deterministic-replay design relies on (workers read coordinator-owned
+// state published before the push, with no atomics of their own).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace flash {
+
+/// Fixed-capacity FIFO; blocking push/pop with non-blocking try_ variants.
+///
+/// Thread-safety: all members may be called concurrently from any thread.
+/// close() wakes every waiter: subsequent push/try_push fail, pop drains
+/// whatever is buffered and then returns nullopt. FIFO order is global
+/// (single mutex), so a single consumer sees items in exact push order.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// Capacity must be >= 1; push blocks while `capacity` items are buffered.
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {
+    buffer_.reserve(capacity_);
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until space is available or the queue is closed. Returns false
+  /// (dropping `item`) iff the queue was closed.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] { return closed_ || size_ < capacity_; });
+    if (closed_) return false;
+    place(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; returns false when full or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || size_ >= capacity_) return false;
+      place(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed AND drained;
+  /// nullopt means closed-and-drained (the consumer's exit signal).
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || size_ > 0; });
+    if (size_ == 0) return std::nullopt;
+    T item = take();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop; nullopt when empty (closed or not).
+  std::optional<T> try_pop() {
+    std::optional<T> item;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (size_ == 0) return std::nullopt;
+      item = take();
+    }
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Closes the queue: wakes all waiters, fails future pushes, lets pops
+  /// drain the remaining items. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return size_;
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  // Ring over a lazily-grown vector: slots are appended until the buffer
+  // reaches capacity (reserved up front), then reused in place.
+  void place(T&& item) {
+    const std::size_t slot = (head_ + size_) % capacity_;
+    if (slot == buffer_.size()) {
+      buffer_.push_back(std::move(item));
+    } else {
+      buffer_[slot] = std::move(item);
+    }
+    ++size_;
+  }
+
+  T take() {
+    T item = std::move(buffer_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --size_;
+    return item;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<T> buffer_;
+  std::size_t head_ = 0;  // index of the oldest buffered item
+  std::size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace flash

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 
 namespace flash {
 
@@ -50,6 +51,43 @@ std::vector<std::pair<double, double>> LogHistogram::cdf() const {
                      static_cast<double>(acc) / static_cast<double>(total_));
   }
   return out;
+}
+
+double LogHistogram::percentile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank in [0, total]; find the first bin whose cumulative count reaches
+  // it. Comparing against a real-valued rank keeps q=0 -> first occupied
+  // bin's lower edge and q=1 -> last occupied bin's upper edge.
+  const double rank = q * static_cast<double>(total_);
+  double acc = static_cast<double>(underflow_);
+  if (rank <= acc && underflow_ > 0) return lower_edge(0);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double next = acc + static_cast<double>(counts_[i]);
+    if (rank <= next) {
+      // Log-space interpolation: fraction of this bin's mass below rank.
+      const double frac = (rank - acc) / static_cast<double>(counts_[i]);
+      const double lo = log_lo_ + static_cast<double>(i) / bins_per_decade_;
+      return std::pow(10.0, lo + frac / bins_per_decade_);
+    }
+    acc = next;
+  }
+  return std::pow(10.0, log_hi_);  // remaining mass is overflow
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (log_lo_ != other.log_lo_ || log_hi_ != other.log_hi_ ||
+      bins_per_decade_ != other.bins_per_decade_ ||
+      counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument("LogHistogram::merge: binning mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
 }
 
 std::string LogHistogram::render(std::size_t width) const {

@@ -33,6 +33,19 @@ class LogHistogram {
   /// Returns pairs (upper_edge, fraction <= upper_edge).
   std::vector<std::pair<double, double>> cdf() const;
 
+  /// Quantile estimate for q in [0, 1], log-interpolated within the bin
+  /// that crosses rank q*total. Mass in the underflow bin resolves to lo
+  /// (lower_edge(0)), overflow mass to hi; 0 when the histogram is empty.
+  /// Accuracy is bounded by the bin width (1/bins_per_decade of a decade),
+  /// which is what p50/p99 latency reporting needs.
+  double percentile(double q) const;
+
+  /// Adds another histogram's counts into this one (per-worker latency
+  /// histograms folded after a concurrent run). Binnings must match
+  /// exactly (same lo/hi/bins_per_decade); throws std::invalid_argument
+  /// otherwise.
+  void merge(const LogHistogram& other);
+
   /// Multi-line ASCII rendering (for example programs and debugging).
   std::string render(std::size_t width = 50) const;
 

@@ -1,0 +1,142 @@
+// Tests for util/bounded_queue.h: FIFO order, blocking backpressure,
+// close semantics, the non-blocking try operations, and an MPMC stress
+// run sized for the TSan CI job.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <numeric>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "util/bounded_queue.h"
+
+namespace flash {
+namespace {
+
+TEST(BoundedQueue, FifoOrderSingleThread) {
+  BoundedQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(int{i}));
+  EXPECT_FALSE(q.try_push(99));  // full
+  for (int i = 0; i < 4; ++i) {
+    const auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BoundedQueue, CapacityClampedToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_FALSE(q.try_push(2));
+}
+
+TEST(BoundedQueue, CloseDrainsThenReportsExhaustion) {
+  BoundedQueue<int> q(8);
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_FALSE(q.push(3));  // rejected after close
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());  // closed and drained
+  q.close();                          // idempotent
+}
+
+TEST(BoundedQueue, CloseUnblocksParkedPopper) {
+  BoundedQueue<int> q(2);
+  std::atomic<bool> got_exhausted{false};
+  std::thread t([&] {
+    const auto v = q.pop();  // parks: queue empty
+    got_exhausted.store(!v.has_value());
+  });
+  q.close();
+  t.join();
+  EXPECT_TRUE(got_exhausted.load());
+}
+
+TEST(BoundedQueue, PushBlocksUntilSpaceAndPreservesOrder) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(0));
+  std::atomic<bool> second_pushed{false};
+  std::thread t([&] {
+    q.push(1);  // parks: queue full
+    second_pushed.store(true);
+  });
+  // The producer must stay parked until we pop.
+  EXPECT_EQ(q.pop().value(), 0);
+  t.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_EQ(q.pop().value(), 1);
+}
+
+TEST(BoundedQueue, SpscTransfersEverythingInOrder) {
+  constexpr int kItems = 20000;
+  BoundedQueue<int> q(16);
+  std::vector<int> got;
+  got.reserve(kItems);
+  std::thread consumer([&] {
+    while (auto v = q.pop()) got.push_back(*v);
+  });
+  for (int i = 0; i < kItems; ++i) ASSERT_TRUE(q.push(int{i}));
+  q.close();
+  consumer.join();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(BoundedQueue, MpmcStressDeliversEachItemExactlyOnce) {
+  // 4 producers x 4 consumers over a tiny queue: the configuration the
+  // TSan CI job leans on. Every produced value must arrive exactly once.
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 5000;
+  BoundedQueue<std::uint32_t> q(8);
+  std::mutex sink_mu;
+  std::vector<std::uint32_t> sink;
+  sink.reserve(kProducers * kPerProducer);
+
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      std::vector<std::uint32_t> local;
+      while (auto v = q.pop()) local.push_back(*v);
+      const std::lock_guard<std::mutex> lock(sink_mu);
+      sink.insert(sink.end(), local.begin(), local.end());
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(static_cast<std::uint32_t>(p * kPerProducer + i)));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : threads) t.join();
+
+  ASSERT_EQ(sink.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+  std::sort(sink.begin(), sink.end());
+  for (std::size_t i = 0; i < sink.size(); ++i) {
+    EXPECT_EQ(sink[i], static_cast<std::uint32_t>(i));
+  }
+}
+
+TEST(BoundedQueue, MoveOnlyPayloadsWork) {
+  BoundedQueue<std::unique_ptr<int>> q(2);
+  q.push(std::make_unique<int>(42));
+  auto v = q.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 42);
+}
+
+}  // namespace
+}  // namespace flash

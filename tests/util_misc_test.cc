@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 
 #include "util/csv.h"
 #include "util/histogram.h"
@@ -132,6 +133,56 @@ TEST(LogHistogram, RenderShowsNonEmptyBins) {
   h.add(5.0);
   const std::string r = h.render();
   EXPECT_NE(r.find('#'), std::string::npos);
+}
+
+TEST(LogHistogram, PercentileInterpolatesWithinBins) {
+  LogHistogram h(1.0, 1000.0, 1);
+  for (int i = 0; i < 100; ++i) h.add(5.0);  // all mass in bin [1, 10)
+  const double p50 = h.percentile(0.50);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 10.0);
+  // Quantiles are monotone in q.
+  EXPECT_LE(h.percentile(0.10), h.percentile(0.90));
+}
+
+TEST(LogHistogram, PercentileOrdersAcrossBins) {
+  LogHistogram h(1.0, 1000.0, 1);
+  for (int i = 0; i < 90; ++i) h.add(2.0);    // bin [1, 10)
+  for (int i = 0; i < 10; ++i) h.add(500.0);  // bin [100, 1000)
+  EXPECT_LT(h.percentile(0.50), 10.0);
+  EXPECT_GT(h.percentile(0.95), 100.0);
+}
+
+TEST(LogHistogram, PercentileEdgeCases) {
+  LogHistogram empty(1.0, 100.0, 1);
+  EXPECT_EQ(empty.percentile(0.5), 0.0);
+  LogHistogram under(1.0, 100.0, 1);
+  under.add(0.01);  // underflow only
+  EXPECT_LE(under.percentile(0.5), 1.0);
+  LogHistogram over(1.0, 100.0, 1);
+  over.add(1e9);  // overflow only
+  EXPECT_GE(over.percentile(0.5), 100.0);
+}
+
+TEST(LogHistogram, MergeAddsCountsBinwise) {
+  LogHistogram a(1.0, 1000.0, 1);
+  LogHistogram b(1.0, 1000.0, 1);
+  a.add(2.0);
+  a.add(0.5);    // underflow
+  b.add(200.0);
+  b.add(1e6);    // overflow
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.bin(0), 1u);
+  EXPECT_EQ(a.bin(2), 1u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+}
+
+TEST(LogHistogram, MergeRejectsMismatchedBinning) {
+  LogHistogram a(1.0, 1000.0, 1);
+  LogHistogram b(1.0, 1000.0, 2);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
 }
 
 // --- Strings -----------------------------------------------------------------
