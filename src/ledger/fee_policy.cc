@@ -14,6 +14,20 @@ FeeSchedule FeeSchedule::paper_default(const Graph& g, Rng& rng) {
   return s;
 }
 
+FeeSchedule FeeSchedule::lightning_default(const Graph& g, Rng& rng,
+                                           Amount base_lo, Amount base_hi) {
+  FeeSchedule s(g);
+  for (std::size_t c = 0; c < g.num_channels(); ++c) {
+    const double rate = rng.chance(0.9) ? rng.uniform(0.001, 0.01)
+                                        : rng.uniform(0.01, 0.10);
+    const Amount base = rng.uniform(base_lo, base_hi);
+    const EdgeId fwd = g.channel_forward_edge(c);
+    s.policies_[fwd] = FeePolicy{base, rate};
+    s.policies_[g.reverse(fwd)] = FeePolicy{base, rate};
+  }
+  return s;
+}
+
 Amount FeeSchedule::path_fee(const Path& path, Amount amount) const {
   Amount total = 0;
   for (EdgeId e : path) total += edge_fee(e, amount);

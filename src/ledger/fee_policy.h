@@ -36,6 +36,16 @@ class FeeSchedule {
   /// U[0.1 %, 1 %] and the rest from U[1 %, 10 %] (§4.3).
   static FeeSchedule paper_default(const Graph& g, Rng& rng);
 
+  /// Lightning-style linear fees: on top of the paper's proportional draw,
+  /// each channel charges a base fee drawn from U[base_lo, base_hi]
+  /// (CLoTH's per-edge base+proportional policy model). The HTLC fee
+  /// escrow makes base fees matter: every in-flight hop locks
+  /// amount + downstream fees, so base fees consume liquidity even for
+  /// tiny payments.
+  static FeeSchedule lightning_default(const Graph& g, Rng& rng,
+                                       Amount base_lo = 0.1,
+                                       Amount base_hi = 1.0);
+
   const FeePolicy& policy(EdgeId e) const { return policies_.at(e); }
   void set_policy(EdgeId e, FeePolicy p) { policies_.at(e) = p; }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace flash {
@@ -162,9 +163,23 @@ std::optional<HoldId> NetworkState::hold(const Path& path, Amount amount) {
   if (amount <= 0 || path.empty()) {
     throw std::invalid_argument("hold: need positive amount, non-empty path");
   }
-  hold_path_scratch_.clear();
-  for (EdgeId e : path) hold_path_scratch_.emplace_back(e, amount);
-  return hold_flow(hold_path_scratch_);
+  // Stage the parts in PATH order: the HTLC engine reads hold_parts() as
+  // the hop sequence. Duplicate edges of a non-simple path aggregate onto
+  // their first occurrence (paths are simple in practice, so the inner
+  // scan is a no-op).
+  hold_scratch_.clear();
+  for (EdgeId e : path) {
+    bool merged = false;
+    for (auto& [se, samt] : hold_scratch_) {
+      if (se == e) {
+        samt += amount;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) hold_scratch_.emplace_back(e, amount);
+  }
+  return place_hold();
 }
 
 std::optional<HoldId> NetworkState::hold_flow(
@@ -176,12 +191,24 @@ std::optional<HoldId> NetworkState::hold_flow(
                 [](const EdgeAmount& ea) { return ea.second <= 0; });
   if (hold_scratch_.empty()) return std::nullopt;
   std::sort(hold_scratch_.begin(), hold_scratch_.end());
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < hold_scratch_.size(); ++i) {
+    if (w > 0 && hold_scratch_[w - 1].first == hold_scratch_[i].first) {
+      hold_scratch_[w - 1].second += hold_scratch_[i].second;
+    } else {
+      hold_scratch_[w++] = hold_scratch_[i];
+    }
+  }
+  hold_scratch_.resize(w);
+  return place_hold();
+}
 
-  // Acquire a record: recycle a retired slot when one exists, so holds_
-  // stays bounded by the maximum number of concurrently active holds and
-  // steady-state holding allocates nothing (the record keeps its parts
-  // capacity). The slot's generation rides in the id's upper bits so a
-  // stale id can never silently settle a later payment's hold.
+std::uint64_t NetworkState::acquire_slot() {
+  // Recycle a retired slot when one exists, so holds_ stays bounded by the
+  // maximum number of concurrently active holds and steady-state holding
+  // allocates nothing (the record keeps its parts capacity). The slot's
+  // generation rides in the id's upper bits so a stale id can never
+  // silently settle a later payment's hold.
   std::uint64_t slot;
   if (!free_hold_slots_.empty()) {
     slot = free_hold_slots_.back();
@@ -192,33 +219,105 @@ std::optional<HoldId> NetworkState::hold_flow(
   }
   HoldRecord& h = holds_[slot];
   ++h.generation;
-  const HoldId id = (static_cast<HoldId>(h.generation) << 32) | slot;
   h.parts.clear();
+  h.settled = 0;
+  h.expiry = std::numeric_limits<double>::infinity();
+  return slot;
+}
+
+std::optional<HoldId> NetworkState::place_hold() {
+  // Feasibility first: a failed hold changes nothing and consumes no slot.
   for (const auto& [e, amt] : hold_scratch_) {
-    if (!h.parts.empty() && h.parts.back().first == e) {
-      h.parts.back().second += amt;
-    } else {
-      h.parts.emplace_back(e, amt);
-    }
-  }
-  for (const auto& [e, amt] : h.parts) {
     if (e >= graph_->num_edges()) {
-      free_hold_slots_.push_back(slot);
-      throw std::out_of_range("hold_flow: bad edge id");
+      throw std::out_of_range("hold: bad edge id");
     }
     log_read(e);
-    if (balance_[e] + kEps < amt) {
-      free_hold_slots_.push_back(slot);
-      return std::nullopt;
-    }
+    if (balance_[e] + kEps < amt) return std::nullopt;
   }
+  const std::uint64_t slot = acquire_slot();
+  HoldRecord& h = holds_[slot];
+  h.parts.assign(hold_scratch_.begin(), hold_scratch_.end());
   for (const auto& [e, amt] : h.parts) {
     log_write(e);
     balance_[e] = std::max<Amount>(0, balance_[e] - amt);
   }
   h.active = true;
   ++active_holds_;
-  return id;
+  return (static_cast<HoldId>(h.generation) << 32) | slot;
+}
+
+HoldId NetworkState::open_hold() {
+  const std::uint64_t slot = acquire_slot();
+  HoldRecord& h = holds_[slot];
+  h.active = true;
+  ++active_holds_;
+  return (static_cast<HoldId>(h.generation) << 32) | slot;
+}
+
+bool NetworkState::extend_hold(HoldId id, EdgeId e, Amount amount) {
+  if (amount <= 0) {
+    throw std::invalid_argument("extend_hold: need positive amount");
+  }
+  HoldRecord& h = checked_active_record(id);
+  if (e >= graph_->num_edges()) {
+    throw std::out_of_range("extend_hold: bad edge id");
+  }
+  log_read(e);
+  if (balance_[e] + kEps < amount) return false;
+  log_write(e);
+  balance_[e] = std::max<Amount>(0, balance_[e] - amount);
+  h.parts.emplace_back(e, amount);
+  return true;
+}
+
+std::span<const EdgeAmount> NetworkState::hold_parts(HoldId id) {
+  return checked_active_record(id).parts;
+}
+
+void NetworkState::retire_if_settled(HoldRecord& h, std::uint64_t slot) {
+  if (h.settled < h.parts.size()) return;
+  h.active = false;
+  --active_holds_;
+  free_hold_slots_.push_back(slot);
+}
+
+void NetworkState::commit_hop(HoldId id, std::size_t hop) {
+  HoldRecord& h = checked_active_record(id);
+  if (hop >= h.parts.size()) {
+    throw std::out_of_range("commit_hop: bad hop index");
+  }
+  auto& [e, amt] = h.parts[hop];
+  if (amt <= 0) throw std::logic_error("commit_hop: hop already settled");
+  const EdgeId rev = graph_->reverse(e);
+  log_read(rev);  // credit is a read-modify-write
+  log_write(rev);
+  balance_[rev] += amt;
+  amt = 0;
+  ++h.settled;
+  retire_if_settled(h, id & 0xffffffffull);
+}
+
+void NetworkState::abort_hop(HoldId id, std::size_t hop) {
+  HoldRecord& h = checked_active_record(id);
+  if (hop >= h.parts.size()) {
+    throw std::out_of_range("abort_hop: bad hop index");
+  }
+  auto& [e, amt] = h.parts[hop];
+  if (amt <= 0) throw std::logic_error("abort_hop: hop already settled");
+  log_read(e);  // refund is a read-modify-write
+  log_write(e);
+  balance_[e] += amt;
+  amt = 0;
+  ++h.settled;
+  retire_if_settled(h, id & 0xffffffffull);
+}
+
+void NetworkState::set_hold_expiry(HoldId id, double expiry) {
+  checked_active_record(id).expiry = expiry;
+}
+
+double NetworkState::hold_expiry(HoldId id) {
+  return checked_active_record(id).expiry;
 }
 
 NetworkState::HoldRecord& NetworkState::checked_active_record(HoldId id) {
@@ -232,8 +331,14 @@ NetworkState::HoldRecord& NetworkState::checked_active_record(HoldId id) {
 }
 
 void NetworkState::commit(HoldId id) {
+  if (defer_commits_) {
+    (void)checked_active_record(id);  // validate now, settle later
+    deferred_commits_.push_back(id);
+    return;
+  }
   HoldRecord& h = checked_active_record(id);
   for (const auto& [e, amt] : h.parts) {
+    if (amt <= 0) continue;  // already settled hop-wise
     const EdgeId rev = graph_->reverse(e);
     log_read(rev);  // credit is a read-modify-write
     log_write(rev);
@@ -247,6 +352,7 @@ void NetworkState::commit(HoldId id) {
 void NetworkState::abort(HoldId id) {
   HoldRecord& h = checked_active_record(id);
   for (const auto& [e, amt] : h.parts) {
+    if (amt <= 0) continue;  // already settled hop-wise
     log_read(e);  // refund is a read-modify-write
     log_write(e);
     balance_[e] += amt;

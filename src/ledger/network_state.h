@@ -175,8 +175,11 @@ class NetworkState {
   // all parts before committing any (see AtomicPayment in htlc.h).
 
   /// Holds `amount` on every edge of `path`. Returns nullopt (and changes
-  /// nothing) if some edge has insufficient balance. Precondition:
-  /// amount > 0, path non-empty.
+  /// nothing) if some edge has insufficient balance. The hold record keeps
+  /// the edges in PATH order (duplicate edges of a non-simple path
+  /// aggregate onto their first occurrence), so hold_parts() hands the
+  /// HTLC engine the hop sequence directly. Precondition: amount > 0, path
+  /// non-empty.
   std::optional<HoldId> hold(const Path& path, Amount amount);
 
   /// Holds per-edge amounts (a flow). Amounts on duplicate edges are
@@ -186,12 +189,75 @@ class NetworkState {
   std::optional<HoldId> hold_flow(std::span<const EdgeAmount> edge_amounts);
 
   /// Commits a held payment: credits reverse directions, retires the hold.
+  /// Parts already settled hop-wise (amount 0) are skipped. While deferred
+  /// settlement is armed, validates the id and queues it instead (see
+  /// below).
   void commit(HoldId id);
 
-  /// Aborts a held payment: restores balances, retires the hold.
+  /// Aborts a held payment: restores balances, retires the hold. Valid on
+  /// partially settled holds (settled hops refund nothing) — this is the
+  /// timelock-expiry path of the HTLC lifecycle.
   void abort(HoldId id);
 
   std::size_t active_holds() const noexcept { return active_holds_; }
+
+  // --- Time-extended (HTLC) hold lifecycle --------------------------------
+  //
+  // The instant-settlement contract above locks and settles a payment
+  // inside one route() call. The HTLC scenario engine stretches that over
+  // sim-time: a payment locks hop by hop forward, settles hop by hop
+  // backward, and refunds on failure or timelock expiry. The channel
+  // invariant (balances + holds == deposits, check_invariants) holds after
+  // every individual step.
+
+  /// Opens an empty active hold: no funds locked yet; hops are then locked
+  /// one at a time with extend_hold. Counts in active_holds() until every
+  /// hop is settled/aborted or the whole hold is committed/aborted.
+  HoldId open_hold();
+
+  /// Locks `amount` on edge `e` as the next hop of hold `id`. Returns
+  /// false (changing nothing) when e's balance cannot cover it — the HTLC
+  /// forward-lock failure. Precondition: amount > 0.
+  bool extend_hold(HoldId id, EdgeId e, Amount amount);
+
+  /// The per-hop parts of an active hold, in lock order (path order for
+  /// hold()/extend_hold, ascending edge id for hold_flow). Hops already
+  /// settled hop-wise read amount 0. Invalidated by any hold mutation.
+  std::span<const EdgeAmount> hold_parts(HoldId id);
+
+  /// Settles ONE hop: credits the reverse direction of parts[hop] and
+  /// zeroes it. The hold retires automatically once every hop is settled
+  /// or aborted. Throws std::logic_error on an already-settled hop.
+  void commit_hop(HoldId id, std::size_t hop);
+
+  /// Releases ONE hop: refunds parts[hop] to its edge and zeroes it. Same
+  /// retirement rule as commit_hop.
+  void abort_hop(HoldId id, std::size_t hop);
+
+  /// Expiry metadata (sim-time; +inf = never). The ledger only carries it
+  /// so hold records are self-describing — enforcement (abort at expiry)
+  /// is the owner's job.
+  void set_hold_expiry(HoldId id, double expiry);
+  double hold_expiry(HoldId id);
+
+  // --- Deferred settlement -------------------------------------------------
+  //
+  // The HTLC engine lets routers run unchanged: a router holds parts and
+  // calls commit() exactly as in instant settlement, but with deferral
+  // armed the commit only queues the hold id. The engine then drains the
+  // queue and drives each hold through the timed per-hop lifecycle.
+  // abort() stays immediate (a failed route's refund has no in-flight
+  // phase).
+
+  void arm_deferred_settlement() noexcept { defer_commits_ = true; }
+  void disarm_deferred_settlement() noexcept { defer_commits_ = false; }
+  bool deferred_settlement_armed() const noexcept { return defer_commits_; }
+
+  /// Moves the queued hold ids (in commit order) into `out`.
+  void take_deferred_commits(std::vector<HoldId>& out) {
+    out.swap(deferred_commits_);
+    deferred_commits_.clear();
+  }
 
   // --- Change log ---------------------------------------------------------
   //
@@ -277,14 +343,27 @@ class NetworkState {
 
  private:
   struct HoldRecord {
-    std::vector<EdgeAmount> parts;  // aggregated, amounts > 0
+    std::vector<EdgeAmount> parts;  // lock order; hop-settled parts read 0
     std::uint32_t generation = 0;   // bumped per reuse; encoded in HoldId
+    std::uint32_t settled = 0;      // hops settled/aborted hop-wise
+    double expiry = 0;              // sim-time; set to +inf on acquire
     bool active = false;
   };
 
   /// Decodes a HoldId, throwing std::logic_error on a stale or foreign id
   /// (wrong generation / out-of-range slot / already settled).
   HoldRecord& checked_active_record(HoldId id);
+
+  /// Recycles (or grows) a hold slot, bumps its generation, and resets the
+  /// record. Shared by place_hold and open_hold.
+  std::uint64_t acquire_slot();
+
+  /// Places the aggregated parts staged in hold_scratch_ as a new hold:
+  /// feasibility check first (nothing changes on failure), then debit.
+  std::optional<HoldId> place_hold();
+
+  /// Retires a fully hop-settled record, recycling its slot.
+  void retire_if_settled(HoldRecord& h, std::uint64_t slot);
 
   /// Journals an imminent payment-driven write to e; must run BEFORE the
   /// balance mutation so the pre-image variant records the old value.
@@ -305,8 +384,7 @@ class NetworkState {
   std::vector<Amount> deposit_;  // per channel, fixed at init
   std::vector<HoldRecord> holds_;
   std::vector<HoldId> free_hold_slots_;     // retired records to recycle
-  std::vector<EdgeAmount> hold_scratch_;    // hold_flow working copy
-  std::vector<EdgeAmount> hold_path_scratch_;  // hold() path expansion
+  std::vector<EdgeAmount> hold_scratch_;    // staged parts (place_hold)
   std::size_t active_holds_ = 0;
   std::uint64_t probe_messages_ = 0;
   std::vector<EdgeId> change_log_;
@@ -317,6 +395,8 @@ class NetworkState {
   bool read_log_enabled_ = false;
   std::vector<HoldId> payment_holds_buf_;  // AtomicPayment lease (above)
   bool payment_holds_leased_ = false;
+  bool defer_commits_ = false;             // deferred settlement armed
+  std::vector<HoldId> deferred_commits_;   // queued commit ids, FIFO
 
   void recompute_deposits();
 };

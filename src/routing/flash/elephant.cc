@@ -16,7 +16,8 @@ void elephant_find_paths_into(const Graph& g, NodeId s, NodeId t,
                               Amount demand, std::size_t max_paths,
                               NetworkState& state, GraphScratch& scratch,
                               ElephantProbeResult& result,
-                              const unsigned char* open_mask) {
+                              const unsigned char* open_mask,
+                              std::size_t max_hops) {
   result.feasible = false;
   result.bottlenecks.clear();
   // O(1) epoch reset; entries accumulate in probe order, which is the fee
@@ -64,6 +65,11 @@ void elephant_find_paths_into(const Graph& g, NodeId s, NodeId t,
     if (!bfs_path_core(g, s, t, scratch, residual_admits, p) || p.empty()) {
       break;  // line 8-9
     }
+    // Timelock budget: the residual BFS path is the shortest augmenting
+    // path, so once it exceeds the hop cap probing stops (paths are never
+    // probed, so the HTLC sender cannot lock funds it could not unwind
+    // within its budget).
+    if (max_hops != 0 && p.size() > max_hops) break;
 
     // Line 11: probe each channel on p. The probe returns the balances of
     // both directions of every channel on the path (the PROBE_ACK carries
@@ -134,7 +140,7 @@ RouteResult route_elephant(const Graph& g, const Transaction& tx,
   ElephantProbeResult& probe = probe_buf;
   elephant_find_paths_into(g, tx.sender, tx.receiver, tx.amount,
                            config.max_paths, state, scratch, probe,
-                           config.open_mask);
+                           config.open_mask, config.max_hops);
   result.probes = probe.probes;
   result.probe_messages = state.probe_messages() - msgs_before;
   if (!probe.feasible) return result;  // Algorithm 1 returns empty set

@@ -34,6 +34,10 @@ struct ElephantConfig {
   /// the residual BFS refuses masked-closed edges, so probing behaves as
   /// if they were absent (incremental maintenance, sim/scenario.h).
   const unsigned char* open_mask = nullptr;
+  /// Timelock budget as a hop cap (0 = unlimited): the probe loop stops
+  /// once the residual BFS (shortest-path) augmenting path exceeds it —
+  /// every remaining augmenting path at that point is at least as long.
+  std::size_t max_hops = 0;
 };
 
 /// Outcome of the probing phase (Algorithm 1).
@@ -67,7 +71,8 @@ void elephant_find_paths_into(const Graph& g, NodeId s, NodeId t,
                               Amount demand, std::size_t max_paths,
                               NetworkState& state, GraphScratch& scratch,
                               ElephantProbeResult& result,
-                              const unsigned char* open_mask = nullptr);
+                              const unsigned char* open_mask = nullptr,
+                              std::size_t max_hops = 0);
 
 /// Full elephant pipeline: find paths, split (LP or sequential), execute
 /// atomically against the ledger. Mutates only `state`; safe to call

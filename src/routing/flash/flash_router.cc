@@ -10,7 +10,8 @@ FlashRouter::FlashRouter(const Graph& graph, const FeeSchedule& fees,
       table_(graph, RoutingTableConfig{config.m_mice_paths,
                                        config.spare_paths,
                                        config.table_timeout,
-                                       config.table_recompute_on_exhaustion}),
+                                       config.table_recompute_on_exhaustion,
+                                       config.max_route_hops}),
       rng_(config.seed) {}
 
 RouteResult FlashRouter::route(const Transaction& tx, NetworkState& state) {
@@ -22,6 +23,7 @@ RouteResult FlashRouter::route(const Transaction& tx, NetworkState& state) {
     ec.max_paths = config_.k_elephant_paths;
     ec.optimize_fees = config_.optimize_fees;
     ec.open_mask = open_mask_;
+    ec.max_hops = config_.max_route_hops;
     RouteResult r = route_elephant(*graph_, tx, state, *fees_, ec, scratch_,
                                    probe_buf_, split_ws_);
     r.elephant = is_elephant(tx.amount);

@@ -55,6 +55,10 @@ struct FlashConfig {
   /// static-simulation results bit-identical; the scenario engine turns it
   /// on for stale-view routers living through churn.
   bool table_recompute_on_exhaustion = false;
+  /// Timelock budget as a hop cap (0 = unlimited), applied to both
+  /// pipelines: the mice table discards over-budget Yen paths, the
+  /// elephant probe stops at the first over-budget augmenting path.
+  std::size_t max_route_hops = 0;
 };
 
 /// The paper's router. NOT thread-safe: route() mutates the routing table

@@ -48,6 +48,13 @@ const std::vector<Path>& MiceRoutingTable::lookup(NodeId sender,
                UnitWeight{}, paths);
     }
     ++computations_;
+    if (config_.max_hops != 0) {
+      // Yen emits paths in non-decreasing length, so the over-budget ones
+      // form a suffix; dropping them keeps the top-m semantics intact.
+      std::erase_if(paths, [this](const Path& p) {
+        return p.size() > config_.max_hops;
+      });
+    }
     const std::size_t active =
         std::min(paths.size(), config_.paths_per_receiver);
     entry.active.assign(paths.begin(),

@@ -35,6 +35,10 @@ struct RoutingTableConfig {
   /// stream, and the static-simulation results are pinned bit-identical;
   /// the scenario engine enables it for its stale-view routers.
   bool recompute_on_exhaustion = false;
+  /// Timelock budget as a hop cap (0 = unlimited): Yen results longer than
+  /// this are discarded at computation time, so neither active paths nor
+  /// spares can ever exceed the budget.
+  std::size_t max_hops = 0;
 };
 
 /// NOT thread-safe: lookup() mutates the entry cache and the eviction

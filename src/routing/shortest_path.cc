@@ -8,8 +8,9 @@ namespace flash {
 // Path cache keyed by pair_key(s, t) from graph/types.h.
 
 ShortestPathRouter::ShortestPathRouter(const Graph& graph,
-                                       const FeeSchedule& fees)
-    : graph_(&graph), fees_(&fees) {}
+                                       const FeeSchedule& fees,
+                                       std::size_t max_hops)
+    : graph_(&graph), fees_(&fees), max_hops_(max_hops) {}
 
 const Path& ShortestPathRouter::shortest_path(NodeId s, NodeId t) {
   const auto key = pair_key(s, t);
@@ -64,6 +65,9 @@ RouteResult ShortestPathRouter::route(const Transaction& tx,
   if (tx.amount <= 0 || tx.sender == tx.receiver) return result;
   const Path& path = shortest_path(tx.sender, tx.receiver);
   if (path.empty()) return result;  // unreachable
+  // Timelock budget: the fewest-hops path already exceeds it, so every
+  // path does — the payment is infeasible for this sender.
+  if (max_hops_ != 0 && path.size() > max_hops_) return result;
 
   AtomicPayment payment(state);
   if (!payment.add_part(path, tx.amount)) return result;

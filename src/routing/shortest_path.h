@@ -14,8 +14,12 @@ namespace flash {
 class ShortestPathRouter : public Router {
  public:
   /// `fees` is used only for reporting the fee metric; it must outlive the
-  /// router, as must `graph`.
-  ShortestPathRouter(const Graph& graph, const FeeSchedule& fees);
+  /// router, as must `graph`. `max_hops` caps route length (0 = unlimited):
+  /// a payment whose shortest path exceeds it fails — the HTLC timelock
+  /// budget (scenario engine) rejects paths whose cumulative timelock the
+  /// sender cannot afford.
+  ShortestPathRouter(const Graph& graph, const FeeSchedule& fees,
+                     std::size_t max_hops = 0);
 
   RouteResult route(const Transaction& tx, NetworkState& state) override;
   std::string name() const override { return "SP"; }
@@ -35,6 +39,7 @@ class ShortestPathRouter : public Router {
  private:
   const Graph* graph_;
   const FeeSchedule* fees_;
+  std::size_t max_hops_ = 0;                  // 0 = unlimited
   const unsigned char* open_mask_ = nullptr;  // borrowed; null = all open
   /// Shortest paths are static given the topology, so cache per pair.
   std::unordered_map<std::uint64_t, Path> cache_;

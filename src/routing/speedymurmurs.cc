@@ -117,6 +117,9 @@ RouteResult SpeedyMurmursRouter::route(const Transaction& tx,
   for (std::size_t tree = 0; tree < trees; ++tree) {
     const Path path = greedy_route(tree, tx.sender, tx.receiver, share, state);
     if (path.empty()) return result;
+    if (config_.max_hops != 0 && path.size() > config_.max_hops) {
+      return result;  // over the timelock budget
+    }
     // Greedy checked balances against the pre-hold view; holding may still
     // fail when shares overlap a channel. Atomicity aborts earlier shares.
     if (!payment.add_part(path, share)) return result;

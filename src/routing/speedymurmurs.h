@@ -22,6 +22,10 @@ namespace flash {
 struct SpeedyMurmursConfig {
   /// Number of landmarks / spanning trees (paper: 3, as [29] suggests).
   std::size_t num_landmarks = 3;
+  /// Timelock budget as a hop cap (0 = unlimited): a share whose greedy
+  /// walk exceeds it fails the payment (embedding routing cannot shorten a
+  /// walk on demand).
+  std::size_t max_hops = 0;
 };
 
 class SpeedyMurmursRouter : public Router {

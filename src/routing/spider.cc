@@ -18,18 +18,20 @@ const std::vector<Path>& SpiderRouter::paths_for(NodeId s, NodeId t) {
   const auto key = pair_key(s, t);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
+    std::vector<Path> paths;
     if (open_mask_) {
-      std::vector<Path> paths;
       LegacyScratchLease lease;
       edge_disjoint_core(*graph_, s, t, config_.num_paths, lease.get(), paths,
                          open_mask_);
-      it = cache_.emplace(key, std::move(paths)).first;
     } else {
-      it = cache_
-               .emplace(key, edge_disjoint_shortest_paths(*graph_, s, t,
-                                                          config_.num_paths))
-               .first;
+      paths = edge_disjoint_shortest_paths(*graph_, s, t, config_.num_paths);
     }
+    if (config_.max_hops != 0) {
+      std::erase_if(paths, [this](const Path& p) {
+        return p.size() > config_.max_hops;
+      });
+    }
+    it = cache_.emplace(key, std::move(paths)).first;
   }
   return it->second;
 }

@@ -20,6 +20,10 @@ namespace flash {
 struct SpiderConfig {
   /// Number of edge-disjoint shortest paths per pair (paper: 4).
   std::size_t num_paths = 4;
+  /// Timelock budget as a hop cap (0 = unlimited): paths longer than this
+  /// are dropped from the per-pair set before waterfilling, so capacity on
+  /// over-budget paths never counts toward feasibility.
+  std::size_t max_hops = 0;
 };
 
 class SpiderRouter : public Router {

@@ -55,15 +55,23 @@ std::unique_ptr<Router> make_router(Scheme scheme, const Graph& graph,
       config.mice_selection = opts.mice_selection;
       config.table_recompute_on_exhaustion =
           opts.table_recompute_on_exhaustion;
+      config.max_route_hops = opts.max_route_hops;
       config.seed = seed * 0x9e3779b9ULL + 7;
       return std::make_unique<FlashRouter>(graph, fees, config);
     }
-    case Scheme::kSpider:
-      return std::make_unique<SpiderRouter>(graph, fees);
-    case Scheme::kSpeedyMurmurs:
-      return std::make_unique<SpeedyMurmursRouter>(graph, fees);
+    case Scheme::kSpider: {
+      SpiderConfig config;
+      config.max_hops = opts.max_route_hops;
+      return std::make_unique<SpiderRouter>(graph, fees, config);
+    }
+    case Scheme::kSpeedyMurmurs: {
+      SpeedyMurmursConfig config;
+      config.max_hops = opts.max_route_hops;
+      return std::make_unique<SpeedyMurmursRouter>(graph, fees, config);
+    }
     case Scheme::kShortestPath:
-      return std::make_unique<ShortestPathRouter>(graph, fees);
+      return std::make_unique<ShortestPathRouter>(graph, fees,
+                                                  opts.max_route_hops);
   }
   throw std::invalid_argument("unknown scheme");
 }

@@ -44,6 +44,12 @@ struct FlashOptions {
   /// trace; streaming runs (whose Workload carries no transactions) set it
   /// directly instead.
   Amount elephant_threshold = 0;
+  /// Route-length cap in hops (0 = unlimited), honored by ALL four
+  /// schemes — the one FlashOptions knob that is not Flash-specific. The
+  /// HTLC scenario engine derives it from the timelock budget
+  /// (floor(timelock_budget / timelock_delta)) so no router can lock a
+  /// path the sender's timelock cannot cover.
+  std::size_t max_route_hops = 0;
 };
 
 /// Builds a fresh router for a scheme against a workload. Thread-safe for

@@ -92,6 +92,35 @@ void validate(const ScenarioConfig& cfg) {
         "scenario: free-order execution requires a zero-dynamics, "
         "zero-retry config (no churn, no rebalance, no retries)");
   }
+  if (cfg.htlc.hop_latency < 0 || cfg.htlc.timelock_delta < 0 ||
+      cfg.htlc.timelock_budget < 0 || cfg.htlc.holder_delay < 0) {
+    throw std::invalid_argument("scenario: htlc times must be >= 0");
+  }
+  if (cfg.htlc.holder_fraction < 0 || cfg.htlc.holder_fraction > 1 ||
+      cfg.htlc.offline_fraction < 0 || cfg.htlc.offline_fraction > 1) {
+    throw std::invalid_argument("scenario: htlc fractions in [0, 1]");
+  }
+  if (cfg.htlc.timelock_budget > 0 && cfg.htlc.timelock_delta <= 0) {
+    throw std::invalid_argument(
+        "scenario: htlc.timelock_budget needs timelock_delta > 0 to "
+        "convert to a hop cap");
+  }
+  if (cfg.htlc.active()) {
+    if (cfg.churn.close_rate > 0 || cfg.rebalance.interval > 0) {
+      // Closes and rebalancing rewrite balances wholesale (set_balance /
+      // assign_balances), which is undefined with funds locked in flight.
+      throw std::invalid_argument(
+          "scenario: the HTLC lifecycle is incompatible with churn and "
+          "rebalancing");
+    }
+    if (cfg.concurrency.execution != ScenarioExecution::kSequential) {
+      // Mirrors the kFreeOrder rejection above: the concurrent engines'
+      // determinism arguments assume settlement happens inside the route
+      // step, never between events.
+      throw std::invalid_argument(
+          "scenario: the HTLC lifecycle requires sequential execution");
+    }
+  }
 }
 
 }  // namespace
@@ -142,6 +171,9 @@ ScenarioEngine::ScenarioEngine(const Workload& workload, Scheme scheme,
   elephant_threshold_ = opts_.elephant_threshold > 0
                             ? opts_.elephant_threshold
                             : workload.size_quantile(opts_.mice_quantile);
+  // HTLC setup must precede router construction: the timelock budget
+  // tightens opts_.max_route_hops, which every scheme's router bakes in.
+  setup_htlc();
   // The pristine-mode router: exactly the router run_simulation would use
   // (same construction, same seed), so the zero-dynamics scenario is
   // bit-identical to the static path.
@@ -293,6 +325,18 @@ ScenarioResult ScenarioEngine::run() {
       case EventType::kRebalance:
         handle_rebalance();
         break;
+      case EventType::kHopForward:
+        handle_hop_forward(ev.a, ev.b);
+        break;
+      case EventType::kSettleBackward:
+        handle_settle_backward(ev.a, ev.b);
+        break;
+      case EventType::kFailBackward:
+        handle_fail_backward(ev.a, ev.b);
+        break;
+      case EventType::kHtlcExpiry:
+        handle_htlc_expiry(ev.a, ev.b);
+        break;
     }
   }
   if (concurrent_) end_replay();
@@ -393,9 +437,27 @@ void ScenarioEngine::attempt_payment(std::size_t tx_index,
     diverged = view_diverged(ctx, tx.sender);
   }
 
-  PendingPayment& pp = pending_[tx_index];
-  pp.probe_messages += r.probe_messages;
-  pp.probes += r.probes;
+  {
+    PendingPayment& pp = pending_[tx_index];
+    pp.probe_messages += r.probe_messages;
+    pp.probes += r.probes;
+  }
+  if (htlc_active_ && r.success) {
+    // The route succeeded, but nothing has moved yet: the armed ledger
+    // queued the settlements instead of executing them. Hand the queued
+    // holds to the timed lifecycle; the payment concludes (and retries)
+    // from its backward unwind, not from here.
+    begin_htlc(tx_index, attempt, r);
+    return;
+  }
+  conclude_attempt(tx_index, attempt, tx, r, diverged);
+}
+
+void ScenarioEngine::conclude_attempt(std::size_t tx_index,
+                                      std::size_t attempt,
+                                      const Transaction& tx,
+                                      const RouteResult& r, bool diverged) {
+  const PendingPayment& pp = pending_.at(tx_index);
   if (r.success) {
     finish_payment(tx, r, attempt, pp);
     pending_.erase(tx_index);
@@ -465,14 +527,29 @@ void ScenarioEngine::note_latency(double seconds) {
   latency_max_ = std::max(latency_max_, seconds);
 }
 
+void ScenarioEngine::note_sim_latency(double t) {
+  sim_latency_hist_.add(t);
+  sim_latency_sum_ += t;
+  sim_latency_max_ = std::max(sim_latency_max_, t);
+}
+
 void ScenarioEngine::finalize_latency() {
   result_.latency.count = latency_hist_.total();
-  if (result_.latency.count == 0) return;
-  result_.latency.mean_seconds =
-      latency_sum_ / static_cast<double>(result_.latency.count);
-  result_.latency.p50_seconds = latency_hist_.percentile(0.50);
-  result_.latency.p99_seconds = latency_hist_.percentile(0.99);
-  result_.latency.max_seconds = latency_max_;
+  if (result_.latency.count != 0) {
+    result_.latency.mean_seconds =
+        latency_sum_ / static_cast<double>(result_.latency.count);
+    result_.latency.p50_seconds = latency_hist_.percentile(0.50);
+    result_.latency.p99_seconds = latency_hist_.percentile(0.99);
+    result_.latency.max_seconds = latency_max_;
+  }
+  result_.sim_latency.count = sim_latency_hist_.total();
+  if (result_.sim_latency.count != 0) {
+    result_.sim_latency.mean_seconds =
+        sim_latency_sum_ / static_cast<double>(result_.sim_latency.count);
+    result_.sim_latency.p50_seconds = sim_latency_hist_.percentile(0.50);
+    result_.sim_latency.p99_seconds = sim_latency_hist_.percentile(0.99);
+    result_.sim_latency.max_seconds = sim_latency_max_;
+  }
 }
 
 void ScenarioEngine::check_invariants_if_due() {
@@ -486,11 +563,496 @@ void ScenarioEngine::check_invariants_if_due() {
                            std::to_string(completed_) + " (scheme " +
                            scheme_name(scheme_) + ")");
   }
-  if (truth_.active_holds() != 0) {
+  // Every live hold must be an engine-tracked in-flight HTLC (zero when
+  // the lifecycle is inactive — the original "no leaked holds" check).
+  if (truth_.active_holds() != htlc_open_holds_) {
     throw std::logic_error("scheme " + scheme_name(scheme_) +
                            " leaked holds after payment " +
                            std::to_string(completed_));
   }
+}
+
+// --- HTLC lifecycle ------------------------------------------------------
+//
+// See docs/ARCHITECTURE.md "HTLC lifecycle". A successful route under an
+// active HtlcConfig does not settle: the armed ledger queues the commits,
+// begin_htlc refunds the router's instant whole-path locks and re-stages
+// each part as a per-hop HTLC that locks forward (kHopForward), waits at
+// the receiver for its AMP siblings, then unwinds backward committing
+// (kSettleBackward) or refunding (kFailBackward) one hop per latency draw.
+// A timelock (kHtlcExpiry) force-refunds the whole part on-chain-style.
+
+void ScenarioEngine::setup_htlc() {
+  htlc_active_ = cfg_.htlc.active();
+  const HtlcConfig& h = cfg_.htlc;
+  if (h.timelock_delta > 0 && h.timelock_budget > 0) {
+    const auto budget_hops =
+        static_cast<std::size_t>(h.timelock_budget / h.timelock_delta);
+    if (budget_hops == 0) {
+      throw std::invalid_argument(
+          "scenario: htlc.timelock_budget is below one timelock_delta - "
+          "no route can fit");
+    }
+    // The sender cannot unwind a path longer than its timelock budget
+    // covers; every scheme's router enforces the cap during search.
+    if (opts_.max_route_hops == 0 || budget_hops < opts_.max_route_hops) {
+      opts_.max_route_hops = budget_hops;
+    }
+  }
+  if (!htlc_active_) return;
+  truth_.arm_deferred_settlement();
+  const Graph& g = workload_->graph();
+  std::uint64_t mix = seed_ ^ (h.seed * 0x9e3779b97f4a7c15ULL);
+  Rng hrng(splitmix64(mix));
+  edge_latency_.resize(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    edge_latency_[e] =
+        h.hop_latency > 0 ? hrng.uniform(0.5, 1.5) * h.hop_latency : 0.0;
+  }
+  node_offline_.assign(g.num_nodes(), 0);
+  if (h.offline_fraction > 0) {
+    for (std::size_t n = 0; n < g.num_nodes(); ++n) {
+      node_offline_[n] = h.offline_fraction >= 1 ||
+                                 hrng.chance(h.offline_fraction)
+                             ? 1
+                             : 0;
+    }
+  }
+  node_holder_.assign(g.num_nodes(), 0);
+  if (h.holder_fraction > 0) {
+    if (h.holders_prefer_hubs) {
+      // Hub griefing: the holders are the highest-degree nodes, whose
+      // channels carry the most relays.
+      std::vector<NodeId> by_degree(g.num_nodes());
+      for (std::size_t n = 0; n < g.num_nodes(); ++n) {
+        by_degree[n] = static_cast<NodeId>(n);
+      }
+      std::stable_sort(by_degree.begin(), by_degree.end(),
+                       [&g](NodeId a, NodeId b) {
+                         return g.out_degree(a) > g.out_degree(b);
+                       });
+      const auto count = static_cast<std::size_t>(
+          h.holder_fraction * static_cast<double>(g.num_nodes()) + 0.5);
+      for (std::size_t i = 0; i < count && i < by_degree.size(); ++i) {
+        node_holder_[by_degree[i]] = 1;
+      }
+    } else {
+      for (std::size_t n = 0; n < g.num_nodes(); ++n) {
+        node_holder_[n] = hrng.chance(h.holder_fraction) ? 1 : 0;
+      }
+    }
+  }
+}
+
+void ScenarioEngine::begin_htlc(std::size_t tx_index, std::size_t attempt,
+                                const RouteResult& r) {
+  const Transaction tx = pending_.at(tx_index).tx;
+  truth_.take_deferred_commits(deferred_buf_);
+  if (deferred_buf_.empty()) {
+    // A success that queued nothing has nothing to time (defensive: every
+    // scheme settles at least one hold on success).
+    conclude_attempt(tx_index, attempt, tx, r, false);
+    return;
+  }
+  ++result_.htlc_payments;
+  InFlight& fl = inflight_[tx_index];
+  fl.attempt = attempt;
+  fl.parts = 0;
+  fl.arrived = 0;
+  fl.done = 0;
+  fl.failed = false;
+  fl.lock_start = now_;
+  fl.route = r;
+  fl.slots.clear();
+  result_.htlc_max_inflight =
+      std::max(result_.htlc_max_inflight, inflight_.size());
+
+  // Pass 1: snapshot each queued hold's parts (path order) and refund it.
+  // The router locked whole paths atomically; the timed lifecycle re-locks
+  // hop by hop with fee escrow, and a sibling part's whole-path lock must
+  // not count against another part's first-hop re-lock.
+  std::vector<std::vector<EdgeId>> staged_edges;
+  std::vector<std::vector<Amount>> staged_amounts;
+  staged_edges.reserve(deferred_buf_.size());
+  staged_amounts.reserve(deferred_buf_.size());
+  for (const HoldId id : deferred_buf_) {
+    const auto parts = truth_.hold_parts(id);
+    std::vector<EdgeId> es;
+    std::vector<Amount> as;
+    es.reserve(parts.size());
+    as.reserve(parts.size());
+    for (const auto& [edge, amount] : parts) {
+      es.push_back(edge);
+      as.push_back(amount);
+    }
+    staged_edges.push_back(std::move(es));
+    staged_amounts.push_back(std::move(as));
+    truth_.abort(id);
+  }
+  deferred_buf_.clear();
+
+  // Pass 2: re-lock each part's first hop (or the whole netted flow) as a
+  // live timed HTLC.
+  for (std::size_t i = 0; i < staged_edges.size(); ++i) {
+    begin_part(tx_index, tx, staged_edges[i], staged_amounts[i]);
+  }
+  if (fl.done == fl.parts) conclude_htlc(tx_index);
+}
+
+void ScenarioEngine::begin_part(std::size_t tx_index, const Transaction& tx,
+                                const std::vector<EdgeId>& edges,
+                                const std::vector<Amount>& amounts) {
+  const Graph& g = workload_->graph();
+  InFlight& fl = inflight_.at(tx_index);
+  ++fl.parts;
+
+  // Path-shaped iff the edges chain sender -> receiver (the ledger keeps
+  // hold parts in lock order); anything else is an elephant netted flow.
+  bool chained = !edges.empty() && g.from(edges.front()) == tx.sender &&
+                 g.to(edges.back()) == tx.receiver;
+  for (std::size_t k = 0; chained && k + 1 < edges.size(); ++k) {
+    chained = g.to(edges[k]) == g.from(edges[k + 1]);
+  }
+
+  const std::size_t slot = alloc_part();
+  HtlcPart& p = parts_[slot];
+  p.flow = !chained;
+  p.tx_index = tx_index;
+  p.path.assign(edges.begin(), edges.end());
+  p.lock_amount.assign(amounts.begin(), amounts.end());
+
+  const HtlcConfig& h = cfg_.htlc;
+  double expiry_span = 0;
+  bool locked = false;
+  p.hold = truth_.open_hold();
+  ++htlc_open_holds_;
+  if (!p.flow) {
+    const std::size_t n = p.path.size();
+    p.hop_count = n;
+    if (h.fee_escrow) {
+      // Hop k fronts every downstream hop's fee on top of its amount,
+      // like Lightning's onion amounts.
+      const FeeSchedule& fees = workload_->fees();
+      Amount downstream = 0;
+      for (std::size_t k = n; k-- > 0;) {
+        p.lock_amount[k] += downstream;
+        downstream += fees.edge_fee(p.path[k], amounts[k]);
+      }
+    }
+    locked = truth_.extend_hold(p.hold, p.path[0], p.lock_amount[0]);
+    if (locked) {
+      p.hops_locked = 1;
+      schedule_part(edge_latency_[p.path[0]], EventType::kHopForward, slot,
+                    1);
+    }
+    if (h.timelock_delta > 0) {
+      expiry_span = h.timelock_delta * static_cast<double>(n);
+    }
+  } else {
+    // Netted elephant flow: one aggregate HTLC over the flow's edge set.
+    // Equivalent path length = edges per used path; one-way latency =
+    // that many mean edge delays.
+    const std::size_t paths = std::max<std::size_t>(1, fl.route.paths_used);
+    p.hop_count =
+        std::max<std::size_t>(1, (edges.size() + paths - 1) / paths);
+    double mean_lat = 0;
+    for (const EdgeId e : edges) mean_lat += edge_latency_[e];
+    if (!edges.empty()) mean_lat /= static_cast<double>(edges.size());
+    p.unit_latency = mean_lat * static_cast<double>(p.hop_count);
+    p.flow_blocked = node_offline_[tx.receiver] != 0;
+    for (const EdgeId e : edges) {
+      const NodeId mid = g.to(e);
+      if (mid != tx.receiver && mid != tx.sender &&
+          node_offline_[mid] != 0) {
+        p.flow_blocked = true;
+      }
+    }
+    locked = true;
+    for (std::size_t k = 0; k < edges.size(); ++k) {
+      if (!truth_.extend_hold(p.hold, edges[k], p.lock_amount[k])) {
+        locked = false;
+        break;
+      }
+    }
+    if (locked) {
+      p.hops_locked = edges.size();
+      schedule_part(p.unit_latency, EventType::kHopForward, slot,
+                    edges.size());
+    }
+    if (h.timelock_delta > 0) {
+      expiry_span = h.timelock_delta * static_cast<double>(p.hop_count);
+    }
+  }
+
+  if (!locked) {
+    // First-lock contention: a concurrent in-flight HTLC (e.g. a sibling
+    // part's fee escrow) holds the funds the router just saw as free.
+    truth_.abort(p.hold);
+    --htlc_open_holds_;
+    ++result_.htlc_inflight_failures;
+    fl.failed = true;
+    ++p.gen;
+    p.in_use = false;
+    free_parts_.push_back(slot);
+    ++fl.done;
+    return;
+  }
+  fl.slots.push_back(slot);
+  if (expiry_span > 0) {
+    truth_.set_hold_expiry(p.hold, now_ + expiry_span);
+    schedule_part(expiry_span, EventType::kHtlcExpiry, slot, 0);
+  }
+}
+
+std::size_t ScenarioEngine::alloc_part() {
+  std::size_t slot;
+  if (!free_parts_.empty()) {
+    slot = free_parts_.back();
+    free_parts_.pop_back();
+  } else {
+    slot = parts_.size();
+    parts_.emplace_back();
+  }
+  HtlcPart& p = parts_[slot];
+  ++p.gen;
+  p.in_use = true;
+  p.flow = false;
+  p.flow_blocked = false;
+  p.state = PartState::kForwarding;
+  p.hops_locked = 0;
+  p.hop_count = 0;
+  p.unit_latency = 0;
+  return slot;
+}
+
+void ScenarioEngine::schedule_part(double delay, EventType type,
+                                   std::size_t slot, std::size_t hop) {
+  schedule(now_ + delay, type, slot, (parts_[slot].gen << kHopBits) | hop);
+}
+
+ScenarioEngine::HtlcPart* ScenarioEngine::live_part(std::size_t slot,
+                                                    std::size_t enc) {
+  HtlcPart& p = parts_[slot];
+  if (!p.in_use || (enc >> kHopBits) != p.gen) return nullptr;
+  return &p;
+}
+
+double ScenarioEngine::relay_delay(NodeId node, const HtlcPart& p) {
+  if (!node_holder_[node]) return 0;
+  ++result_.htlc_holder_delays;
+  if (cfg_.htlc.holder_delay > 0) return cfg_.htlc.holder_delay;
+  // Default griefing delay: most of the part's timelock span, long enough
+  // to threaten expiry when stacked across relays.
+  return 0.8 * cfg_.htlc.timelock_delta * static_cast<double>(p.hop_count);
+}
+
+void ScenarioEngine::handle_hop_forward(std::size_t slot, std::size_t enc) {
+  HtlcPart* found = live_part(slot, enc);
+  if (!found) return;
+  HtlcPart& p = *found;
+  if (p.state != PartState::kForwarding) return;
+  InFlight& fl = inflight_.at(p.tx_index);
+  if (fl.failed) {
+    // A sibling part failed while this one was propagating: give up at
+    // the current node and unwind what is locked.
+    begin_fail_unwind(slot);
+    return;
+  }
+  const Graph& g = workload_->graph();
+  const std::size_t hop = enc & ((std::size_t{1} << kHopBits) - 1);
+  if (p.flow || hop == p.path.size()) {
+    // Arrival at the receiver.
+    const bool off = p.flow ? p.flow_blocked
+                            : node_offline_[g.to(p.path.back())] != 0;
+    if (off) {
+      ++result_.htlc_offline_failures;
+      fail_htlc_payment(p.tx_index);
+      begin_fail_unwind(slot);
+      return;
+    }
+    p.state = PartState::kArrived;
+    ++fl.arrived;
+    // AMP barrier: the receiver releases the preimage only once every
+    // part of the payment has arrived.
+    if (fl.arrived + fl.done == fl.parts && fl.arrived > 0) {
+      start_settlement(p.tx_index);
+    }
+    return;
+  }
+  const NodeId fwd = g.from(p.path[hop]);
+  if (node_offline_[fwd] != 0) {
+    ++result_.htlc_offline_failures;
+    fail_htlc_payment(p.tx_index);
+    begin_fail_unwind(slot);
+    return;
+  }
+  if (!truth_.extend_hold(p.hold, p.path[hop], p.lock_amount[hop])) {
+    // In-flight lock contention at an intermediate hop.
+    ++result_.htlc_inflight_failures;
+    fail_htlc_payment(p.tx_index);
+    begin_fail_unwind(slot);
+    return;
+  }
+  p.hops_locked = hop + 1;
+  schedule_part(edge_latency_[p.path[hop]], EventType::kHopForward, slot,
+                hop + 1);
+}
+
+void ScenarioEngine::start_settlement(std::size_t tx_index) {
+  InFlight& fl = inflight_.at(tx_index);
+  const NodeId receiver = pending_.at(tx_index).tx.receiver;
+  for (const std::size_t s : fl.slots) {
+    HtlcPart& p = parts_[s];
+    if (!p.in_use || p.tx_index != tx_index ||
+        p.state != PartState::kArrived) {
+      continue;
+    }
+    p.state = PartState::kSettling;
+    const double d = relay_delay(receiver, p);
+    if (p.flow) {
+      schedule_part(d + p.unit_latency, EventType::kSettleBackward, s, 0);
+    } else {
+      schedule_part(d + edge_latency_[p.path.back()],
+                    EventType::kSettleBackward, s, p.path.size() - 1);
+    }
+  }
+}
+
+void ScenarioEngine::handle_settle_backward(std::size_t slot,
+                                            std::size_t enc) {
+  HtlcPart* found = live_part(slot, enc);
+  if (!found) return;
+  HtlcPart& p = *found;
+  if (p.state != PartState::kSettling) return;
+  if (p.flow) {
+    // The whole netted flow settles as one unit (commit() itself is armed
+    // for deferral, so settle hop-wise, which moves funds immediately).
+    const std::size_t n = truth_.hold_parts(p.hold).size();
+    for (std::size_t i = 0; i < n; ++i) truth_.commit_hop(p.hold, i);
+    --htlc_open_holds_;
+    part_done(slot);
+    return;
+  }
+  const std::size_t hop = enc & ((std::size_t{1} << kHopBits) - 1);
+  truth_.commit_hop(p.hold, hop);
+  if (hop == 0) {
+    // The hold auto-retired with its last hop settled.
+    --htlc_open_holds_;
+    part_done(slot);
+    return;
+  }
+  const Graph& g = workload_->graph();
+  const double d = relay_delay(g.from(p.path[hop]), p);
+  schedule_part(d + edge_latency_[p.path[hop - 1]],
+                EventType::kSettleBackward, slot, hop - 1);
+}
+
+void ScenarioEngine::fail_htlc_payment(std::size_t tx_index) {
+  InFlight& fl = inflight_.at(tx_index);
+  if (fl.failed) return;
+  fl.failed = true;
+  // Parts waiting at the receiver unwind now; parts still forwarding
+  // convert at their next event (at most one hop latency away).
+  for (const std::size_t s : fl.slots) {
+    HtlcPart& q = parts_[s];
+    if (q.in_use && q.tx_index == tx_index &&
+        q.state == PartState::kArrived) {
+      begin_fail_unwind(s);
+    }
+  }
+}
+
+void ScenarioEngine::begin_fail_unwind(std::size_t slot) {
+  HtlcPart& p = parts_[slot];
+  p.state = PartState::kFailing;
+  if (p.hops_locked == 0) {  // defensive: live parts always lock hop 0
+    truth_.abort(p.hold);
+    --htlc_open_holds_;
+    part_done(slot);
+    return;
+  }
+  if (p.flow) {
+    schedule_part(p.unit_latency, EventType::kFailBackward, slot, 0);
+    return;
+  }
+  const std::size_t last = p.hops_locked - 1;
+  schedule_part(edge_latency_[p.path[last]], EventType::kFailBackward, slot,
+                last);
+}
+
+void ScenarioEngine::handle_fail_backward(std::size_t slot,
+                                          std::size_t enc) {
+  HtlcPart* found = live_part(slot, enc);
+  if (!found) return;
+  HtlcPart& p = *found;
+  if (p.state != PartState::kFailing) return;
+  if (p.flow) {
+    truth_.abort(p.hold);
+    --htlc_open_holds_;
+    part_done(slot);
+    return;
+  }
+  const std::size_t hop = enc & ((std::size_t{1} << kHopBits) - 1);
+  truth_.abort_hop(p.hold, hop);
+  if (hop == 0) {
+    // abort_hop retired the hold with its last locked hop refunded.
+    --htlc_open_holds_;
+    part_done(slot);
+    return;
+  }
+  const Graph& g = workload_->graph();
+  const double d = relay_delay(g.from(p.path[hop]), p);
+  schedule_part(d + edge_latency_[p.path[hop - 1]], EventType::kFailBackward,
+                slot, hop - 1);
+}
+
+void ScenarioEngine::handle_htlc_expiry(std::size_t slot, std::size_t enc) {
+  HtlcPart* found = live_part(slot, enc);
+  if (!found) return;
+  HtlcPart& p = *found;
+  // Once a part is unwinding the preimage/error is already propagating;
+  // the simplified model lets that unwind finish.
+  if (p.state == PartState::kSettling || p.state == PartState::kFailing) {
+    return;
+  }
+  ++result_.htlc_expiries;
+  // On-chain timeout: every still-locked hop of this part refunds at
+  // once. Mark the part failing first so fail_htlc_payment's sweep does
+  // not schedule a second unwind for it.
+  p.state = PartState::kFailing;
+  fail_htlc_payment(p.tx_index);
+  truth_.abort(p.hold);
+  --htlc_open_holds_;
+  part_done(slot);
+}
+
+void ScenarioEngine::part_done(std::size_t slot) {
+  HtlcPart& p = parts_[slot];
+  const std::size_t tx_index = p.tx_index;
+  ++p.gen;  // orphan any still-queued events (e.g. the expiry)
+  p.in_use = false;
+  free_parts_.push_back(slot);
+  InFlight& fl = inflight_.at(tx_index);
+  ++fl.done;
+  if (fl.done == fl.parts) conclude_htlc(tx_index);
+}
+
+void ScenarioEngine::conclude_htlc(std::size_t tx_index) {
+  InFlight& fl = inflight_.at(tx_index);
+  const bool ok = !fl.failed;
+  const std::size_t attempt = fl.attempt;
+  RouteResult r = fl.route;
+  if (!ok) {
+    // The route was fine but the payment died in flight: report a failed
+    // attempt (the retry path re-routes with fresh balances).
+    r.success = false;
+    r.delivered = 0;
+    r.fee = 0;
+  }
+  note_sim_latency(now_ - fl.lock_start);
+  inflight_.erase(tx_index);
+  const Transaction tx = pending_.at(tx_index).tx;
+  conclude_attempt(tx_index, attempt, tx, r, false);
 }
 
 void ScenarioEngine::sync_context(SenderContext& ctx) {

@@ -102,6 +102,62 @@ struct GossipTiming {
   double hop_delay = 0;
 };
 
+/// Time-extended HTLC lifecycle (hold-time-lock-contract semantics).
+///
+/// With the default config (all zero) payments settle instantly inside the
+/// route step, exactly as before — bit-identical, pinned by
+/// tests/htlc_lifecycle_test.cc. When active(), a successful route no
+/// longer settles instantly: the engine re-stages the router's holds as
+/// per-hop HTLCs that lock forward hop by hop (one latency draw per edge),
+/// settle by unwinding backward from the receiver, and unwind forward
+/// hops on failure — so funds are locked for the full round trip and
+/// LATER payments route against the reduced available balances. Plain
+/// value type.
+struct HtlcConfig {
+  /// Mean one-hop forward/backward propagation delay in sim-time units
+  /// (per-edge delays are drawn once, uniform in [0.5, 1.5] x this).
+  /// 0 = instantaneous hops.
+  double hop_latency = 0;
+  /// Per-hop timelock decrement: hop k of an n-hop path expires
+  /// (n - k) x delta after locking; an expired HTLC aborts the whole
+  /// payment and refunds every still-locked hop. 0 = no expiry.
+  double timelock_delta = 0;
+  /// Sender's total timelock budget. With timelock_delta > 0 this caps
+  /// route length at floor(budget / delta) hops, enforced inside ALL four
+  /// routers (FlashOptions::max_route_hops) so no scheme can lock a path
+  /// the sender's budget cannot cover. 0 = unlimited.
+  double timelock_budget = 0;
+  /// Fraction of nodes that grief by sitting on settle/fail relays
+  /// (holding the HTLC instead of releasing it promptly).
+  double holder_fraction = 0;
+  /// How long a holder sits on each relay. 0 with holder_fraction > 0
+  /// defaults to 0.8 x timelock_delta x path length — long enough to
+  /// threaten expiry, the classic griefing attack.
+  double holder_delay = 0;
+  /// Pick holders among the highest-degree nodes (hub griefing) instead
+  /// of uniformly.
+  bool holders_prefer_hubs = false;
+  /// Fraction of nodes that are offline: an offline forwarding node or
+  /// receiver fails the payment in flight (discovered at forward time,
+  /// not route time — routers do not know liveness).
+  double offline_fraction = 0;
+  /// Lock each hop's escrow with downstream fees included (hop k locks
+  /// amount + sum of fees of hops k+1..n-1), like Lightning. Off = lock
+  /// the bare amount at every hop.
+  bool fee_escrow = true;
+  /// Seed of the HTLC randomness stream (edge latencies, holder/offline
+  /// draws), mixed with the run seed.
+  std::uint64_t seed = 0x417cu;
+
+  /// True when any time-extended dynamic is on. timelock_budget alone
+  /// does not activate (it is only a route-length cap, which
+  /// FlashOptions::max_route_hops already expresses).
+  bool active() const noexcept {
+    return hop_latency > 0 || timelock_delta > 0 || holder_fraction > 0 ||
+           offline_fraction > 0;
+  }
+};
+
 /// How per-sender routers react to gossip view changes.
 enum class RouterMaintenance : std::uint8_t {
   /// Reconstruct the sender's local graph, fees, mirror and router from
@@ -168,6 +224,10 @@ struct ScenarioConfig {
   ChurnConfig churn;
   RebalanceConfig rebalance;
   GossipTiming gossip;
+  /// Time-extended HTLC lifecycle. Incompatible with churn, rebalancing,
+  /// and the concurrent execution modes (validated): those assume either
+  /// instant settlement or a holds-free ledger between payments.
+  HtlcConfig htlc;
   /// Concurrent execution (see ScenarioExecution / sim/concurrent.cc).
   ConcurrencyConfig concurrency;
   /// Pin each route attempt's randomness to the payment's logical stream
@@ -227,6 +287,27 @@ struct ScenarioResult {
   /// Sim-time at which the last payment settled or finally failed.
   double duration = 0;
 
+  // --- HTLC lifecycle counters (all zero unless ScenarioConfig::htlc is
+  // active; see HtlcConfig). ---
+
+  /// Successful routes that entered the timed in-flight lifecycle (counts
+  /// attempts, so a payment retried through the lifecycle counts once per
+  /// in-flight attempt).
+  std::size_t htlc_payments = 0;
+  /// In-flight lock failures: a forward hop (or an escrow re-lock at the
+  /// sender) found insufficient balance because CONCURRENT in-flight
+  /// HTLCs hold the funds — the contention the instant-settlement model
+  /// cannot express.
+  std::size_t htlc_inflight_failures = 0;
+  /// HTLCs that hit their timelock and were force-refunded.
+  std::size_t htlc_expiries = 0;
+  /// Payments failed by an offline forwarding node or receiver.
+  std::size_t htlc_offline_failures = 0;
+  /// Settle/fail relays a holder node sat on (griefing delay applied).
+  std::size_t htlc_holder_delays = 0;
+  /// Peak number of payments simultaneously in flight.
+  std::size_t htlc_max_inflight = 0;
+
   // --- Concurrent-engine diagnostics (all zero for sequential runs;
   // EXCLUDED from payment_digest and from the replay-vs-sequential
   // equality contract — wall-clock latency and scheduling luck are not
@@ -243,6 +324,13 @@ struct ScenarioResult {
     double max_seconds = 0;
   };
   LatencySummary latency;
+  /// SIM-TIME per-payment service latency under the HTLC lifecycle: first
+  /// lock to final settle/refund, per in-flight attempt. Zero (count 0)
+  /// unless ScenarioConfig::htlc is active — instant settlement has no
+  /// sim-time extent. Unlike `latency` this is semantic and deterministic,
+  /// but it stays out of payment_digest so the zero-config digest pin is
+  /// unaffected.
+  LatencySummary sim_latency;
   /// Worker threads the run actually used (1 for sequential).
   std::size_t workers_used = 1;
   /// Replay: speculative routes settled as-is / re-routed inline because a
@@ -316,6 +404,13 @@ class ScenarioEngine {
     kReopen,     // a = channel index
     kGossipHop,  // flood pending announcements one hop
     kRebalance,  // drift every open channel toward the even split
+    // HTLC lifecycle events (a = part slot, b = generation<<kHopBits |
+    // hop; stale generations are dropped — an aborted part orphans its
+    // queued events instead of cancelling them).
+    kHopForward,      // lock hop b at the part, or arrival when b == path size
+    kSettleBackward,  // settle hop b and relay the preimage downstream
+    kFailBackward,    // refund hop b and relay the error downstream
+    kHtlcExpiry,      // timelock hit: force-refund the whole part
   };
   struct Event {
     double time = 0;
@@ -340,6 +435,75 @@ class ScenarioEngine {
     /// the speculation's route start). Feeds ScenarioResult::latency.
     std::chrono::steady_clock::time_point started{};
   };
+
+  // --- HTLC lifecycle state (used only when cfg_.htlc.active()) ----------
+  //
+  // A *part* is one HTLC of a payment (one routed path, or one netted
+  // elephant flow). Parts live in a recycled slot arena; every queued
+  // event carries the slot's generation so freeing a slot orphans the
+  // slot's outstanding events.
+
+  enum class PartState : std::uint8_t {
+    kForwarding,  // locking hops toward the receiver
+    kArrived,     // reached the receiver, waiting for sibling parts (AMP)
+    kSettling,    // unwinding backward, committing hop by hop
+    kFailing,     // unwinding backward, refunding hop by hop
+  };
+  struct HtlcPart {
+    std::uint64_t gen = 0;  // bumped on alloc AND free (event orphaning)
+    bool in_use = false;
+    bool flow = false;  // netted elephant flow: one aggregate timed phase
+    bool flow_blocked = false;  // flow traverses an offline node
+    PartState state = PartState::kForwarding;
+    std::size_t tx_index = 0;
+    HoldId hold = 0;
+    std::vector<EdgeId> path;        // hop edges sender -> receiver
+    std::vector<Amount> lock_amount; // escrow per hop (amount + dnstr fees)
+    std::size_t hops_locked = 0;     // prefix of `path` currently locked
+    std::size_t hop_count = 0;       // n (flows: equivalent path length)
+    double unit_latency = 0;         // flows: one-way traverse time
+  };
+  // Per-payment in-flight bookkeeping (alive from begin_htlc until the
+  // last part is done; keyed by transaction index like pending_).
+  struct InFlight {
+    std::size_t attempt = 0;
+    std::size_t parts = 0;
+    std::size_t arrived = 0;
+    std::size_t done = 0;
+    bool failed = false;
+    double lock_start = 0;
+    RouteResult route;  // the accepted route (reported iff not failed)
+    std::vector<std::size_t> slots;
+  };
+  static constexpr std::size_t kHopBits = 20;
+
+  void setup_htlc();
+  void begin_htlc(std::size_t tx_index, std::size_t attempt,
+                  const RouteResult& r);
+  void begin_part(std::size_t tx_index, const Transaction& tx,
+                  const std::vector<EdgeId>& edges,
+                  const std::vector<Amount>& amounts);
+  void conclude_attempt(std::size_t tx_index, std::size_t attempt,
+                        const Transaction& tx, const RouteResult& r,
+                        bool diverged);
+  void handle_hop_forward(std::size_t slot, std::size_t enc);
+  void handle_settle_backward(std::size_t slot, std::size_t enc);
+  void handle_fail_backward(std::size_t slot, std::size_t enc);
+  void handle_htlc_expiry(std::size_t slot, std::size_t enc);
+  void start_settlement(std::size_t tx_index);
+  void fail_htlc_payment(std::size_t tx_index);
+  void begin_fail_unwind(std::size_t slot);
+  void part_done(std::size_t slot);
+  void conclude_htlc(std::size_t tx_index);
+  /// Null if the (slot, encoded gen) pair no longer names a live part.
+  HtlcPart* live_part(std::size_t slot, std::size_t enc);
+  std::size_t alloc_part();
+  void schedule_part(double delay, EventType type, std::size_t slot,
+                     std::size_t hop);
+  /// Griefing delay if `node` is a holder relaying for part `p` (counts
+  /// the event), else 0.
+  double relay_delay(NodeId node, const HtlcPart& p);
+  void note_sim_latency(double t);
 
   void schedule(double time, EventType type, std::size_t a = 0,
                 std::size_t b = 0);
@@ -483,6 +647,20 @@ class ScenarioEngine {
   LogHistogram latency_hist_{1e-8, 1e3, 8};
   double latency_sum_ = 0;
   double latency_max_ = 0;
+
+  // --- HTLC lifecycle (see setup_htlc; all empty when inactive) ----------
+  bool htlc_active_ = false;
+  std::vector<double> edge_latency_;  // per truth edge, drawn once
+  std::vector<char> node_offline_;
+  std::vector<char> node_holder_;
+  std::vector<HtlcPart> parts_;
+  std::vector<std::size_t> free_parts_;
+  std::unordered_map<std::size_t, InFlight> inflight_;
+  std::vector<HoldId> deferred_buf_;  // take_deferred_commits scratch
+  std::size_t htlc_open_holds_ = 0;   // live HTLC holds on the truth
+  LogHistogram sim_latency_hist_{1e-6, 1e9, 4};
+  double sim_latency_sum_ = 0;
+  double sim_latency_max_ = 0;
 };
 
 /// Convenience wrapper: builds a ScenarioEngine and runs it. Seeding

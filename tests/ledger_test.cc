@@ -2,7 +2,9 @@
 // the channel conservation invariant, and AMP atomicity.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "ledger/fee_policy.h"
 #include "ledger/htlc.h"
@@ -374,6 +376,132 @@ TEST(AtomicPayment, UseAfterSettleThrows) {
   payment.commit();
   EXPECT_THROW(payment.add_part(Path{fwd(g, 0)}, 1), std::logic_error);
   EXPECT_THROW(payment.commit(), std::logic_error);
+}
+
+// --- Time-extended (HTLC) hold lifecycle ------------------------------------
+
+TEST(NetworkState, OpenHoldExtendsHopByHop) {
+  Graph g = make_graph(4, {{0, 1}, {1, 2}, {2, 3}});
+  NetworkState s(g);
+  for (std::size_t c = 0; c < 3; ++c) set_channel(s, g, c, 10, 10);
+  const HoldId id = s.open_hold();
+  EXPECT_EQ(s.active_holds(), 1u);
+  EXPECT_EQ(s.hold_parts(id).size(), 0u);
+  EXPECT_TRUE(s.extend_hold(id, fwd(g, 0), 4));
+  EXPECT_TRUE(s.extend_hold(id, fwd(g, 1), 4));
+  EXPECT_DOUBLE_EQ(s.balance(fwd(g, 0)), 6);
+  EXPECT_DOUBLE_EQ(s.balance(fwd(g, 1)), 6);
+  // The forward-lock failure: insufficient balance, nothing changes.
+  EXPECT_FALSE(s.extend_hold(id, fwd(g, 2), 11));
+  EXPECT_DOUBLE_EQ(s.balance(fwd(g, 2)), 10);
+  const auto parts = s.hold_parts(id);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].first, fwd(g, 0));
+  EXPECT_DOUBLE_EQ(parts[0].second, 4);
+  EXPECT_TRUE(s.check_invariants());
+  s.abort(id);
+  EXPECT_EQ(s.active_holds(), 0u);
+  EXPECT_DOUBLE_EQ(s.balance(fwd(g, 0)), 10);
+}
+
+TEST(NetworkState, CommitHopSettlesBackwardAndAutoRetires) {
+  Graph g = make_graph(3, {{0, 1}, {1, 2}});
+  NetworkState s(g);
+  set_channel(s, g, 0, 10, 10);
+  set_channel(s, g, 1, 10, 10);
+  const auto id = s.hold(Path{fwd(g, 0), fwd(g, 1)}, 3);
+  ASSERT_TRUE(id.has_value());
+  // Backward settlement: last hop first.
+  s.commit_hop(*id, 1);
+  EXPECT_DOUBLE_EQ(s.balance(bwd(g, 1)), 13);
+  EXPECT_DOUBLE_EQ(s.balance(fwd(g, 1)), 7);
+  EXPECT_DOUBLE_EQ(s.hold_parts(*id)[1].second, 0);  // settled hop reads 0
+  EXPECT_EQ(s.active_holds(), 1u);
+  EXPECT_TRUE(s.check_invariants());
+  // Re-settling a settled hop is a logic error.
+  EXPECT_THROW(s.commit_hop(*id, 1), std::logic_error);
+  // Settling the last open hop retires the hold automatically.
+  s.commit_hop(*id, 0);
+  EXPECT_EQ(s.active_holds(), 0u);
+  EXPECT_DOUBLE_EQ(s.balance(bwd(g, 0)), 13);
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST(NetworkState, AbortOnPartiallySettledHoldRefundsRemainder) {
+  // The timelock-expiry path: hop 1 already settled, the rest refunds.
+  Graph g = make_graph(3, {{0, 1}, {1, 2}});
+  NetworkState s(g);
+  set_channel(s, g, 0, 10, 10);
+  set_channel(s, g, 1, 10, 10);
+  const auto id = s.hold(Path{fwd(g, 0), fwd(g, 1)}, 3);
+  ASSERT_TRUE(id.has_value());
+  s.commit_hop(*id, 1);
+  s.abort(*id);
+  EXPECT_EQ(s.active_holds(), 0u);
+  EXPECT_DOUBLE_EQ(s.balance(fwd(g, 0)), 10);  // refunded
+  EXPECT_DOUBLE_EQ(s.balance(bwd(g, 1)), 13);  // settled hop stays settled
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST(NetworkState, MixedHopSettleAndAbortRetire) {
+  Graph g = make_graph(3, {{0, 1}, {1, 2}});
+  NetworkState s(g);
+  set_channel(s, g, 0, 10, 10);
+  set_channel(s, g, 1, 10, 10);
+  const auto id = s.hold(Path{fwd(g, 0), fwd(g, 1)}, 2);
+  ASSERT_TRUE(id.has_value());
+  s.abort_hop(*id, 0);
+  EXPECT_DOUBLE_EQ(s.balance(fwd(g, 0)), 10);
+  s.commit_hop(*id, 1);  // retires: every hop settled or aborted
+  EXPECT_EQ(s.active_holds(), 0u);
+  EXPECT_DOUBLE_EQ(s.balance(bwd(g, 1)), 12);
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST(NetworkState, HoldExpiryMetadataRoundTrips) {
+  Graph g = make_graph(2, {{0, 1}});
+  NetworkState s(g);
+  set_channel(s, g, 0, 10, 10);
+  const auto id = s.hold(Path{fwd(g, 0)}, 1);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_TRUE(std::isinf(s.hold_expiry(*id)));  // never, by default
+  s.set_hold_expiry(*id, 42.5);
+  EXPECT_DOUBLE_EQ(s.hold_expiry(*id), 42.5);
+  s.abort(*id);
+  EXPECT_THROW(s.hold_expiry(*id), std::logic_error);
+}
+
+TEST(NetworkState, DeferredSettlementQueuesCommits) {
+  Graph g = make_graph(2, {{0, 1}});
+  NetworkState s(g);
+  set_channel(s, g, 0, 10, 10);
+  s.arm_deferred_settlement();
+  const auto a = s.hold(Path{fwd(g, 0)}, 1);
+  const auto b = s.hold(Path{fwd(g, 0)}, 2);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  s.commit(*a);
+  s.commit(*b);
+  // Nothing settled yet: both holds still active, no credit moved.
+  EXPECT_EQ(s.active_holds(), 2u);
+  EXPECT_DOUBLE_EQ(s.balance(bwd(g, 0)), 10);
+  // Retired ids are still rejected eagerly, not at drain time.
+  const auto c = s.hold(Path{fwd(g, 0)}, 1);
+  ASSERT_TRUE(c.has_value());
+  s.abort(*c);  // abort() is immediate even under deferral
+  EXPECT_THROW(s.commit(*c), std::logic_error);
+  std::vector<HoldId> drained;
+  s.take_deferred_commits(drained);
+  ASSERT_EQ(drained.size(), 2u);  // commit order preserved
+  EXPECT_EQ(drained[0], *a);
+  EXPECT_EQ(drained[1], *b);
+  // abort() stays immediate under deferral.
+  s.abort(drained[1]);
+  EXPECT_DOUBLE_EQ(s.balance(fwd(g, 0)), 9);
+  s.disarm_deferred_settlement();
+  s.commit(drained[0]);
+  EXPECT_DOUBLE_EQ(s.balance(bwd(g, 0)), 11);
+  EXPECT_EQ(s.active_holds(), 0u);
+  EXPECT_TRUE(s.check_invariants());
 }
 
 TEST(AtomicPayment, AddFlowNetsOffsets) {

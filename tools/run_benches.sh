@@ -17,6 +17,10 @@
 # - bench_concurrent (sequential vs replay vs free-order payment engine)
 #   and bench_scale run in their own sections; their per-cell JSON reports
 #   land in BENCH_micro.json under "concurrent" and "scale".
+# - fig15_htlc_sweep (time-extended HTLC lifecycle) rides the fig* loop;
+#   its JSON report additionally carries the zero-latency digest checks
+#   (HtlcConfig{} vs instant settlement) CI gates on, and the bench itself
+#   exits non-zero if any scheme's digests diverge.
 #
 # Builds the bench_all target first if the build directory exists but the
 # binaries do not.
