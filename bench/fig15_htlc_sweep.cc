@@ -289,7 +289,58 @@ int main() {
           falls ? "monotone" : "NOT monotone");
   }
 
-  // --- Section 3: zero-latency equivalence gate -------------------------
+  // --- Section 3: churn rate x hub outage grid --------------------------
+  // The lifecycle now composes with dynamics: channels close under
+  // in-flight parts (resolved on-chain from the break point) and the top
+  // hubs can go dark for a window. Axes: churn close-rate x outage on/off.
+  {
+    const std::vector<double> churn_rates =
+        smoke ? std::vector<double>{0, 0.02}
+              : std::vector<double>{0, 0.02, 0.05};
+    const double horizon = static_cast<double>(tx);
+    TextTable dyn;
+    dyn.header({"churn rate", "hub outage", "success", "break fails",
+                "on-chain refunds", "on-chain settles"});
+    for (const double cr : churn_rates) {
+      for (const bool outage : {false, true}) {
+        ScenarioConfig cfg;
+        cfg.retry.max_retries = 1;
+        cfg.retry.delay = 1.0;
+        cfg.htlc.hop_latency = 1.0;
+        cfg.htlc.timelock_delta = 25.0;
+        cfg.churn.close_rate = cr;
+        cfg.churn.mean_downtime = 20.0;
+        if (outage) {
+          cfg.fault.hub_count = 3;
+          cfg.fault.hub_outage_start = horizon / 3;
+          cfg.fault.hub_outage_duration = horizon / 6;
+        }
+        SimConfig dyn_sim;
+        dyn_sim.capacity_scale = 0.5;
+        dyn_sim.invariant_stride = 1;  // conservation after every payment
+        double dyn_success = 0, breaks = 0, refunds = 0, settles = 0;
+        for (std::size_t r = 0; r < runs; ++r) {
+          const std::uint64_t seed = 1 + r;
+          const Workload w = rated_toy(nodes, tx, 1.0, seed);
+          const ScenarioResult res =
+              run_scenario(w, Scheme::kFlash, {}, dyn_sim, cfg, seed);
+          dyn_success += res.sim.success_ratio();
+          breaks += static_cast<double>(res.htlc_break_failures);
+          refunds += static_cast<double>(res.htlc_onchain_refunded_hops);
+          settles += static_cast<double>(res.htlc_onchain_settled_hops);
+        }
+        const double n = static_cast<double>(runs);
+        dyn.row({fmt(cr, 2), outage ? "3 hubs" : "off",
+                 fmt_pct(dyn_success / n), fmt(breaks / n, 1),
+                 fmt(refunds / n, 1), fmt(settles / n, 1)});
+      }
+    }
+    std::printf("htlc x dynamics (churn rate x hub outage, Flash, "
+                "rate=1, hop latency=1)\n");
+    print_table(dyn);
+  }
+
+  // --- Section 4: zero-latency equivalence gate -------------------------
   // HtlcConfig{} must leave the engine on the instant-settlement path:
   // identical payment digest for every scheme. This is the refactor's
   // no-regression contract (also pinned by tests/htlc_lifecycle_test.cc).

@@ -1,0 +1,287 @@
+// Figure 16 (extension): graceful degradation under fault injection — the
+// HTLC event machine surviving coordinated hub outages, regional channel
+// bursts and congestion ramps instead of forbidding them.
+//
+// Sections:
+//   1. Hub-outage grid: the top-k betweenness hubs go offline for a
+//      window mid-trace. In-flight payments crossing them fail backward
+//      from the break point; the claim is MONOTONE degradation (in-window
+//      success falls as k grows) and RECOVERY (post-window success comes
+//      back once the hubs return).
+//   2. Regional burst: a BFS ball of channels force-closes at once; holds
+//      caught under the closes resolve on-chain (settle if the preimage
+//      was propagating, refund otherwise) and the channels reopen later.
+//   3. Congestion ramp: arrivals inside a window compress by a factor,
+//      multiplying in-flight lock contention.
+//
+// Every run uses invariant_stride = 1: the engine re-checks channel
+// conservation (balances + holds == deposits) after EVERY payment and
+// throws on a violation, so "the run completed" IS the conservation
+// claim. The bench counts violations (expected: 0) and exits non-zero on
+// any, and the CI gate asserts the JSON report's `conservation_violations`
+// is 0 and `recovered` is true.
+//
+// Environment knobs: the usual FLASH_BENCH_* set (bench_common.h), plus
+// FLASH_BENCH_SMOKE for the 1-run CI mode.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "sim/scenario.h"
+#include "trace/workload.h"
+
+using namespace flash;
+using namespace flash::bench;
+
+namespace {
+
+struct FaultRow {
+  std::string axis;        // "hubs", "burst", "congestion"
+  double knob = 0;         // hub count / burst channels / factor
+  double success = 0;      // overall success ratio
+  double window_success = 0;   // success ratio inside the fault window
+  double post_success = 0;     // success ratio after the window
+  double recovery_time = 0;    // first post-window success, relative
+  double onchain_settled = 0;  // force-settled hops (preimage propagating)
+  double onchain_refunded = 0;  // force-refunded hops
+  double break_failures = 0;    // payments failed at a break point
+  std::size_t window_payments = 0;
+  std::size_t post_payments = 0;
+};
+
+std::size_t g_conservation_violations = 0;
+
+FaultRow run_cell(const std::string& axis, double knob, std::size_t nodes,
+                  std::size_t tx, std::size_t runs,
+                  const ScenarioConfig& cfg) {
+  FaultRow row;
+  row.axis = axis;
+  row.knob = knob;
+  SimConfig sim;
+  sim.capacity_scale = 1.0;
+  sim.invariant_stride = 1;  // conservation checked after every payment
+  std::size_t window_successes = 0, post_successes = 0;
+  for (std::size_t r = 0; r < runs; ++r) {
+    const std::uint64_t seed = 1 + r;
+    const Workload w = make_toy_workload(nodes, tx, seed);
+    ScenarioResult res;
+    try {
+      res = run_scenario(w, Scheme::kFlash, {}, sim, cfg, seed);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "conservation/invariant violation: %s\n",
+                   e.what());
+      ++g_conservation_violations;
+      continue;
+    }
+    row.success += res.sim.success_ratio();
+    row.window_payments += res.fault_window_payments;
+    window_successes += res.fault_window_successes;
+    row.post_payments += res.post_fault_payments;
+    post_successes += res.post_fault_successes;
+    row.recovery_time += res.fault_recovery_time;
+    row.onchain_settled += static_cast<double>(res.htlc_onchain_settled_hops);
+    row.onchain_refunded +=
+        static_cast<double>(res.htlc_onchain_refunded_hops);
+    row.break_failures += static_cast<double>(res.htlc_break_failures);
+  }
+  const double n = static_cast<double>(runs);
+  row.success /= n;
+  row.recovery_time /= n;
+  row.onchain_settled /= n;
+  row.onchain_refunded /= n;
+  row.break_failures /= n;
+  row.window_success =
+      row.window_payments
+          ? static_cast<double>(window_successes) /
+                static_cast<double>(row.window_payments)
+          : 0;
+  row.post_success = row.post_payments
+                         ? static_cast<double>(post_successes) /
+                               static_cast<double>(row.post_payments)
+                         : 0;
+  return row;
+}
+
+void write_json(const std::string& path, const std::vector<FaultRow>& rows,
+                bool monotone, bool recovered, std::size_t nodes,
+                std::size_t tx, double wall_seconds) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write FLASH_BENCH_JSON=%s\n",
+                 path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"fig16_fault_sweep\",\n";
+  out << "  \"wall_seconds\": " << wall_seconds << ",\n";
+  out << "  \"nodes\": " << nodes << ",\n";
+  out << "  \"transactions\": " << tx << ",\n";
+  out << "  \"conservation_violations\": " << g_conservation_violations
+      << ",\n";
+  out << "  \"degradation_monotone\": " << (monotone ? "true" : "false")
+      << ",\n";
+  out << "  \"recovered\": " << (recovered ? "true" : "false")
+      << ",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const FaultRow& r = rows[i];
+    out << "    {\"axis\": \"" << r.axis << "\""
+        << ", \"knob\": " << r.knob << ", \"success\": " << r.success
+        << ", \"window_success\": " << r.window_success
+        << ", \"post_success\": " << r.post_success
+        << ", \"recovery_time\": " << r.recovery_time
+        << ", \"onchain_settled\": " << r.onchain_settled
+        << ", \"onchain_refunded\": " << r.onchain_refunded
+        << ", \"break_failures\": " << r.break_failures
+        << ", \"window_payments\": " << r.window_payments
+        << ", \"post_payments\": " << r.post_payments << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("json report: %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 16",
+               "graceful degradation and recovery under fault injection "
+               "(hub outages, channel bursts, congestion)");
+
+  const bool smoke = smoke_mode();
+  const bool fast = fast_mode();
+  const std::size_t nodes = smoke ? 40 : fast ? 80 : 120;
+  const std::size_t tx =
+      smoke ? 200 : std::min<std::size_t>(bench_tx(), fast ? 600 : 1000);
+  const std::size_t runs = smoke ? 1 : bench_runs();
+  // Arrivals land at t = 0..tx-1; the fault window sits mid-trace with
+  // room on both sides to measure degradation AND recovery.
+  const double horizon = static_cast<double>(tx);
+  const double window_start = horizon / 3;
+  const double window_len = horizon / 6;
+
+  ScenarioConfig base;
+  base.htlc.hop_latency = 1.0;
+  base.htlc.timelock_delta = 50.0;
+  base.retry.max_retries = 1;
+  base.retry.delay = 1.0;
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<FaultRow> rows;
+
+  // --- Section 1: coordinated hub outages -------------------------------
+  const std::vector<std::size_t> hub_counts =
+      smoke ? std::vector<std::size_t>{0, 3}
+            : std::vector<std::size_t>{0, 1, 3, 6};
+  TextTable hubs;
+  hubs.header({"hubs down", "success", "in-window", "post-window",
+               "recovery t", "break fails"});
+  std::vector<double> window_curve;
+  double baseline_success = 0;
+  for (const std::size_t k : hub_counts) {
+    ScenarioConfig cfg = base;
+    cfg.fault.hub_count = k;
+    if (k > 0) {
+      cfg.fault.hub_outage_start = window_start;
+      cfg.fault.hub_outage_duration = window_len;
+    }
+    const FaultRow row = run_cell("hubs", static_cast<double>(k), nodes, tx,
+                                  runs, cfg);
+    rows.push_back(row);
+    if (k == 0) {
+      baseline_success = row.success;
+      window_curve.push_back(row.success);  // no window: overall ratio
+    } else {
+      window_curve.push_back(row.window_success);
+    }
+    hubs.row({std::to_string(k), fmt_pct(row.success),
+              k ? fmt_pct(row.window_success) : "-",
+              k ? fmt_pct(row.post_success) : "-",
+              k ? fmt(row.recovery_time, 1) : "-",
+              fmt(row.break_failures, 1)});
+  }
+  std::printf("hub outage grid (%zu nodes, %zu tx, %zu runs, window "
+              "[%.0f, %.0f))\n",
+              nodes, tx, runs, window_start, window_start + window_len);
+  print_table(hubs);
+
+  bool monotone = true;
+  for (std::size_t i = 1; i < window_curve.size(); ++i) {
+    if (window_curve[i] > window_curve[i - 1] + 1e-9) monotone = false;
+  }
+  claim("in-window success falls as more hubs go dark", "monotone",
+        monotone ? "monotone" : "NOT monotone");
+
+  bool recovered = true;
+  for (const FaultRow& r : rows) {
+    if (r.knob == 0) continue;
+    // Recovery: payments succeed again after the window, and at a better
+    // rate than during it.
+    if (r.post_payments == 0 || r.post_success <= 0 ||
+        r.post_success + 1e-9 < r.window_success) {
+      recovered = false;
+    }
+  }
+  claim("post-window success recovers above the in-window ratio", "true",
+        recovered ? "recovered" : "NO recovery");
+
+  // --- Section 2: regional channel-close bursts -------------------------
+  const std::vector<std::size_t> burst_sizes =
+      smoke ? std::vector<std::size_t>{8}
+            : std::vector<std::size_t>{8, 32};
+  TextTable burst;
+  burst.header({"burst size", "success", "in-window", "post-window",
+                "on-chain refunds", "on-chain settles"});
+  for (const std::size_t b : burst_sizes) {
+    ScenarioConfig cfg = base;
+    cfg.fault.burst_channels = b;
+    cfg.fault.burst_time = window_start;
+    cfg.fault.burst_reopen_after = window_len;
+    const FaultRow row = run_cell("burst", static_cast<double>(b), nodes,
+                                  tx, runs, cfg);
+    rows.push_back(row);
+    burst.row({std::to_string(b), fmt_pct(row.success),
+               fmt_pct(row.window_success), fmt_pct(row.post_success),
+               fmt(row.onchain_refunded, 1), fmt(row.onchain_settled, 1)});
+  }
+  std::printf("regional close burst (reopen after %.0f)\n", window_len);
+  print_table(burst);
+
+  // --- Section 3: congestion-collapse ramp ------------------------------
+  const std::vector<double> factors =
+      smoke ? std::vector<double>{4} : std::vector<double>{2, 4};
+  TextTable cong;
+  cong.header({"factor", "success", "in-window", "post-window"});
+  for (const double f : factors) {
+    ScenarioConfig cfg = base;
+    cfg.fault.congestion_factor = f;
+    cfg.fault.congestion_start = window_start;
+    cfg.fault.congestion_duration = window_len;
+    const FaultRow row = run_cell("congestion", f, nodes, tx, runs, cfg);
+    rows.push_back(row);
+    cong.row({fmt(f, 0), fmt_pct(row.success),
+              fmt_pct(row.window_success), fmt_pct(row.post_success)});
+  }
+  std::printf("congestion ramp (arrivals compressed %sx inside the "
+              "window)\n",
+              smoke ? "4" : "2-4");
+  print_table(cong);
+
+  claim("conservation holds after every payment under every fault", "0",
+        std::to_string(g_conservation_violations) + " violations");
+  std::printf("fault-free baseline success: %s\n",
+              fmt_pct(baseline_success).c_str());
+
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  std::printf("fault sweep: %zu cells, %.2fs wall\n", rows.size(),
+              elapsed.count());
+  const char* path = std::getenv("FLASH_BENCH_JSON");
+  if (path && *path) {
+    write_json(path, rows, monotone, recovered, nodes, tx, elapsed.count());
+  }
+  return (g_conservation_violations == 0 && recovered) ? 0 : 1;
+}

@@ -291,4 +291,67 @@ bool is_connected(const Graph& g) {
                       [](std::uint32_t d) { return d == kUnreachable; });
 }
 
+std::vector<double> approx_betweenness(const Graph& g, std::size_t samples,
+                                       std::uint64_t seed) {
+  const std::size_t n = g.num_nodes();
+  std::vector<double> score(n, 0.0);
+  if (n < 3) return score;  // no interior nodes to relay through
+
+  // Deterministic pivot set: a partial Fisher-Yates shuffle of the node
+  // ids (samples == 0 or >= n degenerates to every node, i.e. exact
+  // Brandes up to the uniform scaling rank consumers ignore).
+  std::vector<NodeId> pivots(n);
+  for (std::size_t i = 0; i < n; ++i) pivots[i] = static_cast<NodeId>(i);
+  std::size_t pivot_count = n;
+  if (samples > 0 && samples < n) {
+    std::uint64_t mix = seed ^ 0xbf58476d1ce4e5b9ULL;
+    Rng rng(splitmix64(mix));
+    for (std::size_t i = 0; i < samples; ++i) {
+      const std::size_t j = i + rng.next_below(n - i);
+      std::swap(pivots[i], pivots[j]);
+    }
+    pivot_count = samples;
+  }
+
+  // Brandes: one BFS per pivot, then dependency accumulation in reverse
+  // BFS order. delta[v] = sum over successors w of
+  // sigma[v]/sigma[w] * (1 + delta[w]).
+  std::vector<std::uint32_t> dist(n);
+  std::vector<double> sigma(n), delta(n);
+  std::vector<NodeId> order;
+  order.reserve(n);
+  for (std::size_t pi = 0; pi < pivot_count; ++pi) {
+    const NodeId s = pivots[pi];
+    std::fill(dist.begin(), dist.end(), kUnreachable);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    order.clear();
+    dist[s] = 0;
+    sigma[s] = 1.0;
+    order.push_back(s);
+    for (std::size_t head = 0; head < order.size(); ++head) {
+      const NodeId u = order[head];
+      for (const EdgeId e : g.out_edges(u)) {
+        const NodeId v = g.to(e);
+        if (dist[v] == kUnreachable) {
+          dist[v] = dist[u] + 1;
+          order.push_back(v);
+        }
+        if (dist[v] == dist[u] + 1) sigma[v] += sigma[u];
+      }
+    }
+    for (std::size_t i = order.size(); i-- > 1;) {  // skip the source
+      const NodeId w = order[i];
+      for (const EdgeId e : g.out_edges(w)) {
+        const NodeId v = g.to(e);
+        if (dist[v] + 1 == dist[w] && sigma[w] > 0) {
+          delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+        }
+      }
+      if (w != s) score[w] += delta[w];
+    }
+  }
+  return score;
+}
+
 }  // namespace flash

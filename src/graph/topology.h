@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "graph/graph.h"
 #include "util/rng.h"
@@ -64,5 +66,15 @@ Graph prune_low_degree(const Graph& g, std::size_t min_degree,
 /// True if the undirected topology is connected (ignoring isolated graphs
 /// with zero nodes, which count as connected).
 bool is_connected(const Graph& g);
+
+/// Approximate betweenness centrality (Brandes' accumulation over sampled
+/// BFS pivots, unweighted shortest paths). `samples` pivots are drawn
+/// deterministically from `seed` via a partial Fisher-Yates shuffle;
+/// samples == 0 or >= n runs every node as a pivot — exact betweenness up
+/// to the uniform 1/samples scaling, which rank consumers (fault
+/// injection's hub targeting) don't care about. Returns one score per
+/// node; endpoints are excluded, as in the classic definition.
+std::vector<double> approx_betweenness(const Graph& g, std::size_t samples,
+                                       std::uint64_t seed);
 
 }  // namespace flash

@@ -222,6 +222,7 @@ std::uint64_t NetworkState::acquire_slot() {
   h.parts.clear();
   h.settled = 0;
   h.expiry = std::numeric_limits<double>::infinity();
+  h.settling = false;
   return slot;
 }
 
@@ -318,6 +319,100 @@ void NetworkState::set_hold_expiry(HoldId id, double expiry) {
 
 double NetworkState::hold_expiry(HoldId id) {
   return checked_active_record(id).expiry;
+}
+
+void NetworkState::mark_hold_settling(HoldId id) {
+  checked_active_record(id).settling = true;
+}
+
+bool NetworkState::hold_settling(HoldId id) {
+  return checked_active_record(id).settling;
+}
+
+bool NetworkState::hold_active(HoldId id) const noexcept {
+  const std::uint64_t slot = id & 0xffffffffull;
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  return slot < holds_.size() && holds_[slot].generation == generation &&
+         holds_[slot].active;
+}
+
+NetworkState::CloseResolution NetworkState::resolve_holds_on_close(
+    std::size_t channel) {
+  if (channel >= deposit_.size()) {
+    throw std::out_of_range("resolve_holds_on_close: bad channel");
+  }
+  CloseResolution res;
+  const EdgeId fe = graph_->channel_forward_edge(channel);
+  const EdgeId be = graph_->reverse(fe);
+  for (std::uint64_t slot = 0; slot < holds_.size(); ++slot) {
+    HoldRecord& h = holds_[slot];
+    if (!h.active) continue;
+    bool touched = false;
+    for (auto& [e, amt] : h.parts) {
+      if (amt <= 0 || (e != fe && e != be)) continue;
+      touched = true;
+      if (h.settling) {
+        // The preimage is public: the downstream party claims the HTLC
+        // output on-chain — the same reverse-direction credit commit_hop
+        // would have made.
+        const EdgeId rev = graph_->reverse(e);
+        log_read(rev);
+        log_write(rev);
+        balance_[rev] += amt;
+        res.settled_amount += amt;
+        ++res.settled_hops;
+      } else {
+        // No preimage: the HTLC output times out back to the sender side.
+        log_read(e);
+        log_write(e);
+        balance_[e] += amt;
+        res.refunded_amount += amt;
+        ++res.refunded_hops;
+      }
+      amt = 0;
+      ++h.settled;
+    }
+    // Only holds this close actually resolved may retire here: an untouched
+    // hold with zero parts (open_hold before any extend) must stay active —
+    // its owner still holds the id and will commit or abort it.
+    if (touched) retire_if_settled(h, slot);
+  }
+  return res;
+}
+
+void NetworkState::set_channel_balance(std::size_t channel, Amount fwd,
+                                       Amount bwd) {
+  if (channel >= deposit_.size()) {
+    throw std::out_of_range("set_channel_balance: bad channel");
+  }
+  if (fwd < 0 || bwd < 0) {
+    throw std::invalid_argument("set_channel_balance: negative balance");
+  }
+  const EdgeId fe = graph_->channel_forward_edge(channel);
+  const EdgeId be = graph_->reverse(fe);
+  for (const auto& h : holds_) {
+    if (!h.active) continue;
+    for (const auto& [e, amt] : h.parts) {
+      if (amt > 0 && (e == fe || e == be)) {
+        throw std::logic_error(
+            "set_channel_balance: channel carries in-flight holds - call "
+            "resolve_holds_on_close first");
+      }
+    }
+  }
+  balance_[fe] = fwd;
+  balance_[be] = bwd;
+  deposit_[channel] = fwd + bwd;
+}
+
+void NetworkState::held_channels(std::vector<char>& out) const {
+  out.assign(deposit_.size(), 0);
+  for (const auto& h : holds_) {
+    if (!h.active) continue;
+    for (const auto& [e, amt] : h.parts) {
+      if (amt > 0) out[graph_->channel_of(e)] = 1;
+    }
+  }
 }
 
 NetworkState::HoldRecord& NetworkState::checked_active_record(HoldId id) {

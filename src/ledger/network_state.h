@@ -240,6 +240,54 @@ class NetworkState {
   void set_hold_expiry(HoldId id, double expiry);
   double hold_expiry(HoldId id);
 
+  // --- On-chain resolution (channel close with funds in flight) -----------
+  //
+  // A cooperative channel close cannot strand in-flight HTLCs: each one
+  // resolves on-chain instead. An HTLC whose preimage is already public
+  // (the hold was marked settling) is claimable by the downstream party —
+  // it force-SETTLES; any other HTLC times out on-chain — it force-REFUNDS.
+  // The channel invariant holds after every individual hop (the same
+  // credit/refund arithmetic as commit_hop/abort_hop).
+
+  /// Marks a hold as settling: its preimage is propagating, so a forced
+  /// on-chain resolution settles its hops instead of refunding them.
+  void mark_hold_settling(HoldId id);
+  bool hold_settling(HoldId id);
+
+  /// True iff `id` still names an active hold (same generation, not yet
+  /// retired). Unlike checked_active_record this never throws — callers
+  /// use it after resolve_holds_on_close to learn whether a hold fully
+  /// resolved (and auto-retired) on-chain.
+  bool hold_active(HoldId id) const noexcept;
+
+  /// What a resolve_holds_on_close call forced on-chain.
+  struct CloseResolution {
+    std::size_t settled_hops = 0;
+    std::size_t refunded_hops = 0;
+    Amount settled_amount = 0;
+    Amount refunded_amount = 0;
+  };
+
+  /// Forces every active hold's unsettled hops on either direction of
+  /// `channel` to a final state: committed (reverse-credited) when the
+  /// hold is marked settling, refunded otherwise. Hops on other channels
+  /// are untouched; fully resolved holds retire. Afterwards the channel
+  /// carries no escrow, so set_channel_balance(channel, ...) is legal.
+  CloseResolution resolve_holds_on_close(std::size_t channel);
+
+  /// Re-bases ONE channel: sets both directed balances and the channel's
+  /// deposit to fwd + bwd, leaving every other channel's deposit untouched
+  /// (set_balance re-derives ALL deposits from balances, which silently
+  /// corrupts channels whose funds are partly locked in active holds).
+  /// Throws std::logic_error while any active hold still locks funds on
+  /// the channel — resolve_holds_on_close first.
+  void set_channel_balance(std::size_t channel, Amount fwd, Amount bwd);
+
+  /// Marks channels carrying any unsettled held amount (`out` is reset to
+  /// num_channels zeros). O(active holds x parts). Background rebalancing
+  /// uses this to skip escrowed channels.
+  void held_channels(std::vector<char>& out) const;
+
   // --- Deferred settlement -------------------------------------------------
   //
   // The HTLC engine lets routers run unchanged: a router holds parts and
@@ -348,6 +396,7 @@ class NetworkState {
     std::uint32_t settled = 0;      // hops settled/aborted hop-wise
     double expiry = 0;              // sim-time; set to +inf on acquire
     bool active = false;
+    bool settling = false;  // preimage public: on-chain resolution settles
   };
 
   /// Decodes a HoldId, throwing std::logic_error on a stale or foreign id

@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "graph/topology.h"
+
 namespace flash {
 
 // The per-sender stale routing state (see scenario.h). In full-rebuild
@@ -61,64 +63,125 @@ inline void fold64(std::uint64_t& h, std::uint64_t v) noexcept {
   h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
 }
 
+// Every rejection names the offending field AND the remedy: what to set
+// (or unset) to get a valid config. tests/htlc_lifecycle_test.cc asserts
+// both halves of every message.
 void validate(const ScenarioConfig& cfg) {
   if (cfg.retry.delay < 0) {
-    throw std::invalid_argument("scenario: retry.delay must be >= 0");
+    throw std::invalid_argument(
+        "scenario: retry.delay must be >= 0 - set 0 for immediate retries");
   }
   if (cfg.churn.close_rate < 0) {
-    throw std::invalid_argument("scenario: churn.close_rate must be >= 0");
+    throw std::invalid_argument(
+        "scenario: churn.close_rate must be >= 0 - set 0 to disable churn");
   }
   if (cfg.churn.mean_downtime < 0) {
-    throw std::invalid_argument("scenario: churn.mean_downtime must be >= 0");
+    throw std::invalid_argument(
+        "scenario: churn.mean_downtime must be >= 0 - set 0 to keep closed "
+        "channels closed");
   }
   if (cfg.rebalance.interval < 0) {
-    throw std::invalid_argument("scenario: rebalance.interval must be >= 0");
+    throw std::invalid_argument(
+        "scenario: rebalance.interval must be >= 0 - set 0 to disable "
+        "rebalancing");
   }
   if (cfg.rebalance.strength < 0 || cfg.rebalance.strength > 1) {
-    throw std::invalid_argument("scenario: rebalance.strength in [0, 1]");
+    throw std::invalid_argument(
+        "scenario: rebalance.strength must be in [0, 1] - 0 leaves splits "
+        "alone, 1 jumps straight to the even split");
   }
   if (cfg.gossip.hop_delay < 0) {
-    throw std::invalid_argument("scenario: gossip.hop_delay must be >= 0");
+    throw std::invalid_argument(
+        "scenario: gossip.hop_delay must be >= 0 - set 0 for instant "
+        "propagation");
   }
   if (cfg.concurrency.stripes == 0) {
-    throw std::invalid_argument("scenario: concurrency.stripes must be >= 1");
+    throw std::invalid_argument(
+        "scenario: concurrency.stripes must be >= 1 - leave the default 64 "
+        "unless tuning lock contention");
   }
   if (cfg.concurrency.execution == ScenarioExecution::kFreeOrder &&
       (cfg.retry.max_retries > 0 || cfg.churn.close_rate > 0 ||
-       cfg.rebalance.interval > 0)) {
-    // Free-order has no event loop: retries, churn, and rebalancing have
-    // no defined interleaving against out-of-order settlement.
+       cfg.rebalance.interval > 0 || cfg.fault.active())) {
+    // Free-order has no event loop: retries, churn, rebalancing, and fault
+    // injection have no defined interleaving against out-of-order
+    // settlement.
     throw std::invalid_argument(
-        "scenario: free-order execution requires a zero-dynamics, "
-        "zero-retry config (no churn, no rebalance, no retries)");
+        "scenario: free-order execution has no event loop, so retries, "
+        "churn, rebalancing and fault injection have no defined "
+        "interleaving - set retry.max_retries = 0, churn.close_rate = 0, "
+        "rebalance.interval = 0 and leave fault inactive, or use "
+        "kSequential/kReplay execution");
   }
   if (cfg.htlc.hop_latency < 0 || cfg.htlc.timelock_delta < 0 ||
       cfg.htlc.timelock_budget < 0 || cfg.htlc.holder_delay < 0) {
-    throw std::invalid_argument("scenario: htlc times must be >= 0");
+    throw std::invalid_argument(
+        "scenario: htlc.hop_latency, timelock_delta, timelock_budget and "
+        "holder_delay must all be >= 0 - set 0 to disable each");
   }
   if (cfg.htlc.holder_fraction < 0 || cfg.htlc.holder_fraction > 1 ||
       cfg.htlc.offline_fraction < 0 || cfg.htlc.offline_fraction > 1) {
-    throw std::invalid_argument("scenario: htlc fractions in [0, 1]");
+    throw std::invalid_argument(
+        "scenario: htlc.holder_fraction and offline_fraction must be in "
+        "[0, 1] - set 0 to disable each");
   }
   if (cfg.htlc.timelock_budget > 0 && cfg.htlc.timelock_delta <= 0) {
     throw std::invalid_argument(
         "scenario: htlc.timelock_budget needs timelock_delta > 0 to "
-        "convert to a hop cap");
+        "convert to a hop cap - set timelock_delta, or cap hops directly "
+        "with FlashOptions::max_route_hops");
   }
-  if (cfg.htlc.active()) {
-    if (cfg.churn.close_rate > 0 || cfg.rebalance.interval > 0) {
-      // Closes and rebalancing rewrite balances wholesale (set_balance /
-      // assign_balances), which is undefined with funds locked in flight.
+  if (cfg.htlc.active() &&
+      cfg.concurrency.execution != ScenarioExecution::kSequential) {
+    // The concurrent engines' determinism arguments assume settlement
+    // happens inside the route step, never between events.
+    throw std::invalid_argument(
+        "scenario: the HTLC lifecycle requires sequential execution - set "
+        "concurrency.execution = kSequential");
+  }
+  const FaultPlan& f = cfg.fault;
+  if (f.hub_outage_start < 0 || f.hub_outage_duration < 0) {
+    throw std::invalid_argument(
+        "scenario: fault.hub_outage_start and hub_outage_duration must be "
+        ">= 0 - set both 0 (with hub_count = 0) to disable the outage");
+  }
+  if (f.hub_count > 0 && f.hub_outage_duration <= 0) {
+    throw std::invalid_argument(
+        "scenario: fault.hub_count > 0 needs hub_outage_duration > 0 - set "
+        "a window length, or set hub_count = 0");
+  }
+  if (f.hub_count > 0 && !cfg.htlc.active()) {
+    throw std::invalid_argument(
+        "scenario: hub outages fail payments in flight, which needs the "
+        "timed HTLC lifecycle - set htlc.hop_latency > 0 (or another "
+        "active htlc knob), or set fault.hub_count = 0");
+  }
+  if (f.burst_time < 0 || f.burst_reopen_after < 0) {
+    throw std::invalid_argument(
+        "scenario: fault.burst_time and burst_reopen_after must be >= 0 - "
+        "set both 0 (with burst_channels = 0) to disable the burst");
+  }
+  if (f.congestion_factor < 1) {
+    throw std::invalid_argument(
+        "scenario: fault.congestion_factor must be >= 1 - set 1 to disable "
+        "the congestion ramp");
+  }
+  if (f.congestion_start < 0 || f.congestion_duration < 0) {
+    throw std::invalid_argument(
+        "scenario: fault.congestion_start and congestion_duration must be "
+        ">= 0 - set both 0 (with congestion_factor = 1) to disable the "
+        "ramp");
+  }
+  if (f.congestion_factor > 1 && f.congestion_duration <= 0) {
+    throw std::invalid_argument(
+        "scenario: fault.congestion_factor > 1 needs congestion_duration > "
+        "0 - set a window length, or set congestion_factor = 1");
+  }
+  for (const ChannelFault& cf : f.channel_faults) {
+    if (cf.close_time < 0 || cf.reopen_after < 0) {
       throw std::invalid_argument(
-          "scenario: the HTLC lifecycle is incompatible with churn and "
-          "rebalancing");
-    }
-    if (cfg.concurrency.execution != ScenarioExecution::kSequential) {
-      // Mirrors the kFreeOrder rejection above: the concurrent engines'
-      // determinism arguments assume settlement happens inside the route
-      // step, never between events.
-      throw std::invalid_argument(
-          "scenario: the HTLC lifecycle requires sequential execution");
+          "scenario: fault.channel_faults times (close_time, reopen_after) "
+          "must be >= 0 - drop the entry or fix its times");
     }
   }
 }
@@ -217,9 +280,52 @@ ScenarioEngine::ScenarioEngine(const Workload& workload, Scheme scheme,
   std::uint64_t mix = seed_ ^ (cfg_.churn.seed * 0x9e3779b97f4a7c15ULL);
   dyn_rng_ = Rng(splitmix64(mix));
 
+  // Fault injection: its own deterministic stream (hub tie-breaks, burst
+  // center), independent of churn's so adding a fault plan does not
+  // perturb the churn sequence.
+  std::uint64_t fmix = seed_ ^ (cfg_.fault.seed * 0x9e3779b97f4a7c15ULL);
+  fault_rng_ = Rng(splitmix64(fmix));
+  for (const ChannelFault& cf : cfg_.fault.channel_faults) {
+    if (cf.channel >= g.num_channels()) {
+      throw std::invalid_argument(
+          "scenario: fault.channel_faults names channel " +
+          std::to_string(cf.channel) + " but the graph has only " +
+          std::to_string(g.num_channels()) +
+          " - use a channel id below num_channels()");
+    }
+  }
+  if (cfg_.fault.hub_count > 0) {
+    // Coordinated hub outage targets: the top-k nodes by approximate
+    // betweenness centrality (the paper's hubs carry most relay traffic).
+    const std::vector<double> bc = approx_betweenness(
+        g, cfg_.fault.hub_betweenness_samples, splitmix64(fmix));
+    std::vector<NodeId> order(g.num_nodes());
+    for (std::size_t n = 0; n < g.num_nodes(); ++n) {
+      order[n] = static_cast<NodeId>(n);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&bc](NodeId a, NodeId b) { return bc[a] > bc[b]; });
+    const std::size_t k = std::min(cfg_.fault.hub_count, order.size());
+    fault_hubs_.assign(order.begin(), order.begin() + k);
+  }
+
+  // Anything that CAN close a channel (churn or a fault plan) switches the
+  // engine onto the stale-view machinery at the first close; the
+  // view-graph bootstrap below keys off the same predicate.
+  closes_possible_ = cfg_.churn.close_rate > 0 ||
+                     cfg_.fault.burst_channels > 0 ||
+                     !cfg_.fault.channel_faults.empty();
+  if (htlc_active_ && closes_possible_) {
+    // HTLC hop events write the truth BETWEEN payments; the truth change
+    // log is the single choke point feeding those writes into the
+    // mirror-sync journal (drain_truth_log after every event).
+    truth_.enable_change_log();
+    track_htlc_truth_ = true;
+  }
+
   incremental_ = cfg_.maintenance != RouterMaintenance::kFullRebuild &&
                  base_router_->supports_incremental_maintenance() &&
-                 cfg_.churn.close_rate > 0;
+                 closes_possible_;
 
   if (incremental_) {
     // The shared full-shape view graph: every sender's gossip view is a
@@ -255,7 +361,7 @@ ScenarioEngine::ScenarioEngine(const Workload& workload, Scheme scheme,
     }
   }
 
-  if (cfg_.churn.close_rate > 0) {
+  if (closes_possible_) {
     // Views start fully converged (the network existed long before t = 0);
     // seeding without flooding keeps bootstrap out of the message counts.
     gossip_.bootstrap_full_topology();
@@ -297,6 +403,33 @@ ScenarioResult ScenarioEngine::run() {
   if (cfg_.rebalance.interval > 0) {
     schedule(cfg_.rebalance.interval, EventType::kRebalance);
   }
+  // Fault plan: every fault is scheduled (and its degradation window
+  // registered) up front — deterministic by construction.
+  {
+    const FaultPlan& f = cfg_.fault;
+    if (f.hub_count > 0) {
+      schedule(f.hub_outage_start, EventType::kHubOutageStart);
+      note_fault_window(f.hub_outage_start,
+                        f.hub_outage_start + f.hub_outage_duration);
+    }
+    if (f.burst_channels > 0) {
+      schedule(f.burst_time, EventType::kFaultBurst);
+      note_fault_window(f.burst_time, f.burst_time + f.burst_reopen_after);
+    }
+    for (std::size_t i = 0; i < f.channel_faults.size(); ++i) {
+      schedule(f.channel_faults[i].close_time, EventType::kFaultClose, i);
+      note_fault_window(
+          f.channel_faults[i].close_time,
+          f.channel_faults[i].close_time + f.channel_faults[i].reopen_after);
+    }
+    if (f.congestion_factor > 1 && f.congestion_duration > 0) {
+      // The window in WARPED time: arrivals in [s, s + d) land compressed
+      // into [s, s + d / factor) (see stage_next_arrival).
+      note_fault_window(
+          f.congestion_start,
+          f.congestion_start + f.congestion_duration / f.congestion_factor);
+    }
+  }
 
   while (outstanding_ > 0 && !events_.empty()) {
     if (concurrent_) replay_pump();
@@ -306,6 +439,7 @@ ScenarioResult ScenarioEngine::run() {
     switch (ev.type) {
       case EventType::kArrival:
         pending_[ev.a].tx = staged_tx_;
+        pending_[ev.a].arrival_time = now_;
         stage_next_arrival();
         attempt_payment(ev.a, 0);
         break;
@@ -337,7 +471,20 @@ ScenarioResult ScenarioEngine::run() {
       case EventType::kHtlcExpiry:
         handle_htlc_expiry(ev.a, ev.b);
         break;
+      case EventType::kHubOutageStart:
+        handle_hub_outage(/*start=*/true);
+        break;
+      case EventType::kHubOutageEnd:
+        handle_hub_outage(/*start=*/false);
+        break;
+      case EventType::kFaultBurst:
+        handle_fault_burst();
+        break;
+      case EventType::kFaultClose:
+        handle_fault_close(ev.a);
+        break;
     }
+    if (track_htlc_truth_) drain_truth_log();
   }
   if (concurrent_) end_replay();
 
@@ -371,12 +518,28 @@ void ScenarioEngine::stage_next_arrival() {
   if (concurrent_ ? !preread_pop(tx) : !stream_->next(tx)) {
     return;  // stream shorter than advertised
   }
+  // Congestion-collapse warp: arrivals inside the window compress by the
+  // factor (a rate spike), later arrivals shift earlier by the saved
+  // time. The mapping is monotone, so trace order survives the clamp.
+  double ts = tx.timestamp;
+  {
+    const FaultPlan& f = cfg_.fault;
+    if (f.congestion_factor > 1 && f.congestion_duration > 0 &&
+        ts >= f.congestion_start) {
+      if (ts < f.congestion_start + f.congestion_duration) {
+        ts = f.congestion_start +
+             (ts - f.congestion_start) / f.congestion_factor;
+        ++result_.fault_congestion_arrivals;
+      } else {
+        ts -= f.congestion_duration * (1 - 1 / f.congestion_factor);
+      }
+    }
+  }
   // Arrival order is always the trace order: a timestamp that runs
   // backwards is clamped to the previous arrival, like run_simulation's
   // sequential replay.
-  const double t = next_arrival_ == 0
-                       ? tx.timestamp
-                       : std::max(prev_arrival_time_, tx.timestamp);
+  const double t =
+      next_arrival_ == 0 ? ts : std::max(prev_arrival_time_, ts);
   prev_arrival_time_ = t;
   events_.push(Event{t, next_arrival_, EventType::kArrival, next_arrival_});
   staged_tx_ = tx;
@@ -403,6 +566,7 @@ void ScenarioEngine::attempt_payment(std::size_t tx_index,
         base_router_->begin_payment(payment_rng_seed(tx_index, attempt));
       }
       r = base_router_->route(tx, truth_);
+      if (htlc_active_ && r.success) stage_htlc_parts(truth_, nullptr);
     }
   } else {
     SenderContext& ctx = context_for(tx.sender);
@@ -415,6 +579,14 @@ void ScenarioEngine::attempt_payment(std::size_t tx_index,
       ctx.router->begin_payment(payment_rng_seed(tx_index, attempt));
     }
     r = ctx.router->route(tx, *ctx.mirror);
+    // With the lifecycle active the mirror is armed too: drain its queued
+    // settlements into the staging buffers (translating view edges to
+    // physical) and abort the mirror holds — net-zero on the mirror, so
+    // the change-log mirror-back below carries nothing for them. The
+    // actual locks re-stage hop by hop on the TRUTH in begin_part, where
+    // concurrent in-flight escrow the stale view never saw can refuse
+    // them.
+    if (htlc_active_ && r.success) stage_htlc_parts(*ctx.mirror, ctx.to_phys);
     if (ctx.mirror->active_holds() != 0) {
       throw std::logic_error("scenario: router " + ctx.router->name() +
                              " leaked holds after tx " +
@@ -497,6 +669,31 @@ void ScenarioEngine::finish_payment(const Transaction& tx,
   if (final_attempt.success) {
     if (attempt > 0) ++result_.sim.retry_successes;
     result_.sim.time_to_success_total += now_ - tx.timestamp;
+  }
+  if (!fault_windows_.empty()) {
+    // Degradation metrics: classify by ARRIVAL time (a payment that
+    // arrived mid-fault and finished later still suffered the fault).
+    const double at = totals.arrival_time;
+    bool inside = false;
+    for (const auto& [ws, we] : fault_windows_) {
+      if (at >= ws && at < we) {
+        inside = true;
+        break;
+      }
+    }
+    if (inside) {
+      ++result_.fault_window_payments;
+      if (final_attempt.success) ++result_.fault_window_successes;
+    } else if (at >= fault_window_end_) {
+      ++result_.post_fault_payments;
+      if (final_attempt.success) {
+        ++result_.post_fault_successes;
+        if (!recovery_noted_) {
+          recovery_noted_ = true;
+          result_.fault_recovery_time = now_ - fault_window_end_;
+        }
+      }
+    }
   }
   note_latency(std::chrono::duration<double>(
                    std::chrono::steady_clock::now() - totals.started)
@@ -591,7 +788,7 @@ void ScenarioEngine::setup_htlc() {
     if (budget_hops == 0) {
       throw std::invalid_argument(
           "scenario: htlc.timelock_budget is below one timelock_delta - "
-          "no route can fit");
+          "no route can fit; raise the budget or lower timelock_delta");
     }
     // The sender cannot unwind a path longer than its timelock budget
     // covers; every scheme's router enforces the cap during search.
@@ -644,11 +841,37 @@ void ScenarioEngine::setup_htlc() {
   }
 }
 
+void ScenarioEngine::stage_htlc_parts(NetworkState& ledger,
+                                      const std::vector<EdgeId>* to_phys) {
+  // Snapshot each queued hold's parts (path order) and refund it. The
+  // router locked whole paths atomically; the timed lifecycle re-locks
+  // hop by hop with fee escrow, and a sibling part's whole-path lock must
+  // not count against another part's first-hop re-lock. When the route
+  // ran on a mirror, `to_phys` translates its local edges to the truth's.
+  staged_edges_.clear();
+  staged_amounts_.clear();
+  ledger.take_deferred_commits(deferred_buf_);
+  for (const HoldId id : deferred_buf_) {
+    const auto parts = ledger.hold_parts(id);
+    std::vector<EdgeId> es;
+    std::vector<Amount> as;
+    es.reserve(parts.size());
+    as.reserve(parts.size());
+    for (const auto& [edge, amount] : parts) {
+      es.push_back(to_phys ? (*to_phys)[edge] : edge);
+      as.push_back(amount);
+    }
+    staged_edges_.push_back(std::move(es));
+    staged_amounts_.push_back(std::move(as));
+    ledger.abort(id);
+  }
+  deferred_buf_.clear();
+}
+
 void ScenarioEngine::begin_htlc(std::size_t tx_index, std::size_t attempt,
                                 const RouteResult& r) {
   const Transaction tx = pending_.at(tx_index).tx;
-  truth_.take_deferred_commits(deferred_buf_);
-  if (deferred_buf_.empty()) {
+  if (staged_edges_.empty()) {
     // A success that queued nothing has nothing to time (defensive: every
     // scheme settles at least one hold on success).
     conclude_attempt(tx_index, attempt, tx, r, false);
@@ -667,35 +890,13 @@ void ScenarioEngine::begin_htlc(std::size_t tx_index, std::size_t attempt,
   result_.htlc_max_inflight =
       std::max(result_.htlc_max_inflight, inflight_.size());
 
-  // Pass 1: snapshot each queued hold's parts (path order) and refund it.
-  // The router locked whole paths atomically; the timed lifecycle re-locks
-  // hop by hop with fee escrow, and a sibling part's whole-path lock must
-  // not count against another part's first-hop re-lock.
-  std::vector<std::vector<EdgeId>> staged_edges;
-  std::vector<std::vector<Amount>> staged_amounts;
-  staged_edges.reserve(deferred_buf_.size());
-  staged_amounts.reserve(deferred_buf_.size());
-  for (const HoldId id : deferred_buf_) {
-    const auto parts = truth_.hold_parts(id);
-    std::vector<EdgeId> es;
-    std::vector<Amount> as;
-    es.reserve(parts.size());
-    as.reserve(parts.size());
-    for (const auto& [edge, amount] : parts) {
-      es.push_back(edge);
-      as.push_back(amount);
-    }
-    staged_edges.push_back(std::move(es));
-    staged_amounts.push_back(std::move(as));
-    truth_.abort(id);
+  // Re-lock each part's first hop (or the whole netted flow) as a live
+  // timed HTLC (the parts were staged by stage_htlc_parts at route time).
+  for (std::size_t i = 0; i < staged_edges_.size(); ++i) {
+    begin_part(tx_index, tx, staged_edges_[i], staged_amounts_[i]);
   }
-  deferred_buf_.clear();
-
-  // Pass 2: re-lock each part's first hop (or the whole netted flow) as a
-  // live timed HTLC.
-  for (std::size_t i = 0; i < staged_edges.size(); ++i) {
-    begin_part(tx_index, tx, staged_edges[i], staged_amounts[i]);
-  }
+  staged_edges_.clear();
+  staged_amounts_.clear();
   if (fl.done == fl.parts) conclude_htlc(tx_index);
 }
 
@@ -1105,28 +1306,7 @@ void ScenarioEngine::handle_close() {
   if (!open_list_.empty()) {
     const std::size_t pick = dyn_rng_.next_below(open_list_.size());
     const std::size_t c = open_list_[pick];
-    open_list_[pick] = open_list_.back();
-    open_list_.pop_back();
-    open_[c] = 0;
-    ++truth_version_;
-    pristine_ = false;
-    ++result_.channels_closed;
-    if (!ever_churned_[c]) {
-      ever_churned_[c] = 1;
-      churned_list_.push_back(c);
-    }
-
-    // The channel settles on-chain: its funds leave the network.
-    const Graph& g = workload_->graph();
-    const EdgeId fe = g.channel_forward_edge(c);
-    truth_.set_balance(fe, 0);
-    truth_.set_balance(g.reverse(fe), 0);
-    record_truth_change(fe);
-    record_truth_change(g.reverse(fe));
-
-    gossip_.announce_channel_close(c, ++channel_seq_[c]);
-    flush_gossip_or_schedule_hop();
-
+    close_channel_now(c);
     if (cfg_.churn.mean_downtime > 0) {
       schedule(now_ + dyn_rng_.exponential(1.0 / cfg_.churn.mean_downtime),
                EventType::kReopen, c);
@@ -1136,6 +1316,158 @@ void ScenarioEngine::handle_close() {
            EventType::kClose);
 }
 
+bool ScenarioEngine::close_channel_now(std::size_t c) {
+  if (!open_[c]) return false;
+  for (std::size_t i = 0; i < open_list_.size(); ++i) {
+    if (open_list_[i] == c) {
+      open_list_[i] = open_list_.back();
+      open_list_.pop_back();
+      break;
+    }
+  }
+  open_[c] = 0;
+  ++truth_version_;
+  pristine_ = false;
+  ++result_.channels_closed;
+  if (!ever_churned_[c]) {
+    ever_churned_[c] = 1;
+    churned_list_.push_back(c);
+  }
+
+  // In-flight HTLCs crossing the channel resolve on-chain FIRST (the
+  // close transaction sweeps the HTLC outputs), then the channel's
+  // remaining funds leave the network.
+  if (htlc_active_) resolve_htlcs_on_close(c);
+  const Graph& g = workload_->graph();
+  const EdgeId fe = g.channel_forward_edge(c);
+  truth_.set_channel_balance(c, 0, 0);
+  record_truth_change(fe);
+  record_truth_change(g.reverse(fe));
+
+  gossip_.announce_channel_close(c, ++channel_seq_[c]);
+  flush_gossip_or_schedule_hop();
+  return true;
+}
+
+void ScenarioEngine::resolve_htlcs_on_close(std::size_t channel) {
+  if (htlc_open_holds_ == 0) return;
+  const Graph& g = workload_->graph();
+  // Pass 1: find every in-flight part with a still-locked hop on the
+  // channel (its break point k), and pre-mark settling parts' holds so
+  // the ledger SETTLES their swept hops (preimage already public) instead
+  // of refunding them.
+  close_hits_.clear();
+  for (std::size_t slot = 0; slot < parts_.size(); ++slot) {
+    HtlcPart& p = parts_[slot];
+    if (!p.in_use) continue;
+    const auto hp = truth_.hold_parts(p.hold);
+    std::size_t k = hp.size();
+    for (std::size_t i = 0; i < hp.size(); ++i) {
+      if (hp[i].second > 0 && g.channel_of(hp[i].first) == channel) {
+        k = i;
+        break;
+      }
+    }
+    if (k == hp.size()) continue;
+    if (p.state == PartState::kSettling) truth_.mark_hold_settling(p.hold);
+    close_hits_.emplace_back(slot, k);
+  }
+  if (close_hits_.empty()) return;
+
+  const NetworkState::CloseResolution res =
+      truth_.resolve_holds_on_close(channel);
+  result_.htlc_onchain_settled_hops += res.settled_hops;
+  result_.htlc_onchain_refunded_hops += res.refunded_hops;
+
+  // Pass 2: finish each affected part. Settling parts complete on-chain
+  // (the payment still succeeds, just early); failing parts finish their
+  // abort now; forwarding/arrived parts fail backward from the break
+  // point — hops beyond it resolve on-chain, hops before it refund
+  // hop-wise on the still-open upstream channels.
+  std::vector<std::size_t> commit_idx;
+  for (const auto& [slot, k] : close_hits_) {
+    HtlcPart& p = parts_[slot];
+    if (p.state == PartState::kSettling) {
+      if (truth_.hold_active(p.hold)) {
+        const auto hp = truth_.hold_parts(p.hold);
+        commit_idx.clear();
+        for (std::size_t i = 0; i < hp.size(); ++i) {
+          if (hp[i].second > 0) commit_idx.push_back(i);
+        }
+        for (const std::size_t i : commit_idx) {
+          truth_.commit_hop(p.hold, i);
+          ++result_.htlc_onchain_settled_hops;
+        }
+      }
+      --htlc_open_holds_;
+      part_done(slot);
+      continue;
+    }
+    if (p.state == PartState::kFailing) {
+      if (truth_.hold_active(p.hold)) {
+        const auto hp = truth_.hold_parts(p.hold);
+        for (std::size_t i = 0; i < hp.size(); ++i) {
+          if (hp[i].second > 0) ++result_.htlc_onchain_refunded_hops;
+        }
+        truth_.abort(p.hold);
+      }
+      --htlc_open_holds_;
+      part_done(slot);
+      continue;
+    }
+    // kForwarding / kArrived: the payment breaks here.
+    {
+      InFlight& fl = inflight_.at(p.tx_index);
+      if (!fl.failed) ++result_.htlc_break_failures;
+    }
+    p.state = PartState::kFailing;  // before the sweep: no double-unwind
+    fail_htlc_payment(p.tx_index);
+    if (p.flow) {
+      // A netted flow has no hop order to unwind along; the whole
+      // remainder resolves on-chain at once.
+      if (truth_.hold_active(p.hold)) {
+        const auto hp = truth_.hold_parts(p.hold);
+        for (std::size_t i = 0; i < hp.size(); ++i) {
+          if (hp[i].second > 0) ++result_.htlc_onchain_refunded_hops;
+        }
+        truth_.abort(p.hold);
+      }
+      --htlc_open_holds_;
+      part_done(slot);
+      continue;
+    }
+    if (truth_.hold_active(p.hold)) {
+      // Hops beyond the break point cannot relay an error upstream across
+      // the dead channel: they time out on-chain now (last to k+1).
+      const std::size_t locked = truth_.hold_parts(p.hold).size();
+      for (std::size_t i = locked; i-- > k + 1;) {
+        if (truth_.hold_parts(p.hold)[i].second <= 0) continue;
+        truth_.abort_hop(p.hold, i);
+        ++result_.htlc_onchain_refunded_hops;
+      }
+    }
+    if (!truth_.hold_active(p.hold)) {
+      // Every locked hop was swept on-chain; nothing to unwind off-chain.
+      --htlc_open_holds_;
+      part_done(slot);
+      continue;
+    }
+    // Hops before the break refund hop-wise on their (open) channels,
+    // starting at k-1 after one hop latency — the normal timed unwind.
+    p.hops_locked = k;
+    schedule_part(edge_latency_[p.path[k - 1]], EventType::kFailBackward,
+                  slot, k - 1);
+  }
+}
+
+void ScenarioEngine::drain_truth_log() {
+  // HTLC hop events mutate the truth BETWEEN payments; replaying the
+  // ledger's change log here (once per event) is what keeps stale sender
+  // mirrors syncable by journal suffix instead of full resyncs.
+  for (const EdgeId e : truth_.change_log()) record_truth_change(e);
+  truth_.clear_change_log();
+}
+
 void ScenarioEngine::handle_reopen(std::size_t channel) {
   if (open_[channel]) return;
   open_[channel] = 1;
@@ -1143,11 +1475,14 @@ void ScenarioEngine::handle_reopen(std::size_t channel) {
   ++truth_version_;
   ++result_.channels_reopened;
 
-  // A fresh funding transaction restores the initial (scaled) deposits.
+  // A fresh funding transaction restores the initial (scaled) deposits —
+  // channel-scoped, so deposits of channels with funds locked in flight
+  // elsewhere are untouched (and a reopen can never resurrect a ghost
+  // hold: nothing can lock on a closed channel's zero balances).
   const Graph& g = workload_->graph();
   const EdgeId fe = g.channel_forward_edge(channel);
-  truth_.set_balance(fe, initial_balance_[fe]);
-  truth_.set_balance(g.reverse(fe), initial_balance_[g.reverse(fe)]);
+  truth_.set_channel_balance(channel, initial_balance_[fe],
+                             initial_balance_[g.reverse(fe)]);
   record_truth_change(fe);
   record_truth_change(g.reverse(fe));
 
@@ -1186,22 +1521,46 @@ void ScenarioEngine::handle_rebalance() {
   // publish the new balances through the replay log.
   if (concurrent_) replay_quiesce(/*permanent=*/false);
   const Graph& g = workload_->graph();
-  drift_buf_.resize(g.num_edges());
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    drift_buf_[e] = truth_.balance(e);
+  if (truth_.active_holds() == 0) {
+    // Holds-free ledger: the original wholesale rewrite (bit-identical
+    // for every pre-existing rebalance config).
+    drift_buf_.resize(g.num_edges());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      drift_buf_[e] = truth_.balance(e);
+    }
+    for (std::size_t c = 0; c < g.num_channels(); ++c) {
+      if (!open_[c]) continue;
+      const EdgeId fe = g.channel_forward_edge(c);
+      const EdgeId be = g.reverse(fe);
+      const Amount total = drift_buf_[fe] + drift_buf_[be];
+      const Amount fwd =
+          drift_buf_[fe] +
+          cfg_.rebalance.strength * (total / 2 - drift_buf_[fe]);
+      drift_buf_[fe] = fwd;
+      drift_buf_[be] = total - fwd;  // conserves the channel total exactly
+    }
+    truth_.assign_balances(drift_buf_);
+  } else {
+    // Funds are locked in flight: a rebalancing operator cannot touch
+    // escrowed HTLC outputs, so the sweep skips any channel carrying held
+    // amounts and drifts the rest channel by channel (totals conserved,
+    // deposits untouched — exactly what the invariant needs).
+    truth_.held_channels(held_buf_);
+    for (std::size_t c = 0; c < g.num_channels(); ++c) {
+      if (!open_[c]) continue;
+      if (held_buf_[c]) {
+        ++result_.rebalance_skipped_channels;
+        continue;
+      }
+      const EdgeId fe = g.channel_forward_edge(c);
+      const EdgeId be = g.reverse(fe);
+      const Amount bf = truth_.balance(fe);
+      const Amount total = bf + truth_.balance(be);
+      const Amount fwd = bf + cfg_.rebalance.strength * (total / 2 - bf);
+      truth_.mirror_balance(fe, fwd);
+      truth_.mirror_balance(be, total - fwd);
+    }
   }
-  for (std::size_t c = 0; c < g.num_channels(); ++c) {
-    if (!open_[c]) continue;
-    const EdgeId fe = g.channel_forward_edge(c);
-    const EdgeId be = g.reverse(fe);
-    const Amount total = drift_buf_[fe] + drift_buf_[be];
-    const Amount fwd =
-        drift_buf_[fe] +
-        cfg_.rebalance.strength * (total / 2 - drift_buf_[fe]);
-    drift_buf_[fe] = fwd;
-    drift_buf_[be] = total - fwd;  // conserves the channel total exactly
-  }
-  truth_.assign_balances(drift_buf_);
   // A full-ledger rewrite: journal replay cannot express it compactly, so
   // advance the generation and let every mirror full-sync once.
   truth_journal_.clear();
@@ -1209,6 +1568,80 @@ void ScenarioEngine::handle_rebalance() {
   if (concurrent_) replay_publish_all_edges();
   ++result_.rebalance_events;
   schedule(now_ + cfg_.rebalance.interval, EventType::kRebalance);
+}
+
+// --- Fault injection -----------------------------------------------------
+
+void ScenarioEngine::note_fault_window(double start, double end) {
+  fault_windows_.emplace_back(start, end);
+  fault_window_end_ = std::max(fault_window_end_, end);
+}
+
+void ScenarioEngine::handle_hub_outage(bool start) {
+  if (start) {
+    // Coordinated outage: every target hub goes dark at once. Per-node
+    // pre-outage state is saved so hubs that were ALREADY offline (the
+    // htlc.offline_fraction draw) stay offline after the window.
+    hub_offline_saved_.resize(fault_hubs_.size());
+    for (std::size_t i = 0; i < fault_hubs_.size(); ++i) {
+      hub_offline_saved_[i] = node_offline_[fault_hubs_[i]];
+      if (!node_offline_[fault_hubs_[i]]) {
+        node_offline_[fault_hubs_[i]] = 1;
+        ++result_.fault_hub_outages;
+      }
+    }
+    schedule(now_ + cfg_.fault.hub_outage_duration, EventType::kHubOutageEnd);
+  } else {
+    for (std::size_t i = 0; i < fault_hubs_.size(); ++i) {
+      node_offline_[fault_hubs_[i]] = hub_offline_saved_[i];
+    }
+  }
+}
+
+void ScenarioEngine::handle_fault_burst() {
+  // A close burst is churn as far as speculation is concerned.
+  if (concurrent_) replay_quiesce(/*permanent=*/true);
+  const Graph& g = workload_->graph();
+  if (open_list_.empty() || g.num_nodes() == 0) return;
+  // Regional: a BFS ball of channels around a seeded center — the closes
+  // cluster like a datacenter or regulator event taking down a
+  // neighborhood, not a uniform sprinkle.
+  const NodeId center =
+      static_cast<NodeId>(fault_rng_.next_below(g.num_nodes()));
+  std::vector<char> seen(g.num_nodes(), 0);
+  std::vector<NodeId> queue{center};
+  seen[center] = 1;
+  std::size_t head = 0;
+  std::size_t closed = 0;
+  while (head < queue.size() && closed < cfg_.fault.burst_channels) {
+    const NodeId u = queue[head++];
+    for (const auto& arc : g.out_arcs(u)) {
+      if (closed < cfg_.fault.burst_channels &&
+          close_channel_now(g.channel_of(arc.edge))) {
+        ++closed;
+        ++result_.fault_channel_closes;
+        if (cfg_.fault.burst_reopen_after > 0) {
+          schedule(now_ + cfg_.fault.burst_reopen_after, EventType::kReopen,
+                   g.channel_of(arc.edge));
+        }
+      }
+      if (!seen[arc.head]) {
+        seen[arc.head] = 1;
+        queue.push_back(arc.head);
+      }
+    }
+  }
+}
+
+void ScenarioEngine::handle_fault_close(std::size_t index) {
+  if (concurrent_) replay_quiesce(/*permanent=*/true);
+  const ChannelFault& cf = cfg_.fault.channel_faults[index];
+  if (close_channel_now(cf.channel)) {
+    ++result_.fault_channel_closes;
+    if (cf.reopen_after > 0) {
+      schedule(now_ + cf.reopen_after, EventType::kReopen, cf.channel);
+    }
+  }
 }
 
 ScenarioEngine::SenderContext& ScenarioEngine::context_for(NodeId sender) {
@@ -1287,6 +1720,9 @@ void ScenarioEngine::rebuild_context(SenderContext& ctx, NodeId sender) {
   ctx.fees = std::move(fees);
 
   ctx.mirror = std::make_unique<NetworkState>(ctx.local);
+  // Mirrors route for a timed lifecycle too: queue their settlements so
+  // stage_htlc_parts can re-stage them on the truth instead.
+  if (htlc_active_) ctx.mirror->arm_deferred_settlement();
   // Stale-view routers recompute exhausted table entries: under churn an
   // entry whose every path died must not pin failure until the next view
   // refresh.
@@ -1370,6 +1806,7 @@ void ScenarioEngine::build_incremental_context(SenderContext& ctx,
   if (!ctx.mirror) {
     ctx.mirror = std::make_unique<NetworkState>(view_graph_);
     ctx.mirror->enable_change_log();
+    if (htlc_active_) ctx.mirror->arm_deferred_settlement();
   } else {
     ctx.mirror->clear_change_log();
   }

@@ -158,6 +158,70 @@ struct HtlcConfig {
   }
 };
 
+/// One scheduled channel close (deterministic fault injection): `channel`
+/// closes at `close_time` and, when `reopen_after` > 0, reopens with its
+/// initial deposit that much later. Plain value type.
+struct ChannelFault {
+  std::size_t channel = 0;
+  double close_time = 0;
+  double reopen_after = 0;
+};
+
+/// Deterministic, seed-driven adversarial fault injection. Three fault
+/// families compose freely (each is off by default):
+///
+///   - *Coordinated hub outage*: the top `hub_count` nodes by approximate
+///     betweenness centrality go offline (fail payments in flight, like
+///     HtlcConfig::offline_fraction victims) for
+///     [hub_outage_start, hub_outage_start + hub_outage_duration).
+///   - *Regional close burst*: at `burst_time`, a BFS ball of up to
+///     `burst_channels` open channels around a seeded center closes at
+///     once (on-chain resolution for any in-flight HTLCs crossing them);
+///     with burst_reopen_after > 0 they all reopen together.
+///   - *Congestion collapse*: arrivals inside
+///     [congestion_start, congestion_start + congestion_duration) are
+///     time-compressed by `congestion_factor` (a factor-f arrival-rate
+///     spike), later arrivals shift earlier by the saved time.
+///
+/// ScenarioResult gains per-fault counters plus degradation metrics
+/// (success inside vs. after the fault window, recovery time). Plain value
+/// type; inactive() configs are bit-identical to a no-FaultPlan run.
+struct FaultPlan {
+  /// Number of top-betweenness hub nodes to take offline (0 disables).
+  std::size_t hub_count = 0;
+  double hub_outage_start = 0;
+  double hub_outage_duration = 0;
+  /// BFS-pivot sample count for the approximate betweenness ranking
+  /// (graph/topology.h approx_betweenness); 0 = exact (all pivots).
+  std::size_t hub_betweenness_samples = 32;
+
+  /// Channels to close in the regional burst (0 disables).
+  std::size_t burst_channels = 0;
+  double burst_time = 0;
+  /// Downtime before the burst's channels reopen together. 0 = they stay
+  /// closed.
+  double burst_reopen_after = 0;
+
+  /// Congestion-collapse ramp: arrival-rate multiplier inside the window
+  /// (1 disables; must be >= 1).
+  double congestion_factor = 1;
+  double congestion_start = 0;
+  double congestion_duration = 0;
+
+  /// Explicitly scheduled channel closes (deterministic reproduction of a
+  /// specific fault trace; applied in addition to the burst).
+  std::vector<ChannelFault> channel_faults;
+
+  /// Seed of the fault randomness stream (hub tie-breaks, burst center),
+  /// mixed with the run seed.
+  std::uint64_t seed = 0xfa17u;
+
+  bool active() const noexcept {
+    return hub_count > 0 || burst_channels > 0 || congestion_factor > 1 ||
+           !channel_faults.empty();
+  }
+};
+
 /// How per-sender routers react to gossip view changes.
 enum class RouterMaintenance : std::uint8_t {
   /// Reconstruct the sender's local graph, fees, mirror and router from
@@ -224,10 +288,15 @@ struct ScenarioConfig {
   ChurnConfig churn;
   RebalanceConfig rebalance;
   GossipTiming gossip;
-  /// Time-extended HTLC lifecycle. Incompatible with churn, rebalancing,
-  /// and the concurrent execution modes (validated): those assume either
-  /// instant settlement or a holds-free ledger between payments.
+  /// Time-extended HTLC lifecycle. Composes with churn, gossip staleness,
+  /// and rebalancing (in-flight parts crossing a closed channel resolve
+  /// on-chain and fail backward from the break point; rebalance sweeps
+  /// skip escrowed channels). Still incompatible with the concurrent
+  /// execution modes (validated): those assume instant settlement.
   HtlcConfig htlc;
+  /// Deterministic adversarial fault injection (hub outages, close
+  /// bursts, congestion ramps). Inactive by default.
+  FaultPlan fault;
   /// Concurrent execution (see ScenarioExecution / sim/concurrent.cc).
   ConcurrencyConfig concurrency;
   /// Pin each route attempt's randomness to the payment's logical stream
@@ -307,6 +376,44 @@ struct ScenarioResult {
   std::size_t htlc_holder_delays = 0;
   /// Peak number of payments simultaneously in flight.
   std::size_t htlc_max_inflight = 0;
+
+  // --- HTLC x dynamics counters (all zero unless htlc composes with
+  // churn/rebalance/faults). ---
+
+  /// Hops force-SETTLED on-chain by a channel close (the hold was already
+  /// settling: its preimage is public, the downstream party claims).
+  std::size_t htlc_onchain_settled_hops = 0;
+  /// Hops force-REFUNDED on-chain by a channel close (no preimage yet:
+  /// the HTLC output times out back to the sender side).
+  std::size_t htlc_onchain_refunded_hops = 0;
+  /// In-flight payments failed because a channel under one of their
+  /// still-locked hops closed (break-point unwind).
+  std::size_t htlc_break_failures = 0;
+  /// Open channels a rebalance sweep left untouched because in-flight
+  /// HTLC escrow locked part of their deposit.
+  std::size_t rebalance_skipped_channels = 0;
+
+  // --- Fault-injection counters and degradation metrics (all zero unless
+  // ScenarioConfig::fault is active; see FaultPlan). ---
+
+  /// Hub nodes actually taken offline by the coordinated outage.
+  std::size_t fault_hub_outages = 0;
+  /// Channels closed by the burst + scheduled channel faults (also
+  /// counted in channels_closed).
+  std::size_t fault_channel_closes = 0;
+  /// Arrivals time-compressed by the congestion window.
+  std::size_t fault_congestion_arrivals = 0;
+  /// Payments that ARRIVED inside any fault window, and how many of them
+  /// succeeded — the degradation numerator/denominator.
+  std::size_t fault_window_payments = 0;
+  std::size_t fault_window_successes = 0;
+  /// Payments that arrived after the last fault window ended — the
+  /// recovery numerator/denominator.
+  std::size_t post_fault_payments = 0;
+  std::size_t post_fault_successes = 0;
+  /// Sim-time from the last fault window's end to the first post-window
+  /// success (0 when no post-window payment succeeded).
+  double fault_recovery_time = 0;
 
   // --- Concurrent-engine diagnostics (all zero for sequential runs;
   // EXCLUDED from payment_digest and from the replay-vs-sequential
@@ -411,6 +518,11 @@ class ScenarioEngine {
     kSettleBackward,  // settle hop b and relay the preimage downstream
     kFailBackward,    // refund hop b and relay the error downstream
     kHtlcExpiry,      // timelock hit: force-refund the whole part
+    // Fault-injection events (see FaultPlan).
+    kHubOutageStart,  // top-k betweenness hubs go offline
+    kHubOutageEnd,    // ... and come back
+    kFaultBurst,      // regional close burst around a seeded center
+    kFaultClose,      // a = index into cfg_.fault.channel_faults
   };
   struct Event {
     double time = 0;
@@ -434,6 +546,9 @@ class ScenarioEngine {
     /// Wall-clock start of the first route attempt (replay backdates it to
     /// the speculation's route start). Feeds ScenarioResult::latency.
     std::chrono::steady_clock::time_point started{};
+    /// Sim-time of the payment's arrival: classifies its final outcome
+    /// into the fault-window / post-fault degradation buckets.
+    double arrival_time = 0;
   };
 
   // --- HTLC lifecycle state (used only when cfg_.htlc.active()) ----------
@@ -509,10 +624,33 @@ class ScenarioEngine {
                 std::size_t b = 0);
   void stage_next_arrival();
   void attempt_payment(std::size_t tx_index, std::size_t attempt);
+  /// Stages the router's holds (abort on `ledger`, remember edges/amounts
+  /// in staged_edges_/staged_amounts_, translating view edges to physical
+  /// through `to_phys` when routing happened on a mirror) for begin_htlc
+  /// to re-lock hop by hop on the truth.
+  void stage_htlc_parts(NetworkState& ledger,
+                        const std::vector<EdgeId>* to_phys);
   void finish_payment(const Transaction& tx, const RouteResult& final_attempt,
                       std::size_t attempt, const PendingPayment& totals);
   void handle_close();
+  /// Closes channel `c` now (ledger zeroing, on-chain HTLC resolution,
+  /// open bookkeeping, gossip announcement). False if already closed.
+  bool close_channel_now(std::size_t c);
+  /// Forces every in-flight HTLC hop crossing `channel` to its on-chain
+  /// resolution and fails the affected payments backward from the break
+  /// point (see docs/ARCHITECTURE.md "HTLC x dynamics").
+  void resolve_htlcs_on_close(std::size_t channel);
+  /// Replays the truth ledger's change journal into the mirror-sync
+  /// journal (HTLC hop events write the truth between payments; without
+  /// this, stale mirrors would miss those writes).
+  void drain_truth_log();
   void handle_reopen(std::size_t channel);
+  void handle_hub_outage(bool start);
+  void handle_fault_burst();
+  void handle_fault_close(std::size_t index);
+  /// Registers [start, end) as a fault window for the degradation
+  /// metrics.
+  void note_fault_window(double start, double end);
   void handle_gossip_hop();
   void handle_rebalance();
   void flush_gossip_or_schedule_hop();
@@ -648,8 +786,22 @@ class ScenarioEngine {
   double latency_sum_ = 0;
   double latency_max_ = 0;
 
+  // --- Fault injection (see FaultPlan; all empty when inactive) ----------
+  Rng fault_rng_;
+  std::vector<NodeId> fault_hubs_;          // top-k betweenness targets
+  std::vector<char> hub_offline_saved_;     // pre-outage node_offline_ bits
+  std::vector<std::pair<double, double>> fault_windows_;  // [start, end)
+  double fault_window_end_ = 0;  // max end over all windows
+  bool recovery_noted_ = false;
+  std::vector<char> held_buf_;  // rebalance escrow-skip scratch
+
   // --- HTLC lifecycle (see setup_htlc; all empty when inactive) ----------
   bool htlc_active_ = false;
+  bool closes_possible_ = false;  // churn or fault plan can close channels
+  bool track_htlc_truth_ = false;  // drain truth change log for mirrors
+  std::vector<std::vector<EdgeId>> staged_edges_;  // stage_htlc_parts
+  std::vector<std::vector<Amount>> staged_amounts_;  // scratch, per part
+  std::vector<std::pair<std::size_t, std::size_t>> close_hits_;  // slot, hop
   std::vector<double> edge_latency_;  // per truth edge, drawn once
   std::vector<char> node_offline_;
   std::vector<char> node_holder_;

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -52,6 +53,18 @@ void expect_scenarios_identical(const ScenarioResult& a,
   EXPECT_EQ(a.htlc_offline_failures, b.htlc_offline_failures);
   EXPECT_EQ(a.htlc_holder_delays, b.htlc_holder_delays);
   EXPECT_EQ(a.htlc_max_inflight, b.htlc_max_inflight);
+  EXPECT_EQ(a.htlc_onchain_settled_hops, b.htlc_onchain_settled_hops);
+  EXPECT_EQ(a.htlc_onchain_refunded_hops, b.htlc_onchain_refunded_hops);
+  EXPECT_EQ(a.htlc_break_failures, b.htlc_break_failures);
+  EXPECT_EQ(a.rebalance_skipped_channels, b.rebalance_skipped_channels);
+  EXPECT_EQ(a.fault_hub_outages, b.fault_hub_outages);
+  EXPECT_EQ(a.fault_channel_closes, b.fault_channel_closes);
+  EXPECT_EQ(a.fault_congestion_arrivals, b.fault_congestion_arrivals);
+  EXPECT_EQ(a.fault_window_payments, b.fault_window_payments);
+  EXPECT_EQ(a.fault_window_successes, b.fault_window_successes);
+  EXPECT_EQ(a.post_fault_payments, b.post_fault_payments);
+  EXPECT_EQ(a.post_fault_successes, b.post_fault_successes);
+  EXPECT_EQ(a.fault_recovery_time, b.fault_recovery_time);
   EXPECT_EQ(a.sim_latency.count, b.sim_latency.count);
   EXPECT_EQ(a.sim_latency.mean_seconds, b.sim_latency.mean_seconds);
   EXPECT_EQ(a.sim_latency.p50_seconds, b.sim_latency.p50_seconds);
@@ -238,61 +251,240 @@ TEST(HtlcLifecycle, BudgetDerivedHopCapReducesSuccessInScenario) {
   EXPECT_LT(capped.sim.successes, free_len.sim.successes);
 }
 
-TEST(HtlcLifecycle, ValidationRejectsIncompatibleDynamics) {
+// Runs the config and asserts the std::invalid_argument it raises names
+// the offending field AND a remedy — every rejection must be actionable.
+void expect_rejects(const ScenarioConfig& cfg, const std::string& field,
+                    const std::string& remedy) {
   const Workload w = make_toy_workload(10, 5, 1);
+  try {
+    run_scenario(w, Scheme::kShortestPath, {}, {}, cfg, 1);
+    ADD_FAILURE() << "config accepted; expected a rejection naming "
+                  << field;
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(field), std::string::npos)
+        << "message does not name the field '" << field << "': " << msg;
+    EXPECT_NE(msg.find(remedy), std::string::npos)
+        << "message does not offer the remedy '" << remedy << "': " << msg;
+  }
+}
+
+TEST(HtlcLifecycle, ValidationMessagesNameFieldAndRemedy) {
+  // Every validate() rejection, each checked for field + remedy.
+  {
+    ScenarioConfig c;
+    c.retry.delay = -1;
+    expect_rejects(c, "retry.delay", "set 0 for immediate retries");
+  }
+  {
+    ScenarioConfig c;
+    c.churn.close_rate = -0.1;
+    expect_rejects(c, "churn.close_rate", "set 0 to disable churn");
+  }
+  {
+    ScenarioConfig c;
+    c.churn.mean_downtime = -1;
+    expect_rejects(c, "churn.mean_downtime", "keep closed channels closed");
+  }
+  {
+    ScenarioConfig c;
+    c.rebalance.interval = -1;
+    expect_rejects(c, "rebalance.interval", "set 0 to disable");
+  }
+  {
+    ScenarioConfig c;
+    c.rebalance.strength = 1.5;
+    expect_rejects(c, "rebalance.strength", "even split");
+  }
+  {
+    ScenarioConfig c;
+    c.gossip.hop_delay = -1;
+    expect_rejects(c, "gossip.hop_delay", "instant propagation");
+  }
+  {
+    ScenarioConfig c;
+    c.concurrency.stripes = 0;
+    expect_rejects(c, "concurrency.stripes", "default 64");
+  }
+  {
+    ScenarioConfig c;
+    c.concurrency.execution = ScenarioExecution::kFreeOrder;
+    c.retry.max_retries = 1;
+    expect_rejects(c, "free-order", "kSequential/kReplay execution");
+  }
+  {
+    // Fault injection needs the event loop too.
+    ScenarioConfig c;
+    c.concurrency.execution = ScenarioExecution::kFreeOrder;
+    c.htlc.hop_latency = 1.0;
+    c.fault.burst_channels = 1;
+    c.fault.burst_time = 1.0;
+    expect_rejects(c, "free-order", "leave fault inactive");
+  }
+  {
+    ScenarioConfig c;
+    c.htlc.hop_latency = -1;
+    expect_rejects(c, "htlc.hop_latency", "set 0 to disable each");
+  }
+  {
+    ScenarioConfig c;
+    c.htlc.offline_fraction = 1.5;
+    expect_rejects(c, "offline_fraction", "set 0 to disable each");
+  }
+  {
+    // A budget without a per-hop delta has no hop-cap meaning.
+    ScenarioConfig c;
+    c.htlc.timelock_budget = 100;
+    expect_rejects(c, "timelock_budget needs timelock_delta",
+                   "max_route_hops");
+  }
+  {
+    ScenarioConfig c;
+    c.htlc.hop_latency = 1.0;
+    c.concurrency.execution = ScenarioExecution::kReplay;
+    expect_rejects(c, "sequential execution",
+                   "concurrency.execution = kSequential");
+  }
+  {
+    ScenarioConfig c;
+    c.htlc.hop_latency = 1.0;
+    c.concurrency.execution = ScenarioExecution::kFreeOrder;
+    expect_rejects(c, "sequential execution",
+                   "concurrency.execution = kSequential");
+  }
+  {
+    // A budget below one delta admits no route at all.
+    ScenarioConfig c;
+    c.htlc.hop_latency = 1.0;
+    c.htlc.timelock_delta = 10.0;
+    c.htlc.timelock_budget = 5.0;
+    expect_rejects(c, "below one timelock_delta", "raise the budget");
+  }
+  {
+    ScenarioConfig c;
+    c.fault.hub_outage_start = -1;
+    expect_rejects(c, "hub_outage_start", "disable the outage");
+  }
+  {
+    ScenarioConfig c;
+    c.htlc.hop_latency = 1.0;
+    c.fault.hub_count = 1;  // no outage window
+    expect_rejects(c, "needs hub_outage_duration", "set a window length");
+  }
+  {
+    // Hub outages act on payments in flight: instant settlement has none.
+    ScenarioConfig c;
+    c.fault.hub_count = 1;
+    c.fault.hub_outage_duration = 10.0;
+    expect_rejects(c, "timed HTLC lifecycle", "htlc.hop_latency");
+  }
+  {
+    ScenarioConfig c;
+    c.fault.burst_time = -1;
+    expect_rejects(c, "burst_time", "disable the burst");
+  }
+  {
+    ScenarioConfig c;
+    c.fault.congestion_factor = 0.5;
+    expect_rejects(c, "congestion_factor", "set 1 to disable");
+  }
+  {
+    ScenarioConfig c;
+    c.fault.congestion_start = -1;
+    expect_rejects(c, "congestion_start", "disable the");
+  }
+  {
+    ScenarioConfig c;
+    c.fault.congestion_factor = 2.0;  // no window
+    expect_rejects(c, "needs congestion_duration", "set a window length");
+  }
+  {
+    ScenarioConfig c;
+    c.fault.channel_faults.push_back({0, -1.0, 0.0});
+    expect_rejects(c, "channel_faults times", "fix its times");
+  }
+  {
+    // Out-of-range channel ids are caught at engine construction.
+    ScenarioConfig c;
+    c.htlc.hop_latency = 1.0;
+    c.fault.channel_faults.push_back({9999, 1.0, 0.0});
+    expect_rejects(c, "names channel 9999", "below num_channels()");
+  }
+}
+
+TEST(HtlcLifecycle, HtlcNowComposesWithChurnAndRebalance) {
+  // The htlc x churn / htlc x rebalance rejections are gone: the lifecycle
+  // resolves in-flight parts on-chain when a channel under them closes, and
+  // rebalancing skips escrowed channels. These configs must now RUN.
+  const Workload w = make_toy_workload(10, 40, 1);
   ScenarioConfig htlc_on;
   htlc_on.htlc.hop_latency = 1.0;
 
   ScenarioConfig churn = htlc_on;
   churn.churn.close_rate = 0.1;
-  EXPECT_THROW(run_scenario(w, Scheme::kShortestPath, {}, {}, churn, 1),
-               std::invalid_argument);
+  churn.churn.mean_downtime = 5.0;
+  EXPECT_NO_THROW(run_scenario(w, Scheme::kShortestPath, {}, {}, churn, 1));
 
   ScenarioConfig rebalance = htlc_on;
   rebalance.rebalance.interval = 10;
-  EXPECT_THROW(run_scenario(w, Scheme::kShortestPath, {}, {}, rebalance, 1),
-               std::invalid_argument);
+  EXPECT_NO_THROW(
+      run_scenario(w, Scheme::kShortestPath, {}, {}, rebalance, 1));
 
-  ScenarioConfig replay = htlc_on;
-  replay.concurrency.execution = ScenarioExecution::kReplay;
-  EXPECT_THROW(run_scenario(w, Scheme::kShortestPath, {}, {}, replay, 1),
-               std::invalid_argument);
+  ScenarioConfig both = churn;
+  both.rebalance.interval = 10;
+  both.gossip.hop_delay = 0.5;  // stale views on top
+  EXPECT_NO_THROW(run_scenario(w, Scheme::kShortestPath, {}, {}, both, 1));
 
-  ScenarioConfig free_order = htlc_on;
-  free_order.concurrency.execution = ScenarioExecution::kFreeOrder;
-  EXPECT_THROW(run_scenario(w, Scheme::kShortestPath, {}, {}, free_order, 1),
-               std::invalid_argument);
-
-  ScenarioConfig negative;
-  negative.htlc.hop_latency = -1;
-  EXPECT_THROW(run_scenario(w, Scheme::kShortestPath, {}, {}, negative, 1),
-               std::invalid_argument);
-
-  ScenarioConfig bad_fraction;
-  bad_fraction.htlc.offline_fraction = 1.5;
-  EXPECT_THROW(
-      run_scenario(w, Scheme::kShortestPath, {}, {}, bad_fraction, 1),
-      std::invalid_argument);
-
-  // A budget without a per-hop delta has no hop-cap meaning.
-  ScenarioConfig budget_only;
-  budget_only.htlc.timelock_budget = 100;
-  EXPECT_THROW(
-      run_scenario(w, Scheme::kShortestPath, {}, {}, budget_only, 1),
-      std::invalid_argument);
-
-  // A budget below one delta admits no route at all.
-  ScenarioConfig too_tight;
-  too_tight.htlc.hop_latency = 1.0;
-  too_tight.htlc.timelock_delta = 10.0;
-  too_tight.htlc.timelock_budget = 5.0;
-  EXPECT_THROW(run_scenario(w, Scheme::kShortestPath, {}, {}, too_tight, 1),
-               std::invalid_argument);
-
-  // Churn plus an INACTIVE HtlcConfig stays allowed.
+  // Churn plus an INACTIVE HtlcConfig stays allowed, as before.
   ScenarioConfig ok;
   ok.churn.close_rate = 0.05;
   EXPECT_NO_THROW(run_scenario(w, Scheme::kShortestPath, {}, {}, ok, 1));
+}
+
+TEST(HtlcLifecycle, FaultFreeHtlcDigestsPinned) {
+  // Golden payment digests captured before the fault-tolerance machinery
+  // landed: fault-free HTLC configs (no churn, no FaultPlan) must stay
+  // bit-identical across refactors of the close/fault paths. If one of
+  // these moves, the zero-dynamics contract broke — do not re-pin without
+  // understanding why.
+  {
+    const Workload w = make_toy_workload(25, 200, 9);
+    SimConfig sim;
+    sim.capacity_scale = 1.5;
+    ScenarioConfig cfg;
+    cfg.htlc.hop_latency = 3.0;
+    cfg.htlc.timelock_delta = 50.0;
+    cfg.htlc.offline_fraction = 0.05;
+    cfg.retry.max_retries = 1;
+    const std::uint64_t expected[] = {
+        327838087456076393ull,    // kFlash
+        8957341892750548556ull,   // kSpider
+        15838135490890404714ull,  // kSpeedyMurmurs
+        6866683462189468280ull,   // kShortestPath
+    };
+    std::size_t i = 0;
+    for (const Scheme scheme : all_schemes()) {
+      SCOPED_TRACE(scheme_name(scheme));
+      const ScenarioResult got = run_scenario(w, scheme, {}, sim, cfg, 11);
+      EXPECT_EQ(got.payment_digest, expected[i++]);
+    }
+  }
+  {
+    // Holder-griefing config: exercises the settling-state bookkeeping
+    // that the on-chain resolution path also reads.
+    const Workload w = make_toy_workload(30, 300, 6);
+    SimConfig sim;
+    sim.capacity_scale = 2.0;
+    ScenarioConfig cfg;
+    cfg.htlc.hop_latency = 1.0;
+    cfg.htlc.timelock_delta = 10.0;
+    cfg.htlc.holder_fraction = 0.4;
+    cfg.htlc.holders_prefer_hubs = true;
+    cfg.htlc.holder_delay = 1e4;
+    const ScenarioResult got =
+        run_scenario(w, Scheme::kShortestPath, {}, sim, cfg, 6);
+    EXPECT_EQ(got.payment_digest, 9172907384879275544ull);
+  }
 }
 
 TEST(HtlcLifecycle, RetriesRescueInFlightFailures) {
@@ -389,7 +581,9 @@ TEST(HtlcLifecycle, LeaseReturnsAfterOuterPaymentDies) {
 // --- Conservation property test (randomized lifecycle interleavings) ----
 //
 // Drives a ledger through a random interleaving of hold / extend /
-// hop-settle / hop-abort / full-commit / expiry-abort operations and
+// hop-settle / hop-abort / full-commit / expiry-abort operations —
+// interleaved with channel force-closes (resolving in-flight holds
+// on-chain), reopens with fresh deposits, and node-offline events — and
 // asserts after EVERY step that the channel conservation invariant holds
 // (balances + holds == deposits), no balance went negative, and the
 // active-hold count matches the model. On failure it reports the seed and
@@ -413,6 +607,7 @@ class LifecycleFuzzer {
     for (std::size_t c = 0; c < graph_.num_channels(); ++c) {
       set_channel(state_, graph_, c, 50, 50);
     }
+    closed_.assign(graph_.num_channels(), 0);
   }
 
   /// Runs `steps` ops; returns the failing step (0-based) or SIZE_MAX.
@@ -453,7 +648,17 @@ class LifecycleFuzzer {
   }
 
   void step() {
-    const std::uint64_t r = rng_.next_below(100);
+    const std::uint64_t r = rng_.next_below(128);
+    if (r >= 100) {  // fault ops: close / reopen / node-offline
+      if (r < 112) {
+        close_channel();
+      } else if (r < 122) {
+        reopen_channel();
+      } else {
+        knock_node_offline();
+      }
+      return;
+    }
     if (r < 20) {  // path hold (1-2 hops, possibly non-simple)
       Path path{random_edge()};
       if (rng_.chance(0.6)) path.push_back(random_edge());
@@ -535,6 +740,98 @@ class LifecycleFuzzer {
     if (--lh.remaining == 0) drop(i);  // ledger auto-retired the hold
   }
 
+  // Force-close a channel with holds possibly across it: coin-flip each
+  // crossing hold into "preimage propagating" (force-settles on-chain),
+  // resolve, then zero the channel the way the scenario engine does.
+  void close_channel() {
+    std::vector<std::size_t> open;
+    for (std::size_t c = 0; c < graph_.num_channels(); ++c) {
+      if (!closed_[c]) open.push_back(c);
+    }
+    if (open.empty()) {
+      log_.push_back("close (none open)");
+      return;
+    }
+    const std::size_t c = open[rng_.next_below(open.size())];
+    const EdgeId fe = graph_.channel_forward_edge(c);
+    const EdgeId be = graph_.reverse(fe);
+    std::size_t marked = 0;
+    for (const LiveHold& lh : live_) {
+      bool crosses = false;
+      for (const auto& [e, amt] : state_.hold_parts(lh.id)) {
+        if (amt > 0 && (e == fe || e == be)) {
+          crosses = true;
+          break;
+        }
+      }
+      if (crosses && rng_.chance(0.5)) {
+        state_.mark_hold_settling(lh.id);
+        ++marked;
+      }
+    }
+    const auto res = state_.resolve_holds_on_close(c);
+    // Model update: every open hop on this channel resolved on-chain; a
+    // hold whose last open hop this was got retired by the ledger.
+    for (std::size_t i = live_.size(); i-- > 0;) {
+      LiveHold& lh = live_[i];
+      if (!state_.hold_active(lh.id)) {
+        drop(i);
+        continue;
+      }
+      const auto parts = state_.hold_parts(lh.id);
+      for (std::size_t k = 0; k < parts.size(); ++k) {
+        if (lh.hop_open[k] && parts[k].second <= 0) {
+          lh.hop_open[k] = 0;
+          --lh.remaining;
+        }
+      }
+    }
+    state_.set_channel_balance(c, 0, 0);
+    closed_[c] = 1;
+    log_.push_back("close channel " + std::to_string(c) + " (" +
+                   std::to_string(res.settled_hops) + " settled, " +
+                   std::to_string(res.refunded_hops) + " refunded, " +
+                   std::to_string(marked) + " holds marked settling)");
+  }
+
+  void reopen_channel() {
+    std::vector<std::size_t> closed;
+    for (std::size_t c = 0; c < graph_.num_channels(); ++c) {
+      if (closed_[c]) closed.push_back(c);
+    }
+    if (closed.empty()) {
+      log_.push_back("reopen (none closed)");
+      return;
+    }
+    const std::size_t c = closed[rng_.next_below(closed.size())];
+    state_.set_channel_balance(c, 50, 50);  // fresh deposit, no ghost holds
+    closed_[c] = 0;
+    log_.push_back("reopen channel " + std::to_string(c));
+  }
+
+  // A node going dark fails every payment routed through it: abort each
+  // live hold with an open hop touching the node (the scenario engine's
+  // hub-outage path does the same through fail_htlc_payment).
+  void knock_node_offline() {
+    const NodeId n = static_cast<NodeId>(rng_.next_below(graph_.num_nodes()));
+    std::size_t aborted = 0;
+    for (std::size_t i = live_.size(); i-- > 0;) {
+      bool touches = false;
+      for (const auto& [e, amt] : state_.hold_parts(live_[i].id)) {
+        if (amt > 0 && (graph_.from(e) == n || graph_.to(e) == n)) {
+          touches = true;
+          break;
+        }
+      }
+      if (!touches) continue;
+      state_.abort(live_[i].id);
+      drop(i);
+      ++aborted;
+    }
+    log_.push_back("node " + std::to_string(n) + " offline: aborted " +
+                   std::to_string(aborted) + " crossing holds");
+  }
+
   bool healthy() {
     std::size_t bad = 0;
     if (!state_.check_invariants(&bad)) {
@@ -559,6 +856,7 @@ class LifecycleFuzzer {
   NetworkState state_;
   Rng rng_;
   std::vector<LiveHold> live_;
+  std::vector<char> closed_;
   std::vector<std::string> log_;
   std::string failure_;
 };
